@@ -1,0 +1,47 @@
+//! EXP-F4 (§2): checking wall-time vs workload size, with the
+//! dependency-direction and memoization ablations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmt_bench::{consistent_workload, paper_transformation};
+use mmt_check::CheckOptions;
+
+fn bench_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("check");
+    group.sample_size(20);
+    for (k, n) in [(2usize, 32usize), (2, 128), (3, 32), (4, 32)] {
+        let t = paper_transformation(k);
+        let std_t = t.standardized();
+        let w = consistent_workload(n, k, 13);
+        group.bench_with_input(
+            BenchmarkId::new("extended", format!("k{k}_n{n}")),
+            &w,
+            |b, w| b.iter(|| t.check(&w.models).unwrap().consistent()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("standard", format!("k{k}_n{n}")),
+            &w,
+            |b, w| b.iter(|| std_t.check(&w.models).unwrap().consistent()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("memo_off", format!("k{k}_n{n}")),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    t.check_with(
+                        &w.models,
+                        CheckOptions {
+                            memoize: false,
+                            max_violations: 1,
+                        },
+                    )
+                    .unwrap()
+                    .consistent()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_check);
+criterion_main!(benches);

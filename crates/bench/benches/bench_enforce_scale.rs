@@ -1,0 +1,29 @@
+//! EXP-F3 (§3): enforcement wall-time vs model size for both engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmt_bench::{broken_workload, paper_transformation};
+use mmt_core::Shape;
+use mmt_enforce::{RepairEngine, SatEngine, SearchEngine};
+use mmt_gen::Injection;
+
+fn bench_enforce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enforce");
+    group.sample_size(10);
+    let t = paper_transformation(2);
+    for n in [3usize, 5, 7] {
+        let w = broken_workload(n, 2, 53, Injection::NewMandatoryInFm);
+        let targets = Shape::of(&[0, 1]).targets();
+        group.bench_with_input(BenchmarkId::new("search", n), &w, |b, w| {
+            let engine = SearchEngine::default();
+            b.iter(|| engine.repair(t.hir(), &w.models, targets).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sat", n), &w, |b, w| {
+            let engine = SatEngine::default();
+            b.iter(|| engine.repair(t.hir(), &w.models, targets).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enforce);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! EXP-F2 (§2.3): Horn entailment is linear in the dependency set size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmt_deps::{Dep, DomIdx, DomSet};
+use mmt_gen::random_depset;
+
+fn bench_entailment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("entailment");
+    group.sample_size(30);
+    let arity = 32;
+    for n_deps in [16usize, 64, 256, 1024] {
+        let set = random_depset(arity, n_deps.min(2000), 7);
+        let goal = Dep::new(DomSet::single(DomIdx(0)), DomIdx(arity as u8 - 1)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n_deps), &set, |b, set| {
+            b.iter(|| set.entails(goal))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_entailment);
+criterion_main!(benches);

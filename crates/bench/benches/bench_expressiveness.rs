@@ -1,0 +1,26 @@
+//! EXP-T1 (§2.1): verdict micro-benchmark — standard vs extended checking
+//! on the loophole triple (also validates the verdicts on every run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmt_bench::{loophole_models, paper_transformation};
+
+fn bench_expressiveness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expressiveness");
+    group.sample_size(30);
+    let t = paper_transformation(2);
+    let std_t = t.standardized();
+    let models = loophole_models();
+    // The verdicts themselves are the experiment; assert them every run.
+    assert!(std_t.check(&models).unwrap().consistent());
+    assert!(!t.check(&models).unwrap().consistent());
+    group.bench_function("standard_accepts_loophole", |b| {
+        b.iter(|| std_t.check(&models).unwrap().consistent())
+    });
+    group.bench_function("extended_rejects_loophole", |b| {
+        b.iter(|| t.check(&models).unwrap().consistent())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_expressiveness);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! EXP-F5 (§3): grounding cost vs universe slack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmt_bench::{broken_workload, paper_transformation};
+use mmt_core::Shape;
+use mmt_gen::Injection;
+use mmt_ground::{GroundOptions, GroundProblem, Scope};
+
+fn bench_ground(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ground");
+    group.sample_size(10);
+    let t = paper_transformation(2);
+    let w = broken_workload(5, 2, 71, Injection::NewMandatoryInFm);
+    let targets = Shape::of(&[0, 1]).targets();
+    for slack in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("build", slack), &slack, |b, &slack| {
+            b.iter(|| {
+                let opts = GroundOptions {
+                    scope: Scope {
+                        slack_objs: slack,
+                        fresh_strings: 1,
+                    },
+                    ..GroundOptions::default()
+                };
+                GroundProblem::build(t.hir(), &w.models, targets, opts).unwrap()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("build_and_solve", slack),
+            &slack,
+            |b, &slack| {
+                b.iter(|| {
+                    let opts = GroundOptions {
+                        scope: Scope {
+                            slack_objs: slack,
+                            fresh_strings: 1,
+                        },
+                        ..GroundOptions::default()
+                    };
+                    let mut p =
+                        GroundProblem::build(t.hir(), &w.models, targets, opts).unwrap();
+                    p.solve_min_cost()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ground);
+criterion_main!(benches);

@@ -1,0 +1,481 @@
+//! Regenerates every experiment table and series from DESIGN.md §3 and
+//! prints them in paper style. `EXPERIMENTS.md` records a snapshot of this
+//! output next to the paper's qualitative predictions.
+//!
+//! Run with: `cargo run --release -p mmt-bench --bin report`
+
+use mmt_bench::*;
+use mmt_core::{EngineKind, Shape, Transformation};
+use mmt_deps::{Dep, DepSet, DomIdx, DomSet};
+use mmt_dist::TupleCost;
+use mmt_enforce::{RepairEngine, RepairOptions, SatEngine, SearchEngine};
+use mmt_gen::{random_depset, Injection};
+use mmt_ground::{GroundOptions, GroundProblem, Scope};
+use std::time::Instant;
+
+fn header(title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}
+
+fn main() {
+    exp_f1_metamodels();
+    exp_t1_expressiveness();
+    exp_t2_conservativity();
+    exp_t3_invocation_typing();
+    exp_f2_entailment_linear();
+    exp_t4_shapes();
+    exp_t5_minimality();
+    exp_t6_weighted();
+    exp_f3_enforce_scaling();
+    exp_f4_check_scaling();
+    exp_f5_ground_scaling();
+    println!("\nAll experiments completed.");
+}
+
+/// EXP-F1 (Figure 1): the CF and FM metamodels are constructible and
+/// generated instances conform.
+fn exp_f1_metamodels() {
+    header("EXP-F1 (Figure 1) — CF and FM metamodels");
+    let (cf, fm) = metamodels();
+    println!("CF: {} classes; FM: {} classes", cf.class_count(), fm.class_count());
+    let w = consistent_workload(6, 2, 1);
+    let ok = w
+        .models
+        .iter()
+        .all(mmt_model::conformance::is_conformant);
+    println!("generated workload conformant: {ok}");
+    assert!(ok);
+}
+
+/// EXP-T1 (§2.1): standard vs extended checking semantics on the
+/// loophole scenarios.
+fn exp_t1_expressiveness() {
+    header("EXP-T1 (§2.1) — expressiveness: standard vs extended semantics");
+    let t = paper_transformation(2);
+    let std_t = t.standardized();
+    println!("{:<44} {:>10} {:>10}", "scenario", "standard", "extended");
+    let verdict = |c: bool| if c { "accepts" } else { "rejects" };
+    // (a) The empty-range loophole.
+    let models = loophole_models();
+    let s = std_t.check(&models).unwrap().consistent();
+    let e = t.check(&models).unwrap().consistent();
+    println!(
+        "{:<44} {:>10} {:>10}",
+        "mandatory feature, empty configs (loophole)",
+        verdict(s),
+        verdict(e)
+    );
+    assert!(s && !e, "paper: standard is blind, extended rejects");
+    // (b) Common selection not mandatory — both semantics see this.
+    let b = broken_workload(4, 2, 3, Injection::SelectEverywhere);
+    let s = std_t.check(&b.models).unwrap().consistent();
+    let e = t.check(&b.models).unwrap().consistent();
+    println!(
+        "{:<44} {:>10} {:>10}",
+        "feature selected everywhere, not mandatory",
+        verdict(s),
+        verdict(e)
+    );
+    assert!(!s && !e);
+    // (c) A consistent tuple with asymmetric selections: the
+    // standardized OF gains a spurious `cf2 fm → cf1` direction that
+    // rejects it — the standard semantics *over*-constrains here, which
+    // is the other face of §2.1's "none of the above relations can be
+    // specified using the standard checking semantics".
+    let w = consistent_workload(4, 2, 3);
+    let s = std_t.check(&w.models).unwrap().consistent();
+    let e = t.check(&w.models).unwrap().consistent();
+    println!(
+        "{:<44} {:>10} {:>10}",
+        "consistent tuple, asymmetric selections",
+        verdict(s),
+        verdict(e)
+    );
+    assert!(!s && e, "standard over-constrains OF; extended accepts");
+    println!(
+        "=> matches §2.1: the standard semantics is simultaneously too weak\n   (loophole) and too strong (spurious directions); only the extended\n   dependencies express F = MF ∧ OF."
+    );
+}
+
+/// EXP-T2 (§2.2): conservativity — relations without `depend` clauses
+/// (parser default) agree with explicitly attached standard sets.
+fn exp_t2_conservativity() {
+    header("EXP-T2 (§2.2) — conservativity of the extension");
+    let k = 2;
+    // Implicit: no depend clauses at all.
+    let implicit_src = mmt_gen::transformation_source(k)
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("depend"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let implicit = Transformation::from_sources(
+        &implicit_src,
+        &[mmt_gen::CF_METAMODEL, mmt_gen::FM_METAMODEL],
+    )
+    .unwrap();
+    let explicit = implicit.standardized();
+    let mut agree = 0;
+    let mut total = 0;
+    for seed in 0..40u64 {
+        let w = if seed % 2 == 0 {
+            consistent_workload(5, k, seed)
+        } else {
+            broken_workload(
+                5,
+                k,
+                seed,
+                [
+                    Injection::NewMandatoryInFm,
+                    Injection::SelectEverywhere,
+                    Injection::SelectUnknown { config: 0 },
+                ][(seed % 3) as usize],
+            )
+        };
+        let a = implicit.check(&w.models).unwrap().consistent();
+        let b = explicit.check(&w.models).unwrap().consistent();
+        total += 1;
+        if a == b {
+            agree += 1;
+        }
+    }
+    println!("random tuples checked: {total}; verdict agreement: {agree}/{total}");
+    assert_eq!(agree, total);
+    // And the standard set is closure-equal to itself (sanity).
+    for n in 2..=4 {
+        assert!(DepSet::standard(n).is_standard_equivalent());
+    }
+    println!("=> the extension is conservative (100% agreement).");
+}
+
+/// EXP-T3 (§2.3): relation invocation direction typing.
+fn exp_t3_invocation_typing() {
+    header("EXP-T3 (§2.3) — invocation direction typing");
+    let cf = mmt_gen::CF_METAMODEL;
+    let case = |label: &str, callee_deps: &str, expect_ok: bool| {
+        let src = format!(
+            r#"
+transformation T(a : CF, b : CF) {{
+  relation S {{
+    n : Str;
+    domain a x : Feature {{ name = n }};
+    domain b y : Feature {{ name = n }};
+    {callee_deps}
+  }}
+  top relation R {{
+    m : Str;
+    domain a u : Feature {{ name = m }};
+    domain b v : Feature {{ name = m }};
+    depend a -> b;
+    where {{ S(u, v) }}
+  }}
+}}"#
+        );
+        let result = Transformation::from_sources(&src, &[cf]);
+        let ok = result.is_ok();
+        println!(
+            "{:<52} {:>10} {:>8}",
+            label,
+            if ok { "accepted" } else { "rejected" },
+            if ok == expect_ok { "✓" } else { "✗ !!!" }
+        );
+        assert_eq!(ok, expect_ok, "{label}");
+    };
+    println!("{:<52} {:>10} {:>8}", "caller a→b invokes callee with …", "verdict", "paper");
+    case("S̄ = {a→b} (matching direction)", "depend a -> b;", true);
+    case("S̄ = {b→a} (reversed — §2.3 'answer should be no')", "depend b -> a;", false);
+    case("S̄ = {a→b, b→a} (bidirectional, entails a→b)", "depend a -> b;\n    depend b -> a;", true);
+    // Transitive entailment across three models.
+    let src3 = r#"
+transformation T(a : CF, b : CF, c : CF) {
+  relation S {
+    n : Str;
+    domain a x : Feature { name = n };
+    domain b y : Feature { name = n };
+    domain c z : Feature { name = n };
+    depend a -> b;
+    depend b -> c;
+  }
+  top relation R {
+    m : Str;
+    domain a u : Feature { name = m };
+    domain b v : Feature { name = m };
+    domain c w : Feature { name = m };
+    depend a -> c;
+    where { S(u, v, w) }
+  }
+}"#;
+    let ok = Transformation::from_sources(src3, &[cf]).is_ok();
+    println!(
+        "{:<52} {:>10} {:>8}",
+        "S̄ = {a→b, b→c} under required a→c (D ⊢ d)",
+        if ok { "accepted" } else { "rejected" },
+        if ok { "✓" } else { "✗ !!!" }
+    );
+    assert!(ok);
+    println!("=> invocation typing follows Horn entailment exactly.");
+}
+
+/// EXP-F2 (§2.3): entailment runs in linear time — ns/check vs set size.
+fn exp_f2_entailment_linear() {
+    header("EXP-F2 (§2.3) — Horn entailment scaling (expect ~linear)");
+    println!("{:>10} {:>14} {:>16}", "#deps", "total ns", "ns per dep");
+    let arity = 32;
+    for n_deps in [8usize, 16, 32, 64, 128, 256] {
+        let set = random_depset(arity, n_deps, 99);
+        let goal = Dep::new(DomSet::single(DomIdx(0)), DomIdx(arity as u8 - 1)).unwrap();
+        let iters = 2000;
+        let start = Instant::now();
+        let mut acc = false;
+        for _ in 0..iters {
+            acc ^= set.entails(goal);
+        }
+        let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        std::hint::black_box(acc);
+        println!("{:>10} {:>14.0} {:>16.2}", n_deps, ns, ns / n_deps as f64);
+    }
+    println!("=> ns/dep stays ~flat: linear-time entailment, as §2.3 claims.");
+}
+
+/// EXP-T4 (§3): repair shapes × update scenarios.
+fn exp_t4_shapes() {
+    header("EXP-T4 (§3) — repair shapes vs update scenarios");
+    let k = 2;
+    let t = paper_transformation(k);
+    let fm_idx = k;
+    println!(
+        "{:<34} {:<22} {:>12} {:>8}",
+        "update scenario", "shape", "outcome", "Δ"
+    );
+    let row = |scenario: &str, injection: Injection, shape: Shape, label: &str| {
+        let w = broken_workload(4, k, 17, injection);
+        let cost = repair_cost(&t, &w.models, shape, EngineKind::Sat);
+        println!(
+            "{:<34} {:<22} {:>12} {:>8}",
+            scenario,
+            label,
+            match cost {
+                Some(_) => "repaired",
+                None => "impossible",
+            },
+            cost.map(|c| c.to_string()).unwrap_or_else(|| "—".into())
+        );
+        cost
+    };
+    // §3: new mandatory feature — single CF target cannot restore.
+    let c1 = row(
+        "new mandatory feature in FM",
+        Injection::NewMandatoryInFm,
+        Shape::towards(0),
+        "→F¹_CF (single)",
+    );
+    assert!(c1.is_none(), "paper: single update translation fails");
+    let c2 = row(
+        "new mandatory feature in FM",
+        Injection::NewMandatoryInFm,
+        Shape::of(&[0, 1]),
+        "→F_CFᵏ (all configs)",
+    );
+    assert!(c2.is_some());
+    let c3 = row(
+        "feature renamed in cf1",
+        Injection::RenameInConfig { config: 0 },
+        Shape::all_but(0, k + 1),
+        "→F¹_{FM×CFᵏ⁻¹}",
+    );
+    assert!(c3.is_some());
+    let c4 = row(
+        "feature selected everywhere",
+        Injection::SelectEverywhere,
+        Shape::towards(fm_idx),
+        "→F_FM",
+    );
+    assert!(c4.is_some());
+    let c5 = row(
+        "unknown feature selected in cf1",
+        Injection::SelectUnknown { config: 0 },
+        Shape::towards(fm_idx),
+        "→F_FM",
+    );
+    assert!(c5.is_some());
+    println!("=> shape feasibility matches §3's predictions exactly.");
+}
+
+/// EXP-T5 (§3): least change — engine agreement on minimal distances.
+fn exp_t5_minimality() {
+    header("EXP-T5 (§3) — least-change minimality (engine agreement)");
+    let t = paper_transformation(2);
+    println!(
+        "{:<36} {:>10} {:>10} {:>8}",
+        "scenario", "search Δ", "sat Δ", "agree"
+    );
+    let mut all_agree = true;
+    for (label, injection) in [
+        ("new mandatory in FM", Injection::NewMandatoryInFm),
+        ("rename in cf1", Injection::RenameInConfig { config: 0 }),
+        ("selected everywhere", Injection::SelectEverywhere),
+        ("unknown selection", Injection::SelectUnknown { config: 0 }),
+    ] {
+        let w = broken_workload(4, 2, 29, injection);
+        let a = repair_cost(&t, &w.models, Shape::all(3), EngineKind::Search);
+        let b = repair_cost(&t, &w.models, Shape::all(3), EngineKind::Sat);
+        let agree = a == b;
+        all_agree &= agree;
+        println!(
+            "{:<36} {:>10} {:>10} {:>8}",
+            label,
+            a.map(|c| c.to_string()).unwrap_or_else(|| "—".into()),
+            b.map(|c| c.to_string()).unwrap_or_else(|| "—".into()),
+            if agree { "✓" } else { "✗" }
+        );
+    }
+    assert!(all_agree);
+    println!("=> independent engines find the same minima.");
+}
+
+/// EXP-T6 (§3 future work): weighted tuple distance.
+fn exp_t6_weighted() {
+    header("EXP-T6 (§3) — weighted tuple distance steers repairs");
+    let t = paper_transformation(2);
+    let w = broken_workload(4, 2, 41, Injection::SelectUnknown { config: 0 });
+    println!("{:<28} {:>18} {:>14}", "weights (cf1,cf2,fm)", "models touched", "fm touched");
+    for (label, weights) in [
+        ("uniform (1,1,1)", vec![1u64, 1, 1]),
+        ("fm expensive (1,1,50)", vec![1, 1, 50]),
+        ("configs expensive (50,50,1)", vec![50, 50, 1]),
+    ] {
+        let opts = RepairOptions {
+            tuple: TupleCost::weighted(weights),
+            max_cost: 120,
+            ..RepairOptions::default()
+        };
+        let out = SatEngine::new(opts)
+            .repair(t.hir(), &w.models, Shape::all(3).targets())
+            .unwrap()
+            .expect("repairable");
+        let touched: Vec<&str> = ["cf1", "cf2", "fm"]
+            .iter()
+            .zip(&out.deltas)
+            .filter(|(_, d)| !d.is_empty())
+            .map(|(n, _)| *n)
+            .collect();
+        println!(
+            "{:<28} {:>18} {:>14}",
+            label,
+            touched.join("+"),
+            if out.deltas[2].is_empty() { "no" } else { "yes" }
+        );
+    }
+    println!("=> the §3 'prioritize configurations over feature models' knob works.");
+}
+
+/// EXP-F3 (§3): enforcement wall-time vs model size, per engine.
+fn exp_f3_enforce_scaling() {
+    header("EXP-F3 (§3) — enforcement scaling: search vs SAT engine");
+    println!(
+        "{:>10} {:>8} {:>14} {:>14}",
+        "#features", "Δmin", "search ms", "sat ms"
+    );
+    let t = paper_transformation(2);
+    for n in [3usize, 5, 7, 9] {
+        let w = broken_workload(n, 2, 53, Injection::NewMandatoryInFm);
+        let shape = Shape::of(&[0, 1]);
+        let start = Instant::now();
+        let a = SearchEngine::default()
+            .repair(t.hir(), &w.models, shape.targets())
+            .unwrap();
+        let search_ms = start.elapsed().as_secs_f64() * 1e3;
+        let start = Instant::now();
+        let b = SatEngine::default()
+            .repair(t.hir(), &w.models, shape.targets())
+            .unwrap();
+        let sat_ms = start.elapsed().as_secs_f64() * 1e3;
+        let cost = a.as_ref().map(|o| o.cost);
+        assert_eq!(cost, b.as_ref().map(|o| o.cost));
+        println!(
+            "{:>10} {:>8} {:>14.2} {:>14.2}",
+            n,
+            cost.map(|c| c.to_string()).unwrap_or_else(|| "—".into()),
+            search_ms,
+            sat_ms
+        );
+    }
+    println!("=> search is cheap at small distances; SAT pays a grounding cost\n   but scales with model size (the Echo/Alloy trade-off).");
+}
+
+/// EXP-F4 (§2): checking scaling and the dependency-direction ablation.
+fn exp_f4_check_scaling() {
+    header("EXP-F4 (§2) — checking scaling (k configs, n features)");
+    println!(
+        "{:>4} {:>10} {:>14} {:>14} {:>16}",
+        "k", "#features", "ext µs", "std µs", "memo-off µs"
+    );
+    for (k, n) in [(2usize, 16usize), (2, 64), (3, 16), (3, 64), (4, 32)] {
+        let t = paper_transformation(k);
+        let std_t = t.standardized();
+        let w = consistent_workload(n, k, 61);
+        let time_us = |f: &dyn Fn() -> bool| {
+            let iters = 20;
+            let start = Instant::now();
+            let mut acc = false;
+            for _ in 0..iters {
+                acc ^= f();
+            }
+            std::hint::black_box(acc);
+            start.elapsed().as_secs_f64() * 1e6 / iters as f64
+        };
+        let ext = time_us(&|| t.check(&w.models).unwrap().consistent());
+        let std_time = time_us(&|| std_t.check(&w.models).unwrap().consistent());
+        let memo_off = time_us(&|| {
+            t.check_with(
+                &w.models,
+                mmt_check::CheckOptions {
+                    memoize: false,
+                    max_violations: 1,
+                },
+            )
+            .unwrap()
+            .consistent()
+        });
+        println!(
+            "{:>4} {:>10} {:>14.1} {:>14.1} {:>16.1}",
+            k, n, ext, std_time, memo_off
+        );
+    }
+    println!(
+        "=> dependency-directed checking beats the standard all-directions\n   set consistently (fewer, cheaper directions). At these scales the\n   witness memo is roughly cost-neutral on consistent tuples — its\n   payoff shows on repeated-binding workloads (see bench_check_scale)."
+    );
+}
+
+/// EXP-F5 (§3): grounding size and solve time vs universe slack.
+fn exp_f5_ground_scaling() {
+    header("EXP-F5 (§3) — grounding size vs scope slack");
+    println!(
+        "{:>8} {:>10} {:>10} {:>12} {:>12}",
+        "slack", "vars", "clauses", "instant.", "solve ms"
+    );
+    let t = paper_transformation(2);
+    let w = broken_workload(5, 2, 71, Injection::NewMandatoryInFm);
+    for slack in [1usize, 2, 3, 4] {
+        let opts = GroundOptions {
+            scope: Scope {
+                slack_objs: slack,
+                fresh_strings: 1,
+            },
+            ..GroundOptions::default()
+        };
+        let targets = Shape::of(&[0, 1]).targets();
+        let mut p = GroundProblem::build(t.hir(), &w.models, targets, opts).unwrap();
+        let s = p.stats();
+        let start = Instant::now();
+        let solved = p.solve_min_cost();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert!(solved.is_some());
+        println!(
+            "{:>8} {:>10} {:>10} {:>12} {:>12.2}",
+            slack, s.vars, s.clauses, s.universal_instantiations, ms
+        );
+    }
+    println!("=> grounding grows polynomially with slack — the bounded-scope\n   trade-off Echo inherits from Alloy, reproduced.");
+}

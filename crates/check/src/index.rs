@@ -1,0 +1,92 @@
+//! Per-model query indexes used by the binding enumerator.
+//!
+//! Built once per [`Checker`](crate::Checker): class extents (including
+//! subtype instances) and a secondary hash index on `(attribute, value)`
+//! pairs, which turns `v : Class { name = "engine" }` lookups into O(1)
+//! probes instead of extent scans.
+
+use mmt_model::{AttrId, ClassId, Model, ObjId, Value};
+use std::collections::HashMap;
+
+/// Query indexes for one model.
+#[derive(Debug)]
+pub struct ModelIndex {
+    /// `extent[class]` = ids of live objects whose class conforms to
+    /// `class`, ascending.
+    extents: Vec<Vec<ObjId>>,
+    /// `(attr, value)` → ids of live objects with that attribute value.
+    attr_index: HashMap<(AttrId, Value), Vec<ObjId>>,
+}
+
+impl ModelIndex {
+    /// Builds indexes for `model`.
+    pub fn build(model: &Model) -> ModelIndex {
+        let meta = model.metamodel();
+        let n_classes = meta.class_count();
+        let mut extents: Vec<Vec<ObjId>> = vec![Vec::new(); n_classes];
+        let mut attr_index: HashMap<(AttrId, Value), Vec<ObjId>> = HashMap::new();
+        for (id, obj) in model.objects() {
+            // Add to the extent of every (transitive) supertype.
+            for (sup, extent) in extents.iter_mut().enumerate() {
+                if meta.conforms(obj.class, ClassId(sup as u32)) {
+                    extent.push(id);
+                }
+            }
+            let class = meta.class(obj.class);
+            for (slot, &attr) in class.all_attrs.iter().enumerate() {
+                attr_index
+                    .entry((attr, obj.attrs[slot]))
+                    .or_default()
+                    .push(id);
+            }
+        }
+        ModelIndex {
+            extents,
+            attr_index,
+        }
+    }
+
+    /// Objects conforming to `class`.
+    pub fn extent(&self, class: ClassId) -> &[ObjId] {
+        &self.extents[class.index()]
+    }
+
+    /// Objects whose `attr` equals `value`.
+    pub fn by_attr(&self, attr: AttrId, value: Value) -> &[ObjId] {
+        self.attr_index
+            .get(&(attr, value))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_model::text::{parse_metamodel, parse_model};
+
+    #[test]
+    fn extents_and_attr_lookup() {
+        let mm = parse_metamodel(
+            "metamodel X { abstract class Named { attr name: Str; } class A extends Named { } class B extends Named { } }",
+        )
+        .unwrap();
+        let m = parse_model(
+            r#"model m : X {
+                a1 = A { name = "x" }
+                a2 = A { name = "y" }
+                b1 = B { name = "x" }
+            }"#,
+            &mm,
+        )
+        .unwrap();
+        let idx = ModelIndex::build(&m);
+        let named = mm.class_named("Named").unwrap();
+        let a = mm.class_named("A").unwrap();
+        assert_eq!(idx.extent(named).len(), 3);
+        assert_eq!(idx.extent(a).len(), 2);
+        let name_attr = mm.attr_of(named, mmt_model::Sym::new("name")).unwrap();
+        assert_eq!(idx.by_attr(name_attr, Value::str("x")).len(), 2);
+        assert_eq!(idx.by_attr(name_attr, Value::str("zz")).len(), 0);
+    }
+}

@@ -1,0 +1,271 @@
+//! `mmt` — command-line front-end for the multidirectional model
+//! transformation framework.
+//!
+//! ```text
+//! mmt check   -t F.qvtr -M CF.mm FM.mm -m cf1.model cf2.model fm.model
+//! mmt enforce -t F.qvtr -M CF.mm FM.mm -m ... --targets cf1,cf2 [--engine sat]
+//! mmt deps    -t F.qvtr -M CF.mm FM.mm
+//! ```
+
+use mmt_core::{EngineKind, Shape, Transformation};
+use mmt_dist::TupleCost;
+use mmt_enforce::RepairOptions;
+use mmt_model::text::{parse_metamodel, parse_model, print_model};
+use mmt_model::{Metamodel, Model};
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = r#"mmt — multidirectional model transformations
+
+USAGE:
+  mmt check   -t <spec.qvtr> -M <mm>... -m <model>...
+  mmt enforce -t <spec.qvtr> -M <mm>... -m <model>... --targets <names>
+              [--engine sat|search] [--max-cost <n>] [--weights <w,...>]
+              [--out <dir>]
+  mmt deps    -t <spec.qvtr> -M <mm>...
+
+Models are bound to the transformation's parameters in order.
+`--targets` takes comma-separated model parameter names (the repair shape).
+"#;
+
+struct Parsed {
+    spec: Option<String>,
+    metamodels: Vec<String>,
+    models: Vec<String>,
+    targets: Option<String>,
+    engine: EngineKind,
+    max_cost: u64,
+    weights: Option<Vec<u64>>,
+    out: Option<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Parsed, String> {
+    let mut p = Parsed {
+        spec: None,
+        metamodels: Vec::new(),
+        models: Vec::new(),
+        targets: None,
+        engine: EngineKind::Sat,
+        max_cost: 16,
+        weights: None,
+        out: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-t" | "--transformation" => {
+                i += 1;
+                p.spec = Some(args.get(i).ok_or("missing value for -t")?.clone());
+            }
+            "-M" | "--metamodels" => {
+                i += 1;
+                while i < args.len() && !args[i].starts_with('-') {
+                    p.metamodels.push(args[i].clone());
+                    i += 1;
+                }
+                continue;
+            }
+            "-m" | "--models" => {
+                i += 1;
+                while i < args.len() && !args[i].starts_with('-') {
+                    p.models.push(args[i].clone());
+                    i += 1;
+                }
+                continue;
+            }
+            "--targets" => {
+                i += 1;
+                p.targets = Some(args.get(i).ok_or("missing value for --targets")?.clone());
+            }
+            "--engine" => {
+                i += 1;
+                p.engine = match args.get(i).map(String::as_str) {
+                    Some("sat") => EngineKind::Sat,
+                    Some("search") => EngineKind::Search,
+                    other => return Err(format!("unknown engine {other:?}")),
+                };
+            }
+            "--max-cost" => {
+                i += 1;
+                p.max_cost = args
+                    .get(i)
+                    .ok_or("missing value for --max-cost")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-cost: {e}"))?;
+            }
+            "--weights" => {
+                i += 1;
+                let raw = args.get(i).ok_or("missing value for --weights")?;
+                let ws: Result<Vec<u64>, _> = raw.split(',').map(str::parse).collect();
+                p.weights = Some(ws.map_err(|e| format!("bad --weights: {e}"))?);
+            }
+            "--out" | "-o" => {
+                i += 1;
+                p.out = Some(args.get(i).ok_or("missing value for --out")?.clone());
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(p)
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load(p: &Parsed) -> Result<(Transformation, Vec<Model>), String> {
+    let spec_path = p.spec.as_ref().ok_or("missing -t <spec.qvtr>")?;
+    let spec_src = read(spec_path)?;
+    let mm_srcs: Vec<String> = p
+        .metamodels
+        .iter()
+        .map(|m| read(m))
+        .collect::<Result<_, _>>()?;
+    let metamodels: Vec<Arc<Metamodel>> = mm_srcs
+        .iter()
+        .map(|s| parse_metamodel(s).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    let hir = mmt_qvtr::parse_and_resolve(&spec_src, &metamodels).map_err(|e| e.to_string())?;
+    let t = Transformation::from_hir(hir);
+    let mut models = Vec::new();
+    for (i, path) in p.models.iter().enumerate() {
+        let src = read(path)?;
+        let param = t
+            .hir()
+            .models
+            .get(i)
+            .ok_or_else(|| format!("too many models (transformation has {})", t.arity()))?;
+        let m = parse_model(&src, &param.meta).map_err(|e| format!("{path}: {e}"))?;
+        models.push(m);
+    }
+    Ok((t, models))
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(cmd) = args.first() else {
+        println!("{USAGE}");
+        return Ok(ExitCode::SUCCESS);
+    };
+    let p = parse_flags(&args[1..])?;
+    match cmd.as_str() {
+        "check" => {
+            let (t, models) = load(&p)?;
+            if models.len() != t.arity() {
+                return Err(format!(
+                    "transformation expects {} models, got {}",
+                    t.arity(),
+                    models.len()
+                ));
+            }
+            let report = t.check(&models).map_err(|e| e.to_string())?;
+            println!("{report}");
+            Ok(if report.consistent() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            })
+        }
+        "enforce" => {
+            let (t, models) = load(&p)?;
+            let target_names = p.targets.as_ref().ok_or("missing --targets")?;
+            let mut indices = Vec::new();
+            for name in target_names.split(',') {
+                let idx = t
+                    .hir()
+                    .model_named(name.trim())
+                    .ok_or_else(|| format!("unknown model parameter `{name}`"))?;
+                indices.push(idx.index());
+            }
+            let shape = Shape::of(&indices);
+            let mut opts = RepairOptions {
+                max_cost: p.max_cost,
+                ..RepairOptions::default()
+            };
+            if let Some(ws) = &p.weights {
+                if ws.len() != t.arity() {
+                    return Err(format!(
+                        "--weights needs {} values, got {}",
+                        t.arity(),
+                        ws.len()
+                    ));
+                }
+                opts.tuple = TupleCost::weighted(ws.clone());
+            }
+            match t
+                .enforce_with(&models, shape, p.engine, opts)
+                .map_err(|e| e.to_string())?
+            {
+                None => {
+                    println!("no repair within the given shape and cost bound");
+                    Ok(ExitCode::from(1))
+                }
+                Some(out) => {
+                    println!("repaired at distance {}", out.cost);
+                    for (param, delta) in t.hir().models.iter().zip(&out.deltas) {
+                        if !delta.is_empty() {
+                            println!("--- {} ---\n{delta}", param.name);
+                        }
+                    }
+                    if let Some(dir) = &p.out {
+                        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+                        for (param, model) in t.hir().models.iter().zip(&out.models) {
+                            let path = Path::new(dir).join(format!("{}.model", param.name));
+                            std::fs::write(&path, print_model(model))
+                                .map_err(|e| e.to_string())?;
+                            println!("wrote {}", path.display());
+                        }
+                    }
+                    Ok(ExitCode::SUCCESS)
+                }
+            }
+        }
+        "deps" => {
+            let spec_path = p.spec.as_ref().ok_or("missing -t <spec.qvtr>")?;
+            let spec_src = read(spec_path)?;
+            let mm_srcs: Vec<String> = p
+                .metamodels
+                .iter()
+                .map(|m| read(m))
+                .collect::<Result<_, _>>()?;
+            let metamodels: Vec<Arc<Metamodel>> = mm_srcs
+                .iter()
+                .map(|s| parse_metamodel(s).map_err(|e| e.to_string()))
+                .collect::<Result<_, _>>()?;
+            let hir =
+                mmt_qvtr::parse_and_resolve(&spec_src, &metamodels).map_err(|e| e.to_string())?;
+            println!("{}", mmt_qvtr::print_hir(&hir));
+            for rel in &hir.relations {
+                println!(
+                    "relation {}{}: deps {} ({})",
+                    rel.name,
+                    if rel.is_top { " (top)" } else { "" },
+                    rel.deps,
+                    if rel.deps.is_standard_equivalent() {
+                        "standard-equivalent"
+                    } else {
+                        "extended"
+                    }
+                );
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}

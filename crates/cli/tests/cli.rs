@@ -1,0 +1,129 @@
+//! End-to-end tests driving the `mmt` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repo_file(rel: &str) -> String {
+    // examples/data lives at the workspace root, two levels up from the
+    // cli crate.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push(rel);
+    p.to_string_lossy().into_owned()
+}
+
+fn mmt(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_mmt"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+fn data_args() -> Vec<String> {
+    vec![
+        "-t".into(),
+        repo_file("examples/data/F.qvtr"),
+        "-M".into(),
+        repo_file("examples/data/CF.mm"),
+        repo_file("examples/data/FM.mm"),
+        "-m".into(),
+        repo_file("examples/data/cf1.model"),
+        repo_file("examples/data/cf2.model"),
+        repo_file("examples/data/fm.model"),
+    ]
+}
+
+#[test]
+fn check_reports_violation_with_exit_code_one() {
+    let mut args = vec!["check".to_string()];
+    args.extend(data_args());
+    let argrefs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (stdout, _, code) = mmt(&argrefs);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("VIOLATED"));
+    assert!(stdout.contains("brakes"));
+}
+
+#[test]
+fn enforce_repairs_and_writes_models() {
+    let outdir = std::env::temp_dir().join(format!("mmt-cli-test-{}", std::process::id()));
+    let mut args = vec!["enforce".to_string()];
+    args.extend(data_args());
+    args.push("--targets".into());
+    args.push("cf1,cf2".into());
+    args.push("--out".into());
+    args.push(outdir.to_string_lossy().into_owned());
+    let argrefs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (stdout, stderr, code) = mmt(&argrefs);
+    assert_eq!(code, Some(0), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("repaired at distance 4"), "{stdout}");
+    let written = std::fs::read_to_string(outdir.join("cf2.model")).unwrap();
+    assert!(written.contains("brakes"));
+    std::fs::remove_dir_all(&outdir).ok();
+}
+
+#[test]
+fn enforce_with_impossible_shape_exits_one() {
+    let mut args = vec!["enforce".to_string()];
+    args.extend(data_args());
+    args.push("--targets".into());
+    args.push("cf1".into());
+    let argrefs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (stdout, _, code) = mmt(&argrefs);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("no repair"));
+}
+
+#[test]
+fn deps_prints_dependency_sets() {
+    let args = vec![
+        "deps".to_string(),
+        "-t".into(),
+        repo_file("examples/data/F.qvtr"),
+        "-M".into(),
+        repo_file("examples/data/CF.mm"),
+        repo_file("examples/data/FM.mm"),
+    ];
+    let argrefs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (stdout, _, code) = mmt(&argrefs);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("relation MF (top)"));
+    assert!(stdout.contains("extended"));
+}
+
+#[test]
+fn unknown_flags_and_commands_error() {
+    let (_, stderr, code) = mmt(&["check", "--bogus"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown flag"));
+    let (_, stderr, code) = mmt(&["frobnicate"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let (stdout, _, code) = mmt(&[]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn weights_validation() {
+    let mut args = vec!["enforce".to_string()];
+    args.extend(data_args());
+    args.push("--targets".into());
+    args.push("cf1,cf2".into());
+    args.push("--weights".into());
+    args.push("1,2".into()); // needs 3
+    let argrefs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (_, stderr, code) = mmt(&argrefs);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--weights needs 3"));
+}

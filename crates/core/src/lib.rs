@@ -1,0 +1,376 @@
+//! # mmt-core — the multidirectional transformation framework
+//!
+//! The paper's primary contribution as a library: a [`Transformation`]
+//! bundles metamodels and a resolved QVT-R specification (with §2.2
+//! checking dependencies); [`Transformation::check`] runs the extended
+//! checkonly semantics, and [`Transformation::enforce`] runs §3's
+//! least-change enforcement for any repair [`Shape`] — the
+//! multidirectional generalization where the user "selects which models
+//! are to be updated, establishing the shape of the consistency-repairing
+//! transformation" (§4).
+//!
+//! ```
+//! use mmt_core::{EngineKind, Shape, Transformation};
+//! use mmt_gen::{CF_METAMODEL, FM_METAMODEL};
+//!
+//! let t = Transformation::from_sources(
+//!     &mmt_gen::transformation_source(2),
+//!     &[CF_METAMODEL, FM_METAMODEL],
+//! ).unwrap();
+//! let w = mmt_gen::feature_workload(mmt_gen::FeatureSpec::default());
+//! assert!(t.check(&w.models).unwrap().consistent());
+//! ```
+
+#![deny(missing_docs)]
+
+use mmt_check::{CheckError, CheckOptions, CheckReport, Checker, EvalError};
+use mmt_deps::{DepSet, DomIdx, DomSet};
+use mmt_enforce::{
+    RepairEngine, RepairError, RepairOptions, RepairOutcome, SatEngine, SearchEngine,
+};
+use mmt_model::text::{parse_metamodel, ParseError};
+use mmt_model::{Metamodel, Model, Sym};
+use mmt_qvtr::{parse_and_resolve, FrontendError, Hir};
+use std::fmt;
+use std::sync::Arc;
+
+/// A repair shape: the set of models the enforcement may rewrite.
+///
+/// §3 enumerates the interesting instances for `F ⊆ FM × CFᵏ`:
+/// `→F_FM` (towards the feature model), `→Fⁱ_CF` (towards one
+/// configuration), `→F_CFᵏ` (towards all configurations) and
+/// `→Fⁱ_{FM×CFᵏ⁻¹}` (towards everything but one configuration).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Shape(pub DomSet);
+
+impl Shape {
+    /// Update exactly the model at `index` (the standard's `→Fⁱ`).
+    pub fn towards(index: usize) -> Shape {
+        Shape(DomSet::single(DomIdx(index as u8)))
+    }
+
+    /// Update every model except the one at `index`
+    /// (`→Fⁱ_{FM×CFᵏ⁻¹}`-style shapes).
+    pub fn all_but(index: usize, arity: usize) -> Shape {
+        Shape(DomSet::full(arity).without(DomIdx(index as u8)))
+    }
+
+    /// Update every model in `indices`.
+    pub fn of(indices: &[usize]) -> Shape {
+        Shape(DomSet::from_iter(
+            indices.iter().map(|&i| DomIdx(i as u8)),
+        ))
+    }
+
+    /// Update every model.
+    pub fn all(arity: usize) -> Shape {
+        Shape(DomSet::full(arity))
+    }
+
+    /// The underlying target set.
+    pub fn targets(&self) -> DomSet {
+        self.0
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "→{}", self.0)
+    }
+}
+
+/// Which enforcement engine to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EngineKind {
+    /// Uniform-cost search with the concrete checker as oracle.
+    Search,
+    /// Bounded grounding to SAT with a minimal-cost loop.
+    Sat,
+}
+
+/// Framework-level errors.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A metamodel failed to parse.
+    Metamodel(ParseError),
+    /// The transformation failed to parse or resolve.
+    Frontend(FrontendError),
+    /// Binding models failed.
+    Check(CheckError),
+    /// Checkonly evaluation failed.
+    Eval(EvalError),
+    /// Enforcement failed.
+    Repair(RepairError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Metamodel(e) => write!(f, "metamodel: {e}"),
+            CoreError::Frontend(e) => write!(f, "{e}"),
+            CoreError::Check(e) => write!(f, "check: {e}"),
+            CoreError::Eval(e) => write!(f, "eval: {e}"),
+            CoreError::Repair(e) => write!(f, "repair: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<ParseError> for CoreError {
+    fn from(e: ParseError) -> Self {
+        CoreError::Metamodel(e)
+    }
+}
+
+impl From<FrontendError> for CoreError {
+    fn from(e: FrontendError) -> Self {
+        CoreError::Frontend(e)
+    }
+}
+
+impl From<CheckError> for CoreError {
+    fn from(e: CheckError) -> Self {
+        CoreError::Check(e)
+    }
+}
+
+impl From<EvalError> for CoreError {
+    fn from(e: EvalError) -> Self {
+        CoreError::Eval(e)
+    }
+}
+
+impl From<RepairError> for CoreError {
+    fn from(e: RepairError) -> Self {
+        CoreError::Repair(e)
+    }
+}
+
+/// A multidirectional transformation bound to its metamodels.
+#[derive(Clone, Debug)]
+pub struct Transformation {
+    hir: Hir,
+    metamodels: Vec<Arc<Metamodel>>,
+}
+
+impl Transformation {
+    /// Parses and resolves a transformation from textual sources.
+    pub fn from_sources(
+        qvtr_src: &str,
+        metamodel_srcs: &[&str],
+    ) -> Result<Transformation, CoreError> {
+        let metamodels: Vec<Arc<Metamodel>> = metamodel_srcs
+            .iter()
+            .map(|s| parse_metamodel(s))
+            .collect::<Result<_, _>>()?;
+        let hir = parse_and_resolve(qvtr_src, &metamodels)?;
+        Ok(Transformation { hir, metamodels })
+    }
+
+    /// Wraps an already-resolved transformation.
+    pub fn from_hir(hir: Hir) -> Transformation {
+        let metamodels = hir.models.iter().map(|m| Arc::clone(&m.meta)).collect();
+        Transformation { hir, metamodels }
+    }
+
+    /// The resolved representation.
+    pub fn hir(&self) -> &Hir {
+        &self.hir
+    }
+
+    /// The metamodels this transformation was resolved against.
+    pub fn metamodels(&self) -> &[Arc<Metamodel>] {
+        &self.metamodels
+    }
+
+    /// Number of model parameters.
+    pub fn arity(&self) -> usize {
+        self.hir.arity()
+    }
+
+    /// Model parameter names, in model-space order.
+    pub fn model_names(&self) -> Vec<Sym> {
+        self.hir.models.iter().map(|m| m.name).collect()
+    }
+
+    /// Runs checkonly evaluation (extended semantics, §2.2).
+    pub fn check(&self, models: &[Model]) -> Result<CheckReport, CoreError> {
+        self.check_with(models, CheckOptions::default())
+    }
+
+    /// As [`Transformation::check`] with explicit options.
+    pub fn check_with(
+        &self,
+        models: &[Model],
+        opts: CheckOptions,
+    ) -> Result<CheckReport, CoreError> {
+        let checker = Checker::with_options(&self.hir, models, opts)?;
+        Ok(checker.check()?)
+    }
+
+    /// Runs §3 least-change enforcement: rewrite the models selected by
+    /// `shape` so the tuple becomes consistent, at minimal weighted
+    /// distance. Returns `None` when the shape cannot restore consistency
+    /// within the engine's bounds.
+    pub fn enforce(
+        &self,
+        models: &[Model],
+        shape: Shape,
+        engine: EngineKind,
+    ) -> Result<Option<RepairOutcome>, CoreError> {
+        self.enforce_with(models, shape, engine, RepairOptions::default())
+    }
+
+    /// As [`Transformation::enforce`] with explicit options.
+    pub fn enforce_with(
+        &self,
+        models: &[Model],
+        shape: Shape,
+        engine: EngineKind,
+        opts: RepairOptions,
+    ) -> Result<Option<RepairOutcome>, CoreError> {
+        let outcome = match engine {
+            EngineKind::Search => {
+                SearchEngine::new(opts).repair(&self.hir, models, shape.targets())?
+            }
+            EngineKind::Sat => {
+                SatEngine::new(opts).repair(&self.hir, models, shape.targets())?
+            }
+        };
+        Ok(outcome)
+    }
+
+    /// A copy of this transformation with every relation's dependency set
+    /// replaced by the *standard semantics* over its domain models
+    /// (`{dom R ∖ Mᵢ → Mᵢ}`). Used for the §2.1 expressiveness comparison
+    /// and the §2.2 conservativity experiment.
+    pub fn standardized(&self) -> Transformation {
+        let mut hir = self.hir.clone();
+        for rel in &mut hir.relations {
+            let dom_models = DomSet::from_iter(rel.domains.iter().map(|d| d.model));
+            let mut deps = DepSet::new(self.hir.arity());
+            for d in &rel.domains {
+                let dep = mmt_deps::Dep::new(dom_models.without(d.model), d.model)
+                    .expect("target excluded from sources");
+                deps.add(dep).expect("within arity");
+            }
+            rel.deps = deps;
+        }
+        Transformation {
+            hir,
+            metamodels: self.metamodels.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_gen::{
+        feature_workload, inject, transformation_source, FeatureSpec, Injection, CF_METAMODEL,
+        FM_METAMODEL,
+    };
+
+    fn paper_transformation(k: usize) -> Transformation {
+        Transformation::from_sources(&transformation_source(k), &[CF_METAMODEL, FM_METAMODEL])
+            .unwrap()
+    }
+
+    #[test]
+    fn check_consistent_workload() {
+        let t = paper_transformation(2);
+        let w = feature_workload(FeatureSpec::default());
+        let report = t.check(&w.models).unwrap();
+        assert!(report.consistent());
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.model_names().len(), 3);
+    }
+
+    #[test]
+    fn shapes_enumerate_the_papers_transformations() {
+        // For F ⊆ CF² × FM (fm at index 2):
+        let fm = 2;
+        // →F_FM : CFᵏ → FM.
+        assert_eq!(Shape::towards(fm).targets().len(), 1);
+        // →Fⁱ_CF.
+        assert_eq!(Shape::towards(0).targets().len(), 1);
+        // →F_CFᵏ : FM → CFᵏ.
+        assert_eq!(Shape::of(&[0, 1]).targets().len(), 2);
+        // →Fⁱ_{FM×CFᵏ⁻¹}.
+        let s = Shape::all_but(0, 3);
+        assert_eq!(s.targets().len(), 2);
+        assert!(!s.targets().contains(DomIdx(0)));
+        assert_eq!(Shape::all(3).targets().len(), 3);
+        assert_eq!(Shape::of(&[0, 1]).to_string(), "→{M0 M1}");
+    }
+
+    #[test]
+    fn enforce_repairs_injected_inconsistency() {
+        let t = paper_transformation(2);
+        let mut w = feature_workload(FeatureSpec {
+            n_features: 4,
+            ..FeatureSpec::default()
+        });
+        inject(&mut w, Injection::NewMandatoryInFm);
+        assert!(!t.check(&w.models).unwrap().consistent());
+        for engine in [EngineKind::Search, EngineKind::Sat] {
+            let out = t
+                .enforce(&w.models, Shape::of(&[0, 1]), engine)
+                .unwrap()
+                .expect("repairable");
+            assert!(t.check(&out.models).unwrap().consistent(), "{engine:?}");
+            assert!(out.cost > 0);
+        }
+    }
+
+    #[test]
+    fn standardized_transformation_misses_the_loophole() {
+        // The §2.1 expressiveness gap, at the framework level.
+        let t = paper_transformation(2);
+        let std_t = t.standardized();
+        let mut w = feature_workload(FeatureSpec {
+            n_features: 3,
+            k_configs: 2,
+            mandatory_ratio: 1.0,
+            select_prob: 0.0,
+            seed: 5,
+        });
+        // Empty both configurations: extended semantics sees the missing
+        // mandatory selections; standard semantics is blind.
+        for c in 0..2 {
+            let ids: Vec<_> = w.models[c].objects().map(|(id, _)| id).collect();
+            for id in ids {
+                w.models[c].delete(id).unwrap();
+            }
+        }
+        assert!(!t.check(&w.models).unwrap().consistent());
+        assert!(std_t.check(&w.models).unwrap().consistent());
+    }
+
+    #[test]
+    fn enforce_with_unrepairable_shape_returns_none() {
+        let t = paper_transformation(2);
+        let mut w = feature_workload(FeatureSpec {
+            n_features: 4,
+            ..FeatureSpec::default()
+        });
+        inject(&mut w, Injection::NewMandatoryInFm);
+        for engine in [EngineKind::Search, EngineKind::Sat] {
+            let out = t.enforce(&w.models, Shape::towards(0), engine).unwrap();
+            assert!(out.is_none(), "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = Transformation::from_sources("junk", &[CF_METAMODEL]).unwrap_err();
+        assert!(e.to_string().contains("syntax"));
+        let e = Transformation::from_sources(
+            &transformation_source(1),
+            &["metamodel X {"],
+        )
+        .unwrap_err();
+        assert!(matches!(e, CoreError::Metamodel(_)));
+    }
+}

@@ -1,0 +1,682 @@
+//! # mmt-deps — checking-dependency algebra and Horn entailment
+//!
+//! Implements §2.2–§2.3 of the paper. A *checking dependency* `S → T` for a
+//! relation `R` over domains `M₁ … Mₙ` states that the model conforming to
+//! `T` depends on the models conforming to the metamodels in `S`
+//! (`S ⊆ dom R`, `T ∈ dom R`, `T ∉ S`). The set of dependencies attached to
+//! a relation, written `R̄`, determines which directional checks constitute
+//! consistency.
+//!
+//! Dependencies are definite Horn clauses (`s₁ ∧ … ∧ sₖ ⇒ t`), so
+//! entailment `D ⊢ S → T` is decidable in time linear in the total size of
+//! `D` — the paper's §2.3 "type checking in linear time" claim — using
+//! Dowling–Gallier counter-based unit propagation, implemented in
+//! [`DepSet::entails`].
+
+#![deny(missing_docs)]
+
+use std::fmt;
+
+/// Index of a domain (model position) within a relation. Relations in this
+/// framework have at most [`MAX_DOMAINS`] domains.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct DomIdx(pub u8);
+
+/// Maximum number of domains in a relation ([`DomSet`] is a 64-bit set).
+pub const MAX_DOMAINS: usize = 64;
+
+impl DomIdx {
+    /// Index as usize.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DomIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+/// A set of domain indices (bitset over `0..MAX_DOMAINS`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct DomSet(pub u64);
+
+impl DomSet {
+    /// The empty set.
+    pub const EMPTY: DomSet = DomSet(0);
+
+    /// Singleton set `{d}`.
+    pub fn single(d: DomIdx) -> DomSet {
+        DomSet(1u64 << d.0)
+    }
+
+    /// Set containing every index in `it`.
+    #[allow(clippy::should_implement_trait)] // const-friendly inherent form
+    pub fn from_iter(it: impl IntoIterator<Item = DomIdx>) -> DomSet {
+        let mut s = DomSet::EMPTY;
+        for d in it {
+            s = s.with(d);
+        }
+        s
+    }
+
+    /// The full set `{0, …, n-1}`.
+    pub fn full(n: usize) -> DomSet {
+        assert!(n <= MAX_DOMAINS, "too many domains");
+        if n == MAX_DOMAINS {
+            DomSet(u64::MAX)
+        } else {
+            DomSet((1u64 << n) - 1)
+        }
+    }
+
+    /// True iff `d` is a member.
+    pub fn contains(self, d: DomIdx) -> bool {
+        self.0 & (1u64 << d.0) != 0
+    }
+
+    /// This set plus `d`.
+    #[must_use]
+    pub fn with(self, d: DomIdx) -> DomSet {
+        DomSet(self.0 | (1u64 << d.0))
+    }
+
+    /// This set minus `d`.
+    #[must_use]
+    pub fn without(self, d: DomIdx) -> DomSet {
+        DomSet(self.0 & !(1u64 << d.0))
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: DomSet) -> DomSet {
+        DomSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersect(self, other: DomSet) -> DomSet {
+        DomSet(self.0 & other.0)
+    }
+
+    /// True iff `self ⊆ other`.
+    pub fn subset_of(self, other: DomSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// True iff the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of members.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterates over members in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = DomIdx> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let d = bits.trailing_zeros() as u8;
+                bits &= bits - 1;
+                Some(DomIdx(d))
+            }
+        })
+    }
+
+    fn fmt_impl(self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, d) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for DomSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_impl(f)
+    }
+}
+
+impl fmt::Display for DomSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_impl(f)
+    }
+}
+
+/// A checking dependency `S → T`: the `T` domain depends on the domains in
+/// `S`. Invariant: `T ∉ S`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Dep {
+    /// Source domains (universally quantified side).
+    pub sources: DomSet,
+    /// Target domain (existentially quantified side).
+    pub target: DomIdx,
+}
+
+impl Dep {
+    /// Builds `S → T`, checking `T ∉ S`.
+    pub fn new(sources: DomSet, target: DomIdx) -> Result<Dep, DepError> {
+        if sources.contains(target) {
+            return Err(DepError::TargetInSources { target });
+        }
+        Ok(Dep { sources, target })
+    }
+
+    /// Builds `S → T` from indices; panics on `T ∈ S` (test/const helper).
+    pub fn of(sources: &[u8], target: u8) -> Dep {
+        let s = DomSet::from_iter(sources.iter().map(|&i| DomIdx(i)));
+        Dep::new(s, DomIdx(target)).expect("target must not be a source")
+    }
+}
+
+impl fmt::Display for Dep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.sources.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        if self.sources.is_empty() {
+            write!(f, "∅")?;
+        }
+        write!(f, " → {}", self.target)
+    }
+}
+
+/// Errors in dependency construction and use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DepError {
+    /// The target also appears among the sources.
+    TargetInSources {
+        /// The offending target.
+        target: DomIdx,
+    },
+    /// A domain index is out of range for the declaring relation.
+    DomainOutOfRange {
+        /// The offending index.
+        idx: DomIdx,
+        /// Number of domains in the relation.
+        arity: usize,
+    },
+}
+
+impl fmt::Display for DepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DepError::TargetInSources { target } => {
+                write!(f, "dependency target {target} also appears in sources")
+            }
+            DepError::DomainOutOfRange { idx, arity } => {
+                write!(f, "domain {idx} out of range (relation has {arity} domains)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DepError {}
+
+/// The set of checking dependencies attached to a relation (the paper's
+/// `R̄`), over a fixed arity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DepSet {
+    arity: usize,
+    deps: Vec<Dep>,
+}
+
+impl DepSet {
+    /// An empty dependency set over `arity` domains.
+    pub fn new(arity: usize) -> DepSet {
+        assert!(arity <= MAX_DOMAINS, "too many domains");
+        DepSet {
+            arity,
+            deps: Vec::new(),
+        }
+    }
+
+    /// The paper's conservative *standard semantics*:
+    /// `R̄ = ⋃ᵢ (dom R ∖ Mᵢ → Mᵢ)` — one directional check per domain, each
+    /// sourcing from all the others.
+    pub fn standard(arity: usize) -> DepSet {
+        let mut s = DepSet::new(arity);
+        let full = DomSet::full(arity);
+        for i in 0..arity {
+            let t = DomIdx(i as u8);
+            s.deps.push(Dep {
+                sources: full.without(t),
+                target: t,
+            });
+        }
+        s
+    }
+
+    /// Number of domains this set ranges over.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The attached dependencies, in insertion order.
+    pub fn deps(&self) -> &[Dep] {
+        &self.deps
+    }
+
+    /// True when no dependencies are attached.
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// Number of attached dependencies.
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// Adds a dependency, validating domain ranges. Duplicates are ignored.
+    pub fn add(&mut self, dep: Dep) -> Result<(), DepError> {
+        let full = DomSet::full(self.arity);
+        if !dep.sources.subset_of(full) {
+            let bad = dep
+                .sources
+                .iter()
+                .find(|d| d.index() >= self.arity)
+                .expect("some source out of range");
+            return Err(DepError::DomainOutOfRange {
+                idx: bad,
+                arity: self.arity,
+            });
+        }
+        if dep.target.index() >= self.arity {
+            return Err(DepError::DomainOutOfRange {
+                idx: dep.target,
+                arity: self.arity,
+            });
+        }
+        if !self.deps.contains(&dep) {
+            self.deps.push(dep);
+        }
+        Ok(())
+    }
+
+    /// Linear-time Horn entailment `D ⊢ S → T` (Dowling–Gallier).
+    ///
+    /// Treats every domain in `goal.sources` as a fact and propagates
+    /// through the dependency clauses using per-clause counters of
+    /// unsatisfied antecedents; `goal.target` must become derivable.
+    /// Runs in `O(Σ |dep.sources| + arity)`.
+    pub fn entails(&self, goal: Dep) -> bool {
+        self.derivable_from(goal.sources).contains(goal.target)
+    }
+
+    /// All domains derivable from the facts in `from` under this set.
+    pub fn derivable_from(&self, from: DomSet) -> DomSet {
+        let mut facts = from;
+        // counters[i] = number of sources of deps[i] not among the initial
+        // facts; watch[d] = indices of deps that wait on d. Each source is
+        // accounted exactly once: either excluded from the counter (initial
+        // fact) or decremented when first derived (facts dedups the queue).
+        let mut counters: Vec<u32> = Vec::with_capacity(self.deps.len());
+        let mut watch: Vec<Vec<u32>> = vec![Vec::new(); self.arity];
+        for (i, dep) in self.deps.iter().enumerate() {
+            let unknown = dep.sources.len() - dep.sources.intersect(from).len();
+            counters.push(unknown as u32);
+            for s in dep.sources.iter() {
+                if !from.contains(s) {
+                    watch[s.index()].push(i as u32);
+                }
+            }
+        }
+        let mut queue: Vec<DomIdx> = Vec::with_capacity(self.arity);
+        for (i, dep) in self.deps.iter().enumerate() {
+            if counters[i] == 0 && !facts.contains(dep.target) {
+                facts = facts.with(dep.target);
+                queue.push(dep.target);
+            }
+        }
+        while let Some(d) = queue.pop() {
+            for &ci in &watch[d.index()] {
+                let c = &mut counters[ci as usize];
+                debug_assert!(*c > 0, "source decremented twice");
+                *c -= 1;
+                if *c == 0 {
+                    let t = self.deps[ci as usize].target;
+                    if !facts.contains(t) {
+                        facts = facts.with(t);
+                        queue.push(t);
+                    }
+                }
+            }
+        }
+        facts
+    }
+
+    /// Entailment of a *multi-target* dependency `S → T₁ T₂ …` (§2.3):
+    /// `{M₁→M₂, M₁→M₃} ⊢ M₁ → M₂M₃`. Holds iff every target is derivable.
+    pub fn entails_multi(&self, sources: DomSet, targets: DomSet) -> bool {
+        targets.subset_of(self.derivable_from(sources))
+    }
+
+    /// Entailment of a *source-union* dependency `S₁ | S₂ | … → T` (§2.3):
+    /// `{M₁→M₃, M₂→M₃} ⊢ M₁|M₂ → M₃`. Holds iff each alternative alone
+    /// derives the target.
+    pub fn entails_union(&self, alternatives: &[DomSet], target: DomIdx) -> bool {
+        !alternatives.is_empty()
+            && alternatives
+                .iter()
+                .all(|&alt| self.derivable_from(alt).contains(target))
+    }
+
+    /// Reference implementation of [`DepSet::entails`] by naive fixpoint
+    /// iteration; used for differential testing.
+    pub fn entails_naive(&self, goal: Dep) -> bool {
+        let mut facts = goal.sources;
+        loop {
+            let before = facts;
+            for dep in &self.deps {
+                if dep.sources.subset_of(facts) {
+                    facts = facts.with(dep.target);
+                }
+            }
+            if facts == before {
+                break;
+            }
+        }
+        facts.contains(goal.target)
+    }
+
+    /// Enumerates the full closure: every `S → T` with `T ∉ S` over this
+    /// arity that this set entails. Exponential in arity; intended for
+    /// small `n` (diagnostics, tests).
+    pub fn closure(&self) -> Vec<Dep> {
+        let n = self.arity;
+        let mut out = Vec::new();
+        for mask in 0..(1u64 << n) {
+            let sources = DomSet(mask);
+            let derived = self.derivable_from(sources);
+            for t in derived.iter() {
+                if !sources.contains(t) {
+                    out.push(Dep { sources, target: t });
+                }
+            }
+        }
+        out
+    }
+
+    /// Removes dependencies entailed by the remaining ones (irredundant
+    /// core). Preserves the entailment closure.
+    pub fn minimize(&self) -> DepSet {
+        let mut kept: Vec<Dep> = self.deps.clone();
+        let mut i = 0;
+        while i < kept.len() {
+            let candidate = kept[i];
+            let mut rest = DepSet::new(self.arity);
+            for (j, &d) in kept.iter().enumerate() {
+                if j != i {
+                    rest.deps.push(d);
+                }
+            }
+            if rest.entails(candidate) {
+                kept.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        DepSet {
+            arity: self.arity,
+            deps: kept,
+        }
+    }
+
+    /// True iff this set's closure equals the standard semantics' closure —
+    /// i.e. the relation behaves exactly as the unextended QVT-R standard
+    /// prescribes (conservativity test, §2.2).
+    pub fn is_standard_equivalent(&self) -> bool {
+        let std_set = DepSet::standard(self.arity);
+        let mut a = self.closure();
+        let mut b = std_set.closure();
+        a.sort_by_key(|d| (d.sources.0, d.target.0));
+        b.sort_by_key(|d| (d.sources.0, d.target.0));
+        a == b
+    }
+}
+
+impl fmt::Display for DepSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, d) in self.deps.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn domset_ops() {
+        let s = DomSet::from_iter([DomIdx(0), DomIdx(2)]);
+        assert!(s.contains(DomIdx(0)));
+        assert!(!s.contains(DomIdx(1)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.with(DomIdx(1)).len(), 3);
+        assert_eq!(s.without(DomIdx(0)).len(), 1);
+        assert!(s.subset_of(DomSet::full(3)));
+        assert!(!DomSet::full(3).subset_of(s));
+        let members: Vec<_> = s.iter().collect();
+        assert_eq!(members, vec![DomIdx(0), DomIdx(2)]);
+        assert_eq!(s.to_string(), "{M0 M2}");
+    }
+
+    #[test]
+    fn dep_construction_guards() {
+        assert!(Dep::new(DomSet::single(DomIdx(1)), DomIdx(1)).is_err());
+        assert!(Dep::new(DomSet::single(DomIdx(1)), DomIdx(0)).is_ok());
+        assert_eq!(Dep::of(&[0, 1], 2).to_string(), "M0 M1 → M2");
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut s = DepSet::new(2);
+        assert!(matches!(
+            s.add(Dep::of(&[0], 5)),
+            Err(DepError::DomainOutOfRange { .. })
+        ));
+        assert!(matches!(
+            s.add(Dep::of(&[5], 0)),
+            Err(DepError::DomainOutOfRange { .. })
+        ));
+    }
+
+    /// The paper's §2.3 example: `{M₁→M₂, M₂→M₃} ⊢ M₁→M₃`.
+    #[test]
+    fn transitivity_entailment() {
+        let mut d = DepSet::new(3);
+        d.add(Dep::of(&[0], 1)).unwrap();
+        d.add(Dep::of(&[1], 2)).unwrap();
+        assert!(d.entails(Dep::of(&[0], 2)));
+        assert!(!d.entails(Dep::of(&[2], 0)));
+    }
+
+    /// §2.3: `{M₁→M₂, M₁→M₃} ⊢ M₁ → M₂M₃` (multi-target).
+    #[test]
+    fn multi_target_entailment() {
+        let mut d = DepSet::new(3);
+        d.add(Dep::of(&[0], 1)).unwrap();
+        d.add(Dep::of(&[0], 2)).unwrap();
+        let targets = DomSet::from_iter([DomIdx(1), DomIdx(2)]);
+        assert!(d.entails_multi(DomSet::single(DomIdx(0)), targets));
+        assert!(!d.entails_multi(DomSet::single(DomIdx(1)), targets));
+    }
+
+    /// §2.3: `{M₁→M₃, M₂→M₃} ⊢ M₁|M₂ → M₃` (source-union).
+    #[test]
+    fn union_source_entailment() {
+        let mut d = DepSet::new(3);
+        d.add(Dep::of(&[0], 2)).unwrap();
+        d.add(Dep::of(&[1], 2)).unwrap();
+        let alts = [DomSet::single(DomIdx(0)), DomSet::single(DomIdx(1))];
+        assert!(d.entails_union(&alts, DomIdx(2)));
+        // If only one alternative derives the target, the union dep fails.
+        let mut d2 = DepSet::new(3);
+        d2.add(Dep::of(&[0], 2)).unwrap();
+        assert!(!d2.entails_union(&alts, DomIdx(2)));
+        assert!(!d2.entails_union(&[], DomIdx(2)));
+    }
+
+    /// §2.3: a relation `R̄ = {M₁→M₂}` must NOT be allowed to call
+    /// `S̄ = {M₂→M₁}` — flagged as a typing error.
+    #[test]
+    fn reversed_call_rejected() {
+        let mut callee = DepSet::new(2);
+        callee.add(Dep::of(&[1], 0)).unwrap();
+        // The caller needs direction M₁→M₂ (0→1); the callee only offers 1→0.
+        assert!(!callee.entails(Dep::of(&[0], 1)));
+        assert!(callee.entails(Dep::of(&[1], 0)));
+    }
+
+    /// The paper's MF dependency set over (CF₁, CF₂, FM) = (0, 1, 2):
+    /// `{CF₁ CF₂ → FM, FM → CF₁, FM → CF₂}`.
+    #[test]
+    fn paper_mf_depset() {
+        let mut d = DepSet::new(3);
+        d.add(Dep::of(&[0, 1], 2)).unwrap();
+        d.add(Dep::of(&[2], 0)).unwrap();
+        d.add(Dep::of(&[2], 1)).unwrap();
+        // FM alone determines both configurations (multi-target form
+        // MF_{CF1×CF2} from the paper).
+        assert!(d.entails_multi(
+            DomSet::single(DomIdx(2)),
+            DomSet::from_iter([DomIdx(0), DomIdx(1)])
+        ));
+        // But one configuration alone determines nothing.
+        assert!(!d.entails(Dep::of(&[0], 2)));
+        // It is NOT standard-equivalent (that is the whole point).
+        assert!(!d.is_standard_equivalent());
+    }
+
+    #[test]
+    fn standard_set_is_standard_equivalent() {
+        for n in 1..=5 {
+            assert!(DepSet::standard(n).is_standard_equivalent(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn standard_shape() {
+        let s = DepSet::standard(3);
+        assert_eq!(s.len(), 3);
+        assert!(s.deps().contains(&Dep::of(&[1, 2], 0)));
+        assert!(s.deps().contains(&Dep::of(&[0, 2], 1)));
+        assert!(s.deps().contains(&Dep::of(&[0, 1], 2)));
+    }
+
+    #[test]
+    fn minimize_removes_entailed() {
+        let mut d = DepSet::new(3);
+        d.add(Dep::of(&[0], 1)).unwrap();
+        d.add(Dep::of(&[1], 2)).unwrap();
+        d.add(Dep::of(&[0], 2)).unwrap(); // entailed by the other two
+        let m = d.minimize();
+        assert_eq!(m.len(), 2);
+        // Closure is preserved.
+        assert!(m.entails(Dep::of(&[0], 2)));
+    }
+
+    #[test]
+    fn empty_sources_dep_is_axiom() {
+        let mut d = DepSet::new(2);
+        d.add(Dep::of(&[], 1)).unwrap();
+        // target derivable from nothing at all.
+        assert!(d.entails(Dep::of(&[], 1)));
+        assert!(d.entails(Dep::of(&[0], 1)));
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let mut d = DepSet::new(2);
+        d.add(Dep::of(&[0], 1)).unwrap();
+        d.add(Dep::of(&[0], 1)).unwrap();
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        let mut d = DepSet::new(3);
+        d.add(Dep::of(&[0, 1], 2)).unwrap();
+        assert_eq!(d.to_string(), "{M0 M1 → M2}");
+        assert_eq!(Dep::of(&[], 1).to_string(), "∅ → M1");
+    }
+
+    fn arb_depset(arity: usize, max_deps: usize) -> impl Strategy<Value = DepSet> {
+        let dep = (0u64..(1 << arity), 0..arity as u8).prop_filter_map(
+            "target must not be in sources",
+            move |(mask, t)| {
+                let sources = DomSet(mask).without(DomIdx(t));
+                Dep::new(sources, DomIdx(t)).ok()
+            },
+        );
+        proptest::collection::vec(dep, 0..=max_deps).prop_map(move |deps| {
+            let mut s = DepSet::new(arity);
+            for d in deps {
+                s.add(d).unwrap();
+            }
+            s
+        })
+    }
+
+    proptest! {
+        /// The linear-time Dowling–Gallier algorithm agrees with the naive
+        /// fixpoint on random dependency sets and goals.
+        #[test]
+        fn entails_matches_naive(
+            set in arb_depset(5, 8),
+            goal_mask in 0u64..(1 << 5),
+            goal_t in 0u8..5,
+        ) {
+            let sources = DomSet(goal_mask).without(DomIdx(goal_t));
+            let goal = Dep { sources, target: DomIdx(goal_t) };
+            prop_assert_eq!(set.entails(goal), set.entails_naive(goal));
+        }
+
+        /// Every attached dependency is self-entailed.
+        #[test]
+        fn attached_deps_are_entailed(set in arb_depset(5, 8)) {
+            for &d in set.deps() {
+                prop_assert!(set.entails(d));
+            }
+        }
+
+        /// Minimization preserves the closure.
+        #[test]
+        fn minimize_preserves_closure(set in arb_depset(4, 6)) {
+            let min = set.minimize();
+            let mut a = set.closure();
+            let mut b = min.closure();
+            a.sort_by_key(|d| (d.sources.0, d.target.0));
+            b.sort_by_key(|d| (d.sources.0, d.target.0));
+            prop_assert_eq!(a, b);
+        }
+
+        /// Entailment is monotone in the fact set.
+        #[test]
+        fn derivable_is_monotone(set in arb_depset(5, 8), a in 0u64..(1<<5), b in 0u64..(1<<5)) {
+            let sa = DomSet(a);
+            let sb = DomSet(a | b);
+            prop_assert!(set.derivable_from(sa).subset_of(set.derivable_from(sb)));
+        }
+    }
+}

@@ -1,0 +1,529 @@
+//! # mmt-enforce — least-change enforcement engines
+//!
+//! Implements the paper's §3 enforcement semantics: given a consistency
+//! specification, a tuple of models, and a repair *shape* (which models
+//! may change — the multidirectional generalization of QVT-R's single
+//! enforcement direction), produce new target models that are consistent
+//! and at minimal (weighted) distance from the originals.
+//!
+//! Two engines implement the common [`RepairEngine`] trait:
+//!
+//! * [`SearchEngine`] — direct uniform-cost search over repair-guided
+//!   edits, with the concrete checker as oracle (the paper's "iterative
+//!   process of searching for all consistent models at increasing
+//!   distance", run natively);
+//! * [`SatEngine`] — bounded grounding to CNF with a cost counter,
+//!   relaxed `k = 0, 1, 2, …` (the Alloy/Kodkod/PMax-SAT realization
+//!   Echo uses).
+//!
+//! Both return the minimal cost, the repaired tuple, and per-model edit
+//! scripts. They are differentially tested against each other.
+
+#![deny(missing_docs)]
+
+pub mod search;
+
+use mmt_check::{CheckError, EvalError};
+use mmt_deps::DomSet;
+use mmt_dist::{CostModel, Delta, TupleCost};
+use mmt_ground::{GroundError, GroundOptions, GroundProblem, Scope};
+use mmt_model::{Model, ModelError};
+use mmt_qvtr::Hir;
+use std::fmt;
+
+/// Options shared by the repair engines.
+#[derive(Clone, Debug)]
+pub struct RepairOptions {
+    /// Per-operation costs.
+    pub cost: CostModel,
+    /// Per-model weight multipliers (§3's weighted tuple distance).
+    pub tuple: TupleCost,
+    /// Maximum total cost to consider before giving up.
+    pub max_cost: u64,
+    /// Fresh string symbols available to repairs.
+    pub fresh_strings: usize,
+    /// Search engine: cap on explored states.
+    pub max_states: u64,
+    /// Search engine: counterexamples consumed per directional check.
+    pub violations_per_check: usize,
+    /// SAT engine: universe slack (fresh objects per class).
+    pub slack_objs: usize,
+}
+
+impl Default for RepairOptions {
+    fn default() -> Self {
+        RepairOptions {
+            cost: CostModel::default(),
+            tuple: TupleCost::uniform(0), // resized per call
+            max_cost: 16,
+            fresh_strings: 1,
+            max_states: 200_000,
+            violations_per_check: 4,
+            slack_objs: 2,
+        }
+    }
+}
+
+/// A successful repair.
+#[derive(Clone, Debug)]
+pub struct RepairOutcome {
+    /// Total weighted distance from the originals.
+    pub cost: u64,
+    /// The repaired model tuple (non-targets unchanged).
+    pub models: Vec<Model>,
+    /// Per-model edit scripts (empty for untouched models).
+    pub deltas: Vec<Delta>,
+}
+
+/// Errors raised during enforcement.
+#[derive(Clone, Debug)]
+pub enum RepairError {
+    /// The checking oracle failed.
+    Eval(EvalError),
+    /// Binding models to the transformation failed.
+    Check(CheckError),
+    /// Grounding failed.
+    Ground(GroundError),
+    /// A model operation failed (internal).
+    Model(ModelError),
+    /// The search engine exhausted its state budget.
+    SearchBudgetExhausted {
+        /// The configured budget.
+        states: u64,
+    },
+    /// The target set is empty.
+    NoTargets,
+}
+
+impl fmt::Display for RepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairError::Eval(e) => write!(f, "evaluation error: {e}"),
+            RepairError::Check(e) => write!(f, "binding error: {e}"),
+            RepairError::Ground(e) => write!(f, "grounding error: {e}"),
+            RepairError::Model(e) => write!(f, "model error: {e}"),
+            RepairError::SearchBudgetExhausted { states } => {
+                write!(f, "search exhausted its budget of {states} states")
+            }
+            RepairError::NoTargets => f.write_str("repair shape selects no models"),
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+impl From<EvalError> for RepairError {
+    fn from(e: EvalError) -> Self {
+        RepairError::Eval(e)
+    }
+}
+
+impl From<CheckError> for RepairError {
+    fn from(e: CheckError) -> Self {
+        RepairError::Check(e)
+    }
+}
+
+impl From<GroundError> for RepairError {
+    fn from(e: GroundError) -> Self {
+        RepairError::Ground(e)
+    }
+}
+
+impl From<ModelError> for RepairError {
+    fn from(e: ModelError) -> Self {
+        RepairError::Model(e)
+    }
+}
+
+/// A least-change repair engine.
+pub trait RepairEngine {
+    /// Engine name (for reports and benches).
+    fn name(&self) -> &'static str;
+
+    /// Repairs `models` so that every directional check of `hir` holds,
+    /// changing only the models in `targets`. Returns `None` when no
+    /// repair exists within the engine's bounds.
+    fn repair(
+        &self,
+        hir: &Hir,
+        models: &[Model],
+        targets: DomSet,
+    ) -> Result<Option<RepairOutcome>, RepairError>;
+}
+
+/// The uniform-cost search engine (§3 run natively).
+#[derive(Clone, Debug, Default)]
+pub struct SearchEngine {
+    /// Engine options.
+    pub opts: RepairOptions,
+}
+
+impl SearchEngine {
+    /// Engine with the given options.
+    pub fn new(opts: RepairOptions) -> SearchEngine {
+        SearchEngine { opts }
+    }
+}
+
+impl RepairEngine for SearchEngine {
+    fn name(&self) -> &'static str {
+        "search"
+    }
+
+    fn repair(
+        &self,
+        hir: &Hir,
+        models: &[Model],
+        targets: DomSet,
+    ) -> Result<Option<RepairOutcome>, RepairError> {
+        if targets.is_empty() {
+            return Err(RepairError::NoTargets);
+        }
+        let mut opts = self.opts.clone();
+        if opts.tuple.len() != models.len() {
+            opts.tuple = TupleCost::uniform(models.len());
+        }
+        search::repair_search(hir, models, targets, &opts)
+    }
+}
+
+/// The SAT-based engine (ground → minimal-cost solve).
+#[derive(Clone, Debug, Default)]
+pub struct SatEngine {
+    /// Engine options.
+    pub opts: RepairOptions,
+}
+
+impl SatEngine {
+    /// Engine with the given options.
+    pub fn new(opts: RepairOptions) -> SatEngine {
+        SatEngine { opts }
+    }
+}
+
+impl RepairEngine for SatEngine {
+    fn name(&self) -> &'static str {
+        "sat"
+    }
+
+    fn repair(
+        &self,
+        hir: &Hir,
+        models: &[Model],
+        targets: DomSet,
+    ) -> Result<Option<RepairOutcome>, RepairError> {
+        if targets.is_empty() {
+            return Err(RepairError::NoTargets);
+        }
+        let mut tuple = self.opts.tuple.clone();
+        if tuple.len() != models.len() {
+            tuple = TupleCost::uniform(models.len());
+        }
+        let gopts = GroundOptions {
+            scope: Scope {
+                slack_objs: self.opts.slack_objs,
+                fresh_strings: self.opts.fresh_strings,
+            },
+            cost: self.opts.cost,
+            tuple,
+            max_cost: self.opts.max_cost,
+            ..GroundOptions::default()
+        };
+        let mut problem = GroundProblem::build(hir, models, targets, gopts)?;
+        match problem.solve_min_cost() {
+            None => Ok(None),
+            Some((cost, repaired)) => {
+                let mut deltas = Vec::with_capacity(models.len());
+                for (o, n) in models.iter().zip(&repaired) {
+                    deltas.push(Delta::between(o, n)?);
+                }
+                Ok(Some(RepairOutcome {
+                    cost,
+                    models: repaired,
+                    deltas,
+                }))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_check::Checker;
+    use mmt_deps::DomIdx;
+    use mmt_model::text::{parse_metamodel, parse_model};
+    use mmt_model::Metamodel;
+    use mmt_qvtr::parse_and_resolve;
+    use std::sync::Arc;
+
+    fn metamodels() -> (Arc<Metamodel>, Arc<Metamodel>) {
+        let cf = parse_metamodel("metamodel CF { class Feature { attr name: Str; } }").unwrap();
+        let fm = parse_metamodel(
+            "metamodel FM { class Feature { attr name: Str; attr mandatory: Bool; } }",
+        )
+        .unwrap();
+        (cf, fm)
+    }
+
+    /// The paper's full F = MF ∧ OF specification.
+    const F_SRC: &str = r#"
+transformation F(cf1 : CF, cf2 : CF, fm : FM) {
+  top relation MF {
+    n : Str;
+    domain cf1 s1 : Feature { name = n };
+    domain cf2 s2 : Feature { name = n };
+    domain fm  f  : Feature { name = n, mandatory = true };
+    depend cf1 cf2 -> fm;
+    depend fm -> cf1 cf2;
+  }
+  top relation OF {
+    m : Str;
+    domain cf1 t1 : Feature { name = m };
+    domain cf2 t2 : Feature { name = m };
+    domain fm  g  : Feature { name = m };
+    depend cf1 | cf2 -> fm;
+  }
+}
+"#;
+
+    fn cf_model(cf: &Arc<Metamodel>, name: &str, feats: &[&str]) -> Model {
+        let mut body = String::new();
+        for (i, f) in feats.iter().enumerate() {
+            body.push_str(&format!("f{i} = Feature {{ name = \"{f}\" }}\n"));
+        }
+        parse_model(&format!("model {name} : CF {{ {body} }}"), cf).unwrap()
+    }
+
+    fn fm_model(fm: &Arc<Metamodel>, feats: &[(&str, bool)]) -> Model {
+        let mut body = String::new();
+        for (i, (f, m)) in feats.iter().enumerate() {
+            body.push_str(&format!(
+                "f{i} = Feature {{ name = \"{f}\", mandatory = {m} }}\n"
+            ));
+        }
+        parse_model(&format!("model fm : FM {{ {body} }}"), fm).unwrap()
+    }
+
+    fn targets(idx: &[u8]) -> DomSet {
+        DomSet::from_iter(idx.iter().map(|&i| DomIdx(i)))
+    }
+
+    fn engines() -> Vec<Box<dyn RepairEngine>> {
+        vec![
+            Box::new(SearchEngine::default()),
+            Box::new(SatEngine::default()),
+        ]
+    }
+
+    #[test]
+    fn consistent_input_costs_zero_on_both_engines() {
+        let (cf, fm) = metamodels();
+        let hir = parse_and_resolve(F_SRC, &[cf.clone(), fm.clone()]).unwrap();
+        let models = [
+            cf_model(&cf, "cf1", &["engine"]),
+            cf_model(&cf, "cf2", &["engine"]),
+            fm_model(&fm, &[("engine", true)]),
+        ];
+        for engine in engines() {
+            let out = engine
+                .repair(&hir, &models, targets(&[0, 1]))
+                .unwrap()
+                .expect("consistent");
+            assert_eq!(out.cost, 0, "{}", engine.name());
+            for d in &out.deltas {
+                assert!(d.is_empty());
+            }
+        }
+    }
+
+    /// §3: a new mandatory feature in FM — the single-CF shape `→Fⁱ_CF`
+    /// cannot restore consistency; the multi-target `→F_CFᵏ` can.
+    #[test]
+    fn single_target_fails_multi_target_succeeds() {
+        let (cf, fm) = metamodels();
+        let hir = parse_and_resolve(F_SRC, &[cf.clone(), fm.clone()]).unwrap();
+        let models = [
+            cf_model(&cf, "cf1", &["engine"]),
+            cf_model(&cf, "cf2", &["engine"]),
+            fm_model(&fm, &[("engine", true), ("brakes", true)]),
+        ];
+        for engine in engines() {
+            let single = engine.repair(&hir, &models, targets(&[0])).unwrap();
+            assert!(single.is_none(), "{} single-target", engine.name());
+            let multi = engine
+                .repair(&hir, &models, targets(&[0, 1]))
+                .unwrap()
+                .expect("multi-target repairable");
+            assert_eq!(multi.cost, 4, "{} multi-target", engine.name());
+            let report = Checker::new(&hir, &multi.models).unwrap().check().unwrap();
+            assert!(report.consistent(), "{}\n{report}", engine.name());
+        }
+    }
+
+    /// §3: `→F_FM : CFᵏ → FM` — a feature selected everywhere becomes
+    /// mandatory with a single attribute flip.
+    #[test]
+    fn repair_towards_fm_is_minimal() {
+        let (cf, fm) = metamodels();
+        let hir = parse_and_resolve(F_SRC, &[cf.clone(), fm.clone()]).unwrap();
+        let models = [
+            cf_model(&cf, "cf1", &["engine", "gps"]),
+            cf_model(&cf, "cf2", &["engine", "gps"]),
+            fm_model(&fm, &[("engine", true), ("gps", false)]),
+        ];
+        for engine in engines() {
+            let out = engine
+                .repair(&hir, &models, targets(&[2]))
+                .unwrap()
+                .expect("repairable");
+            assert_eq!(out.cost, 1, "{}", engine.name());
+            let report = Checker::new(&hir, &out.models).unwrap().check().unwrap();
+            assert!(report.consistent(), "{}", engine.name());
+        }
+    }
+
+    /// §1: renaming a feature in one configuration; the shape
+    /// `→Fⁱ_{FM×CFᵏ⁻¹}` propagates the rename to the other artifacts.
+    #[test]
+    fn rename_propagates_to_remaining_models() {
+        let (cf, fm) = metamodels();
+        let hir = parse_and_resolve(F_SRC, &[cf.clone(), fm.clone()]).unwrap();
+        // cf1 renamed engine → motor; fm and cf2 still say engine.
+        let models = [
+            cf_model(&cf, "cf1", &["motor"]),
+            cf_model(&cf, "cf2", &["engine"]),
+            fm_model(&fm, &[("engine", true)]),
+        ];
+        for engine in engines() {
+            let out = engine
+                .repair(&hir, &models, targets(&[1, 2]))
+                .unwrap()
+                .expect("repairable");
+            // Minimal: rename in cf2 and in fm = 2 attribute changes.
+            assert_eq!(out.cost, 2, "{}", engine.name());
+            let report = Checker::new(&hir, &out.models).unwrap().check().unwrap();
+            assert!(report.consistent(), "{}", engine.name());
+            // The rename really happened (fm now has `motor`).
+            let fm_new = &out.models[2];
+            let has_motor = fm_new.objects().any(|(id, _)| {
+                fm_new.attr_named(id, "name") == Ok(mmt_model::Value::str("motor"))
+            });
+            assert!(has_motor, "{}", engine.name());
+        }
+    }
+
+    /// The two engines agree on minimal distances (differential test over
+    /// a batch of §1/§3 scenarios).
+    #[test]
+    fn engines_agree_on_minimal_cost() {
+        let (cf, fm) = metamodels();
+        let hir = parse_and_resolve(F_SRC, &[cf.clone(), fm.clone()]).unwrap();
+        let scenarios: Vec<([Model; 3], DomSet)> = vec![
+            (
+                [
+                    cf_model(&cf, "cf1", &["a"]),
+                    cf_model(&cf, "cf2", &["a", "b"]),
+                    fm_model(&fm, &[("a", true), ("b", false)]),
+                ],
+                targets(&[0, 1]),
+            ),
+            (
+                [
+                    cf_model(&cf, "cf1", &["a", "b"]),
+                    cf_model(&cf, "cf2", &["a", "b"]),
+                    fm_model(&fm, &[("a", true)]),
+                ],
+                targets(&[2]),
+            ),
+            (
+                [
+                    cf_model(&cf, "cf1", &[]),
+                    cf_model(&cf, "cf2", &[]),
+                    fm_model(&fm, &[("a", true)]),
+                ],
+                targets(&[0, 1]),
+            ),
+        ];
+        let search = SearchEngine::default();
+        let sat = SatEngine::default();
+        for (i, (models, tg)) in scenarios.iter().enumerate() {
+            let a = search.repair(&hir, models, *tg).unwrap();
+            let b = sat.repair(&hir, models, *tg).unwrap();
+            match (&a, &b) {
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.cost, y.cost, "scenario {i}");
+                    for m in [&x.models, &y.models] {
+                        assert!(Checker::new(&hir, m).unwrap().consistent().unwrap());
+                    }
+                }
+                (None, None) => {}
+                _ => panic!(
+                    "scenario {i}: engines disagree on repairability: {:?} vs {:?}",
+                    a.as_ref().map(|x| x.cost),
+                    b.as_ref().map(|x| x.cost)
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_target_set_rejected() {
+        let (cf, fm) = metamodels();
+        let hir = parse_and_resolve(F_SRC, &[cf.clone(), fm.clone()]).unwrap();
+        let models = [
+            cf_model(&cf, "cf1", &[]),
+            cf_model(&cf, "cf2", &[]),
+            fm_model(&fm, &[]),
+        ];
+        for engine in engines() {
+            assert!(matches!(
+                engine.repair(&hir, &models, DomSet::EMPTY),
+                Err(RepairError::NoTargets)
+            ));
+        }
+    }
+
+    /// Weighted tuple distance (§3 future work, implemented): making FM
+    /// expensive steers the repair into the configurations.
+    #[test]
+    fn weighted_distance_steers_repair() {
+        let (cf, fm) = metamodels();
+        let src = r#"
+transformation G(cf1 : CF, fm : FM) {
+  top relation Sel {
+    n : Str;
+    domain cf1 s : Feature { name = n };
+    domain fm  f : Feature { name = n };
+    depend cf1 -> fm;
+    depend fm -> cf1;
+  }
+}
+"#;
+        let hir = parse_and_resolve(src, &[cf.clone(), fm.clone()]).unwrap();
+        let models = [
+            cf_model(&cf, "cf1", &["engine"]),
+            fm_model(&fm, &[("radio", false)]),
+        ];
+        let opts = RepairOptions {
+            tuple: TupleCost::weighted(vec![1, 100]),
+            max_cost: 30,
+            ..RepairOptions::default()
+        };
+        for engine in [
+            Box::new(SearchEngine::new(opts.clone())) as Box<dyn RepairEngine>,
+            Box::new(SatEngine::new(opts.clone())),
+        ] {
+            let out = engine
+                .repair(&hir, &models, targets(&[0, 1]))
+                .unwrap()
+                .expect("repairable");
+            assert!(
+                models[1].graph_eq(&out.models[1]),
+                "{}: fm should be untouched",
+                engine.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,506 @@
+//! Search-based least-change repair.
+//!
+//! Implements §3's enforcement technique directly: uniform-cost search
+//! over edit sequences applied to the target models, using the concrete
+//! checking engine as the consistency oracle. States are explored in
+//! order of increasing total (weighted) distance from the originals, so
+//! the first consistent state found is a least-change repair *within the
+//! generated candidate space*.
+//!
+//! Candidate edits are *repair-guided*: they are derived from the
+//! counterexample bindings of failing directional checks — create or
+//! adapt a witness on the target side, or destroy the universal match on
+//! a source side — rather than enumerating every conceivable edit. This
+//! keeps the branching factor proportional to the number of violations.
+//! The SAT engine ([`crate::sat_engine`]) is the complete reference.
+
+use crate::{RepairError, RepairOptions, RepairOutcome};
+use mmt_check::{Binding, EvalCtx, ModelIndex, Slot};
+use mmt_deps::{Dep, DomIdx, DomSet};
+use mmt_dist::{Delta, EditOp};
+use mmt_model::{AttrType, Model, ObjId, Sym, Value};
+use mmt_qvtr::{Atom, Constraint, Hir, HirExpr, HirRelation, VarTy};
+use std::collections::{BinaryHeap, HashSet};
+use std::cmp::Reverse;
+use std::hash::{Hash, Hasher};
+
+/// One candidate edit on a specific model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct Candidate {
+    model: DomIdx,
+    op: EditOp,
+}
+
+/// Uniform-cost search for a least-change repair.
+pub fn repair_search(
+    hir: &Hir,
+    originals: &[Model],
+    targets: DomSet,
+    opts: &RepairOptions,
+) -> Result<Option<RepairOutcome>, RepairError> {
+    let value_pool = collect_value_pool(originals, hir, opts.fresh_strings);
+    // Model is not Ord, so the heap carries indices into a state arena.
+    let mut states: Vec<Vec<Model>> = vec![originals.to_vec()];
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut seen: HashSet<u64> = HashSet::new();
+    heap.push(Reverse((0, 0)));
+    seen.insert(fingerprint(originals, targets));
+    let mut expanded: u64 = 0;
+    while let Some(Reverse((cost, state_idx))) = heap.pop() {
+        let models = states[state_idx].clone();
+        expanded += 1;
+        if expanded > opts.max_states {
+            return Err(RepairError::SearchBudgetExhausted {
+                states: opts.max_states,
+            });
+        }
+        // Oracle: collect violations (with Slot-level bindings).
+        let violations = collect_violations(hir, &models, opts)?;
+        // Structural unrepairability: a violated check none of whose
+        // participating models (dependency sources, target, and the
+        // models of when/where variables) is editable can never be fixed
+        // by this shape — the paper's "not all update directions are able
+        // to restore consistency".
+        for v in &violations {
+            if participating_models(hir.relation(v.rel), v.dep)
+                .intersect(targets)
+                .is_empty()
+            {
+                return Ok(None);
+            }
+        }
+        if violations.is_empty() {
+            let mut deltas = Vec::with_capacity(models.len());
+            for (o, n) in originals.iter().zip(&models) {
+                deltas.push(Delta::between(o, n)?);
+            }
+            return Ok(Some(RepairOutcome {
+                cost,
+                models,
+                deltas,
+            }));
+        }
+        if cost >= opts.max_cost {
+            continue;
+        }
+        // Generate repair-guided candidates from every violation.
+        let mut candidates: Vec<Candidate> = Vec::new();
+        for v in &violations {
+            derive_candidates(hir, &models, targets, v, &value_pool, &mut candidates);
+        }
+        candidates.sort_by_key(|c| (c.model.0, format!("{:?}", c.op)));
+        candidates.dedup();
+        for cand in candidates {
+            let step =
+                op_cost(&cand.op, opts) * opts.tuple.weight(cand.model.index());
+            if cost + step > opts.max_cost {
+                continue;
+            }
+            let mut next = models.clone();
+            if apply_candidate(&mut next[cand.model.index()], &cand.op).is_err() {
+                continue; // stale candidate (object vanished, etc.)
+            }
+            let fp = fingerprint(&next, targets);
+            if seen.insert(fp) {
+                states.push(next);
+                heap.push(Reverse((cost + step, states.len() - 1)));
+            }
+        }
+    }
+    Ok(None)
+}
+
+fn op_cost(op: &EditOp, opts: &RepairOptions) -> u64 {
+    opts.cost.of(op)
+}
+
+fn apply_candidate(m: &mut Model, op: &EditOp) -> Result<(), mmt_model::ModelError> {
+    match *op {
+        EditOp::AddObj { class, .. } => {
+            m.add(class)?;
+            Ok(())
+        }
+        EditOp::DelObj { id, .. } => m.delete(id),
+        EditOp::SetAttr {
+            id, attr, value, ..
+        } => m.set_attr(id, attr, value),
+        EditOp::AddLink { src, r, dst } => m.add_link(src, r, dst).map(|_| ()),
+        EditOp::DelLink { src, r, dst } => m.remove_link(src, r, dst).map(|_| ()),
+    }
+}
+
+/// A failing directional check with one counterexample binding.
+struct Violation {
+    rel: mmt_qvtr::RelId,
+    dep: Dep,
+    binding: Binding,
+}
+
+fn collect_violations(
+    hir: &Hir,
+    models: &[Model],
+    opts: &RepairOptions,
+) -> Result<Vec<Violation>, RepairError> {
+    let indexes: Vec<ModelIndex> = models.iter().map(ModelIndex::build).collect();
+    let ctx = EvalCtx::new(hir, models, &indexes, true);
+    let mut out = Vec::new();
+    for (rid, rel) in hir.top_relations() {
+        for &dep in rel.deps.deps() {
+            let mut captured: Vec<Binding> = Vec::new();
+            let max = opts.violations_per_check;
+            ctx.check_dep(rid, dep, &mut |_, b| {
+                captured.push(b.clone());
+                captured.len() < max
+            })?;
+            for binding in captured {
+                out.push(Violation {
+                    rel: rid,
+                    dep,
+                    binding,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The active value pool used for attribute-change candidates.
+struct ValuePool {
+    strings: Vec<Value>,
+    ints: Vec<Value>,
+}
+
+fn collect_value_pool(models: &[Model], hir: &Hir, fresh_strings: usize) -> ValuePool {
+    let mut strings = Vec::new();
+    let mut ints = Vec::new();
+    for m in models {
+        let meta = m.metamodel();
+        for (_, obj) in m.objects() {
+            for (slot, &attr) in meta.class(obj.class).all_attrs.iter().enumerate() {
+                let v = obj.attrs[slot];
+                match meta.attr(attr).ty {
+                    AttrType::Str if !strings.contains(&v) => strings.push(v),
+                    AttrType::Int if !ints.contains(&v) => ints.push(v),
+                    _ => {}
+                }
+            }
+        }
+    }
+    for rel in &hir.relations {
+        for d in &rel.domains {
+            for c in &d.constraints {
+                if let Constraint::AttrEq {
+                    rhs: Atom::Lit(v), ..
+                } = c
+                {
+                    match v.ty() {
+                        AttrType::Str if !strings.contains(v) => strings.push(*v),
+                        AttrType::Int if !ints.contains(v) => ints.push(*v),
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    for i in 0..fresh_strings {
+        let v = Value::Str(Sym::new(&format!("$new{i}")));
+        if !strings.contains(&v) {
+            strings.push(v);
+        }
+    }
+    ValuePool { strings, ints }
+}
+
+impl ValuePool {
+    fn of(&self, ty: AttrType) -> Vec<Value> {
+        match ty {
+            AttrType::Str => self.strings.clone(),
+            AttrType::Int => self.ints.clone(),
+            AttrType::Bool => vec![Value::Bool(false), Value::Bool(true)],
+        }
+    }
+}
+
+/// Derives single-op candidates from one violation: witness creation on
+/// the target side, match destruction on mutable source sides.
+fn derive_candidates(
+    hir: &Hir,
+    models: &[Model],
+    targets: DomSet,
+    v: &Violation,
+    pool: &ValuePool,
+    out: &mut Vec<Candidate>,
+) {
+    let rel = hir.relation(v.rel);
+    // --- Witness creation in the dependency's target model. ---
+    let t = v.dep.target;
+    if targets.contains(t) {
+        if let Some(dom) = rel.domain_for_model(t) {
+            witness_candidates(rel, dom, &v.binding, models, t, pool, out);
+        }
+        // `where` adaptation: x.attr = value patterns.
+        if let Some(wher) = &rel.where_ {
+            where_candidates(rel, wher, &v.binding, models, t, pool, out);
+        }
+    }
+    // --- Match destruction in mutable source models. ---
+    for s in v.dep.sources.iter() {
+        if !targets.contains(s) {
+            continue;
+        }
+        let Some(dom) = rel.domain_for_model(s) else {
+            continue;
+        };
+        let m = &models[s.index()];
+        for c in &dom.constraints {
+            match *c {
+                Constraint::Obj { var, .. } => {
+                    if let Some(Slot::Obj(o)) = v.binding[var.index()] {
+                        if m.contains(o) {
+                            if let Ok(class) = m.class_of(o) {
+                                out.push(Candidate {
+                                    model: s,
+                                    op: EditOp::DelObj { id: o, class },
+                                });
+                            }
+                        }
+                    }
+                }
+                Constraint::AttrEq { obj, attr, .. } => {
+                    if let Some(Slot::Obj(o)) = v.binding[obj.index()] {
+                        if let Ok(cur) = m.attr(o, attr) {
+                            for val in pool.of(cur.ty()) {
+                                if val != cur {
+                                    out.push(Candidate {
+                                        model: s,
+                                        op: EditOp::SetAttr {
+                                            id: o,
+                                            attr,
+                                            value: val,
+                                            old: cur,
+                                        },
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                Constraint::RefContains { obj, r, dst } => {
+                    if let (Some(Slot::Obj(so)), Some(Slot::Obj(dobj))) =
+                        (v.binding[obj.index()], v.binding[dst.index()])
+                    {
+                        out.push(Candidate {
+                            model: s,
+                            op: EditOp::DelLink {
+                                src: so,
+                                r,
+                                dst: dobj,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Candidates that build (or adapt towards) a witness for the target
+/// pattern under the violated binding.
+fn witness_candidates(
+    rel: &HirRelation,
+    dom: &mmt_qvtr::HirDomain,
+    binding: &Binding,
+    models: &[Model],
+    t: DomIdx,
+    pool: &ValuePool,
+    out: &mut Vec<Candidate>,
+) {
+    let m = &models[t.index()];
+    let meta = m.metamodel();
+    for c in &dom.constraints {
+        match *c {
+            Constraint::Obj { class, .. } => {
+                // A fresh instance of the pattern class.
+                out.push(Candidate {
+                    model: t,
+                    op: EditOp::AddObj {
+                        id: ObjId(m.id_bound() as u32),
+                        class,
+                    },
+                });
+            }
+            Constraint::AttrEq { obj, attr, rhs } => {
+                // Set the pattern attribute of existing candidates to the
+                // value demanded by the binding (or the literal).
+                let desired = match rhs {
+                    Atom::Lit(v) => Some(v),
+                    Atom::Var(pv) => match binding[pv.index()] {
+                        Some(Slot::Val(v)) => Some(v),
+                        _ => None,
+                    },
+                };
+                let class = match rel.vars[obj.index()].ty {
+                    VarTy::Obj { class, .. } => class,
+                    VarTy::Prim(_) => continue,
+                };
+                match desired {
+                    Some(val) => {
+                        for o in m.objects_of(class) {
+                            if m.attr(o, attr) != Ok(val) {
+                                let old = m.attr(o, attr).unwrap_or(val);
+                                out.push(Candidate {
+                                    model: t,
+                                    op: EditOp::SetAttr {
+                                        id: o,
+                                        attr,
+                                        value: val,
+                                        old,
+                                    },
+                                });
+                            }
+                        }
+                    }
+                    None => {
+                        // Existentially free value: offer the pool.
+                        let ty = meta.attr(attr).ty;
+                        for o in m.objects_of(class) {
+                            let cur = m.attr(o, attr).ok();
+                            for val in pool.of(ty) {
+                                if Some(val) != cur {
+                                    out.push(Candidate {
+                                        model: t,
+                                        op: EditOp::SetAttr {
+                                            id: o,
+                                            attr,
+                                            value: val,
+                                            old: cur.unwrap_or(val),
+                                        },
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Constraint::RefContains { obj, r, dst } => {
+                // Offer links between class-compatible pairs.
+                let (sc, dc) = match (rel.vars[obj.index()].ty, rel.vars[dst.index()].ty) {
+                    (VarTy::Obj { class: sc, .. }, VarTy::Obj { class: dc, .. }) => (sc, dc),
+                    _ => continue,
+                };
+                let sources: Vec<ObjId> = m.objects_of(sc).collect();
+                let dests: Vec<ObjId> = m.objects_of(dc).collect();
+                for &so in &sources {
+                    for &dobj in &dests {
+                        if !m.has_link(so, r, dobj) {
+                            out.push(Candidate {
+                                model: t,
+                                op: EditOp::AddLink { src: so, r, dst: dobj },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Candidates from `where` equality constraints on target-side objects,
+/// e.g. `f.mandatory = true`.
+fn where_candidates(
+    rel: &HirRelation,
+    e: &HirExpr,
+    binding: &Binding,
+    models: &[Model],
+    t: DomIdx,
+    pool: &ValuePool,
+    out: &mut Vec<Candidate>,
+) {
+    match e {
+        HirExpr::Cmp(mmt_qvtr::CmpOp::Eq, a, b) => {
+            let (nav, other) = match (&**a, &**b) {
+                (HirExpr::Nav(v, attr), o) | (o, HirExpr::Nav(v, attr)) => ((*v, *attr), o),
+                _ => return,
+            };
+            let (v, attr) = nav;
+            let (model, class) = match rel.vars[v.index()].ty {
+                VarTy::Obj { model, class } => (model, class),
+                VarTy::Prim(_) => return,
+            };
+            if model != t {
+                return;
+            }
+            let desired: Vec<Value> = match other {
+                HirExpr::Lit(val) => vec![*val],
+                HirExpr::Var(pv) => match binding[pv.index()] {
+                    Some(Slot::Val(val)) => vec![val],
+                    _ => pool.of(models[t.index()].metamodel().attr(attr).ty),
+                },
+                _ => return,
+            };
+            let m = &models[t.index()];
+            for o in m.objects_of(class) {
+                let cur = m.attr(o, attr).ok();
+                for &val in &desired {
+                    if Some(val) != cur {
+                        out.push(Candidate {
+                            model: t,
+                            op: EditOp::SetAttr {
+                                id: o,
+                                attr,
+                                value: val,
+                                old: cur.unwrap_or(val),
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        HirExpr::And(a, b) | HirExpr::Or(a, b) | HirExpr::Implies(a, b) => {
+            where_candidates(rel, a, binding, models, t, pool, out);
+            where_candidates(rel, b, binding, models, t, pool, out);
+        }
+        HirExpr::Not(a) => where_candidates(rel, a, binding, models, t, pool, out),
+        _ => {}
+    }
+}
+
+/// The models a directional check can read: dependency sources, the
+/// target, and the models of variables free in `when`/`where`.
+fn participating_models(rel: &HirRelation, dep: Dep) -> DomSet {
+    let mut set = dep.sources.with(dep.target);
+    let mut fv: Vec<mmt_qvtr::VarId> = Vec::new();
+    if let Some(w) = &rel.when {
+        w.free_vars(&mut fv);
+    }
+    if let Some(w) = &rel.where_ {
+        w.free_vars(&mut fv);
+    }
+    for v in fv {
+        if let VarTy::Obj { model, .. } = rel.vars[v.index()].ty {
+            set = set.with(model);
+        }
+    }
+    set
+}
+
+/// Order-insensitive structural fingerprint of the mutable models.
+fn fingerprint(models: &[Model], targets: DomSet) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for t in targets.iter() {
+        let m = &models[t.index()];
+        t.0.hash(&mut h);
+        for (id, obj) in m.objects() {
+            id.hash(&mut h);
+            obj.class.hash(&mut h);
+            obj.attrs.hash(&mut h);
+            obj.refs.hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// Exposed for differential tests: the same fingerprint the search uses.
+pub fn state_fingerprint(models: &[Model], targets: DomSet) -> u64 {
+    fingerprint(models, targets)
+}

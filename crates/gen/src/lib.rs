@@ -1,0 +1,349 @@
+//! # mmt-gen — synthetic workload generators
+//!
+//! The paper evaluates on its running example (feature models vs. `k`
+//! configurations) but publishes no datasets; this crate generates seeded
+//! synthetic workloads with the same shape at controllable scale —
+//! consistent by construction, with injectable inconsistencies matching
+//! the paper's §1/§3 update scenarios.
+
+#![deny(missing_docs)]
+
+use mmt_deps::{Dep, DepSet, DomIdx, DomSet};
+use mmt_model::text::parse_metamodel;
+use mmt_model::{Metamodel, Model, Value};
+use mmt_qvtr::{parse_and_resolve, Hir};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Parameters for a feature-model workload.
+#[derive(Clone, Debug)]
+pub struct FeatureSpec {
+    /// Number of features in the feature model.
+    pub n_features: usize,
+    /// Number of configurations (`k` in the paper).
+    pub k_configs: usize,
+    /// Fraction of features that are mandatory.
+    pub mandatory_ratio: f64,
+    /// Probability an optional feature is selected in a configuration.
+    pub select_prob: f64,
+    /// RNG seed (workloads are fully reproducible).
+    pub seed: u64,
+}
+
+impl Default for FeatureSpec {
+    fn default() -> Self {
+        FeatureSpec {
+            n_features: 8,
+            k_configs: 2,
+            mandatory_ratio: 0.3,
+            select_prob: 0.4,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated workload: metamodels, resolved transformation, and a
+/// consistent model tuple `(cf_1, …, cf_k, fm)`.
+pub struct FeatureWorkload {
+    /// The CF metamodel.
+    pub cf: Arc<Metamodel>,
+    /// The FM metamodel.
+    pub fm: Arc<Metamodel>,
+    /// The resolved `F = MF ∧ OF` transformation over `k + 1` models.
+    pub hir: Hir,
+    /// Models in model-space order: `cf_1 … cf_k, fm`.
+    pub models: Vec<Model>,
+    /// The spec that produced this workload.
+    pub spec: FeatureSpec,
+}
+
+/// The QVT-R source of the paper's `F = MF ∧ OF` specification,
+/// generalized to `k` configurations, with the §2.2 dependency sets
+/// `MF̄ = {CF₁ … CF_k → FM} ∪ {FM → CF_i}` and `OF̄ = {CF_i → FM}`.
+pub fn transformation_source(k: usize) -> String {
+    assert!(k >= 1, "need at least one configuration");
+    let mut params = String::new();
+    for i in 1..=k {
+        let _ = write!(params, "cf{i} : CF, ");
+    }
+    let mut mf_domains = String::new();
+    let mut of_domains = String::new();
+    for i in 1..=k {
+        let _ = writeln!(mf_domains, "    domain cf{i} s{i} : Feature {{ name = n }};");
+        let _ = writeln!(of_domains, "    domain cf{i} t{i} : Feature {{ name = m }};");
+    }
+    let all_cfs: Vec<String> = (1..=k).map(|i| format!("cf{i}")).collect();
+    let union_cfs = all_cfs.join(" | ");
+    let space_cfs = all_cfs.join(" ");
+    format!(
+        r#"transformation F({params}fm : FM) {{
+  top relation MF {{
+    n : Str;
+{mf_domains}    domain fm f : Feature {{ name = n, mandatory = true }};
+    depend {space_cfs} -> fm;
+    depend fm -> {space_cfs};
+  }}
+  top relation OF {{
+    m : Str;
+{of_domains}    domain fm g : Feature {{ name = m }};
+    depend {union_cfs} -> fm;
+  }}
+}}"#
+    )
+}
+
+/// The textual CF metamodel (Figure 1, left).
+pub const CF_METAMODEL: &str = "metamodel CF { class Feature { attr name: Str; } }";
+
+/// The textual FM metamodel (Figure 1, right).
+pub const FM_METAMODEL: &str =
+    "metamodel FM { class Feature { attr name: Str; attr mandatory: Bool; } }";
+
+/// Generates a consistent workload from `spec`.
+pub fn feature_workload(spec: FeatureSpec) -> FeatureWorkload {
+    let cf = parse_metamodel(CF_METAMODEL).expect("static metamodel");
+    let fm = parse_metamodel(FM_METAMODEL).expect("static metamodel");
+    let hir = parse_and_resolve(
+        &transformation_source(spec.k_configs),
+        &[cf.clone(), fm.clone()],
+    )
+    .expect("static transformation");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let names: Vec<String> = (0..spec.n_features).map(|i| format!("feat{i}")).collect();
+    let mandatory: Vec<bool> = (0..spec.n_features)
+        .map(|_| rng.gen_bool(spec.mandatory_ratio))
+        .collect();
+    // Selections: every mandatory feature in every configuration; optional
+    // features with probability `select_prob`.
+    let mut selections: Vec<Vec<bool>> = (0..spec.k_configs)
+        .map(|_| {
+            (0..spec.n_features)
+                .map(|f| mandatory[f] || rng.gen_bool(spec.select_prob))
+                .collect()
+        })
+        .collect();
+    // MF also demands the converse: a feature selected in *every*
+    // configuration must be mandatory. Deselect such optionals somewhere.
+    for f in 0..spec.n_features {
+        if !mandatory[f] && selections.iter().all(|s| s[f]) {
+            let victim = rng.gen_range(0..spec.k_configs);
+            selections[victim][f] = false;
+        }
+    }
+    let feature_cf = cf.class_named("Feature").expect("static class");
+    let feature_fm = fm.class_named("Feature").expect("static class");
+    let mut models = Vec::with_capacity(spec.k_configs + 1);
+    for (c, sel) in selections.iter().enumerate() {
+        let mut m = Model::new(&format!("cf{}", c + 1), Arc::clone(&cf));
+        for f in 0..spec.n_features {
+            if sel[f] {
+                let id = m.add(feature_cf).expect("concrete class");
+                m.set_attr_named(id, "name", Value::str(&names[f]))
+                    .expect("declared attr");
+            }
+        }
+        models.push(m);
+    }
+    let mut m = Model::new("fm", Arc::clone(&fm));
+    for f in 0..spec.n_features {
+        let id = m.add(feature_fm).expect("concrete class");
+        m.set_attr_named(id, "name", Value::str(&names[f]))
+            .expect("declared attr");
+        m.set_attr_named(id, "mandatory", Value::Bool(mandatory[f]))
+            .expect("declared attr");
+    }
+    models.push(m);
+    FeatureWorkload {
+        cf,
+        fm,
+        hir,
+        models,
+        spec,
+    }
+}
+
+/// The §1/§3 update scenarios that break consistency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Injection {
+    /// Add a brand-new mandatory feature to FM (§3: needs `→F_CFᵏ`).
+    NewMandatoryInFm,
+    /// Rename a feature in one configuration (§1: needs
+    /// `→Fⁱ_{FM×CFᵏ⁻¹}`).
+    RenameInConfig {
+        /// Which configuration (0-based).
+        config: usize,
+    },
+    /// Select a feature in every configuration without making it
+    /// mandatory (breaks `CF₁…CF_k → FM`; repaired by `→F_FM`).
+    SelectEverywhere,
+    /// Select a feature unknown to FM in one configuration (breaks OF).
+    SelectUnknown {
+        /// Which configuration (0-based).
+        config: usize,
+    },
+}
+
+/// Applies an injection to a workload's models, returning a description
+/// of what changed. Panics if the workload is too small to inject into.
+pub fn inject(w: &mut FeatureWorkload, injection: Injection) -> String {
+    let k = w.spec.k_configs;
+    let fm_idx = k;
+    match injection {
+        Injection::NewMandatoryInFm => {
+            let feature = w.fm.class_named("Feature").expect("static class");
+            let m = &mut w.models[fm_idx];
+            let id = m.add(feature).expect("concrete");
+            m.set_attr_named(id, "name", Value::str("$injected"))
+                .expect("attr");
+            m.set_attr_named(id, "mandatory", Value::Bool(true))
+                .expect("attr");
+            "added mandatory feature `$injected` to fm".into()
+        }
+        Injection::RenameInConfig { config } => {
+            let m = &mut w.models[config];
+            let (id, _) = m.objects().next().expect("nonempty configuration");
+            let old = m.attr_named(id, "name").expect("attr");
+            m.set_attr_named(id, "name", Value::str("$renamed"))
+                .expect("attr");
+            format!("renamed {old} to `$renamed` in cf{}", config + 1)
+        }
+        Injection::SelectEverywhere => {
+            // Pick an FM feature that is optional; select it in every
+            // configuration that misses it.
+            let target = {
+                let fm_model = &w.models[fm_idx];
+                fm_model
+                    .objects()
+                    .find(|(id, _)| {
+                        fm_model.attr_named(*id, "mandatory") == Ok(Value::Bool(false))
+                    })
+                    .map(|(id, _)| fm_model.attr_named(id, "name").expect("attr"))
+            };
+            // If every feature happens to be mandatory, introduce a fresh
+            // optional one first.
+            let target = match target {
+                Some(t) => t,
+                None => {
+                    let feature_fm = w.fm.class_named("Feature").expect("static class");
+                    let m = &mut w.models[fm_idx];
+                    let id = m.add(feature_fm).expect("concrete");
+                    let t = Value::str("$optional");
+                    m.set_attr_named(id, "name", t).expect("attr");
+                    t
+                }
+            };
+            let feature_cf = w.cf.class_named("Feature").expect("static class");
+            for c in 0..k {
+                let m = &mut w.models[c];
+                let present = m
+                    .objects()
+                    .any(|(id, _)| m.attr_named(id, "name") == Ok(target));
+                if !present {
+                    let id = m.add(feature_cf).expect("concrete");
+                    m.set_attr_named(id, "name", target).expect("attr");
+                }
+            }
+            format!("selected optional {target} in every configuration")
+        }
+        Injection::SelectUnknown { config } => {
+            let feature_cf = w.cf.class_named("Feature").expect("static class");
+            let m = &mut w.models[config];
+            let id = m.add(feature_cf).expect("concrete");
+            m.set_attr_named(id, "name", Value::str("$unknown"))
+                .expect("attr");
+            format!("selected unknown feature `$unknown` in cf{}", config + 1)
+        }
+    }
+}
+
+/// A random dependency set over `arity` domains (for entailment benches).
+pub fn random_depset(arity: usize, n_deps: usize, seed: u64) -> DepSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = DepSet::new(arity);
+    while set.len() < n_deps {
+        let target = DomIdx(rng.gen_range(0..arity) as u8);
+        let mut sources = DomSet::EMPTY;
+        for i in 0..arity {
+            if i != target.index() && rng.gen_bool(0.4) {
+                sources = sources.with(DomIdx(i as u8));
+            }
+        }
+        if sources.is_empty() {
+            continue;
+        }
+        let dep = Dep::new(sources, target).expect("target excluded");
+        set.add(dep).expect("in range");
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_check::Checker;
+
+    #[test]
+    fn generated_workload_is_consistent() {
+        for seed in [1, 7, 99] {
+            for k in [1, 2, 3] {
+                let w = feature_workload(FeatureSpec {
+                    k_configs: k,
+                    seed,
+                    ..FeatureSpec::default()
+                });
+                let report = Checker::new(&w.hir, &w.models).unwrap().check().unwrap();
+                assert!(report.consistent(), "seed={seed} k={k}\n{report}");
+            }
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let a = feature_workload(FeatureSpec::default());
+        let b = feature_workload(FeatureSpec::default());
+        for (x, y) in a.models.iter().zip(&b.models) {
+            // Same structure (ids align by construction).
+            assert_eq!(x.len(), y.len());
+        }
+    }
+
+    #[test]
+    fn injections_break_consistency() {
+        for injection in [
+            Injection::NewMandatoryInFm,
+            Injection::RenameInConfig { config: 0 },
+            Injection::SelectEverywhere,
+            Injection::SelectUnknown { config: 1 },
+        ] {
+            let mut w = feature_workload(FeatureSpec {
+                n_features: 6,
+                k_configs: 2,
+                mandatory_ratio: 0.5,
+                select_prob: 0.5,
+                seed: 3,
+            });
+            let what = inject(&mut w, injection);
+            let report = Checker::new(&w.hir, &w.models).unwrap().check().unwrap();
+            assert!(!report.consistent(), "{injection:?}: {what}");
+        }
+    }
+
+    #[test]
+    fn transformation_source_scales_with_k() {
+        for k in [1, 2, 5] {
+            let src = transformation_source(k);
+            assert_eq!(src.matches("domain cf").count(), 2 * k);
+        }
+    }
+
+    #[test]
+    fn random_depset_has_requested_size() {
+        let s = random_depset(6, 9, 11);
+        assert_eq!(s.len(), 9);
+        assert_eq!(s.arity(), 6);
+        // Deterministic.
+        assert_eq!(random_depset(6, 9, 11), s);
+    }
+}

@@ -1,0 +1,286 @@
+//! Conformance checking: validates that a [`Model`] is a well-formed
+//! instance of its [`Metamodel`](crate::meta::Metamodel).
+//!
+//! Mutation APIs already enforce local typing, but models can also be
+//! produced by deserialization or by enforcement engines applying raw edit
+//! scripts, so a global validation pass is provided. It checks:
+//!
+//! * attribute slot types,
+//! * link target liveness and typing,
+//! * reference multiplicity bounds,
+//! * single-container and acyclicity of containment.
+
+use crate::model::{Model, ObjId};
+use std::fmt;
+
+/// A single conformance violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Attribute slot holds a value of the wrong type.
+    AttrType {
+        /// Offending object.
+        obj: ObjId,
+        /// Attribute name.
+        attr: String,
+    },
+    /// A link points to a deleted or never-existing object.
+    DanglingLink {
+        /// Source object.
+        src: ObjId,
+        /// Reference name.
+        reference: String,
+        /// The dangling target id.
+        dst: ObjId,
+    },
+    /// A link target does not conform to the reference's declared target.
+    LinkTargetType {
+        /// Source object.
+        src: ObjId,
+        /// Reference name.
+        reference: String,
+        /// The ill-typed target.
+        dst: ObjId,
+    },
+    /// A reference slot violates its multiplicity bounds.
+    Multiplicity {
+        /// Source object.
+        src: ObjId,
+        /// Reference name.
+        reference: String,
+        /// Actual target count.
+        count: usize,
+        /// Declared bounds rendered as `lower..upper`.
+        bounds: String,
+    },
+    /// An object is contained by more than one container link.
+    MultipleContainers {
+        /// The multiply-contained object.
+        obj: ObjId,
+    },
+    /// Containment links form a cycle through this object.
+    ContainmentCycle {
+        /// An object on the cycle.
+        obj: ObjId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::AttrType { obj, attr } => {
+                write!(f, "{obj}: attribute `{attr}` has wrong value type")
+            }
+            Violation::DanglingLink {
+                src,
+                reference,
+                dst,
+            } => write!(f, "{src}: reference `{reference}` dangles to {dst}"),
+            Violation::LinkTargetType {
+                src,
+                reference,
+                dst,
+            } => write!(f, "{src}: reference `{reference}` target {dst} ill-typed"),
+            Violation::Multiplicity {
+                src,
+                reference,
+                count,
+                bounds,
+            } => write!(
+                f,
+                "{src}: reference `{reference}` has {count} targets, bounds {bounds}"
+            ),
+            Violation::MultipleContainers { obj } => {
+                write!(f, "{obj}: contained by more than one container")
+            }
+            Violation::ContainmentCycle { obj } => {
+                write!(f, "{obj}: containment cycle")
+            }
+        }
+    }
+}
+
+/// Validates `model`, returning every violation found (empty = conformant).
+pub fn validate(model: &Model) -> Vec<Violation> {
+    let meta = model.metamodel();
+    let mut out = Vec::new();
+    // Container back-pointers for containment analysis.
+    let mut container: Vec<Option<ObjId>> = vec![None; model.id_bound()];
+    for (id, obj) in model.objects() {
+        let class = meta.class(obj.class);
+        for (slot, &attr_id) in class.all_attrs.iter().enumerate() {
+            let decl = meta.attr(attr_id);
+            if obj.attrs[slot].ty() != decl.ty {
+                out.push(Violation::AttrType {
+                    obj: id,
+                    attr: decl.name.resolve(),
+                });
+            }
+        }
+        for (slot, &ref_id) in class.all_refs.iter().enumerate() {
+            let decl = meta.reference(ref_id);
+            let targets = &obj.refs[slot];
+            let count = targets.len();
+            if (count as u32) < decl.lower || !decl.upper.admits(count) {
+                out.push(Violation::Multiplicity {
+                    src: id,
+                    reference: decl.name.resolve(),
+                    count,
+                    bounds: format!("{}..{}", decl.lower, decl.upper),
+                });
+            }
+            for &dst in targets {
+                match model.get(dst) {
+                    None => out.push(Violation::DanglingLink {
+                        src: id,
+                        reference: decl.name.resolve(),
+                        dst,
+                    }),
+                    Some(t) => {
+                        if !meta.conforms(t.class, decl.target) {
+                            out.push(Violation::LinkTargetType {
+                                src: id,
+                                reference: decl.name.resolve(),
+                                dst,
+                            });
+                        } else if decl.containment {
+                            let cell = &mut container[dst.index()];
+                            if cell.is_some() {
+                                out.push(Violation::MultipleContainers { obj: dst });
+                            } else {
+                                *cell = Some(id);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Containment acyclicity: follow container chains; a chain longer than
+    // the object count must loop.
+    let bound = model.id_bound();
+    for (id, _) in model.objects() {
+        let mut cur = id;
+        let mut steps = 0usize;
+        while let Some(parent) = container[cur.index()] {
+            if parent == id {
+                out.push(Violation::ContainmentCycle { obj: id });
+                break;
+            }
+            cur = parent;
+            steps += 1;
+            if steps > bound {
+                out.push(Violation::ContainmentCycle { obj: id });
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Convenience: true iff `model` has no violations.
+pub fn is_conformant(model: &Model) -> bool {
+    validate(model).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::{MetamodelBuilder, Upper};
+    use crate::value::AttrType;
+
+    #[test]
+    fn valid_model_passes() {
+        let mut b = MetamodelBuilder::new("FM");
+        let f = b.class("Feature").unwrap();
+        b.attr(f, "name", AttrType::Str).unwrap();
+        let root = b.class("FeatureModel").unwrap();
+        let feats = b
+            .reference(root, "features", f, 0, Upper::Many, true)
+            .unwrap();
+        let meta = b.build().unwrap();
+        let mut m = Model::new("m", meta);
+        let r = m.add(root).unwrap();
+        let a = m.add(f).unwrap();
+        m.add_link(r, feats, a).unwrap();
+        assert!(is_conformant(&m));
+    }
+
+    #[test]
+    fn lower_bound_violation_detected() {
+        let mut b = MetamodelBuilder::new("X");
+        let a = b.class("A").unwrap();
+        let bcls = b.class("B").unwrap();
+        b.reference(a, "must", bcls, 1, Upper::Many, false).unwrap();
+        let meta = b.build().unwrap();
+        let mut m = Model::new("m", meta);
+        m.add(a).unwrap();
+        let v = validate(&m);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::Multiplicity { count: 0, .. }));
+    }
+
+    #[test]
+    fn upper_bound_violation_detected() {
+        let mut b = MetamodelBuilder::new("X");
+        let a = b.class("A").unwrap();
+        let bcls = b.class("B").unwrap();
+        let r = b
+            .reference(a, "one", bcls, 0, Upper::Bounded(1), false)
+            .unwrap();
+        let meta = b.build().unwrap();
+        let mut m = Model::new("m", meta);
+        let src = m.add(a).unwrap();
+        let t1 = m.add(bcls).unwrap();
+        let t2 = m.add(bcls).unwrap();
+        m.add_link(src, r, t1).unwrap();
+        m.add_link(src, r, t2).unwrap();
+        let v = validate(&m);
+        assert!(matches!(v[0], Violation::Multiplicity { count: 2, .. }));
+    }
+
+    #[test]
+    fn multiple_containers_detected() {
+        let mut b = MetamodelBuilder::new("X");
+        let box_c = b.class("Box").unwrap();
+        let item = b.class("Item").unwrap();
+        let holds = b
+            .reference(box_c, "holds", item, 0, Upper::Many, true)
+            .unwrap();
+        let meta = b.build().unwrap();
+        let mut m = Model::new("m", meta);
+        let b1 = m.add(box_c).unwrap();
+        let b2 = m.add(box_c).unwrap();
+        let it = m.add(item).unwrap();
+        m.add_link(b1, holds, it).unwrap();
+        m.add_link(b2, holds, it).unwrap();
+        let v = validate(&m);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::MultipleContainers { .. })));
+    }
+
+    #[test]
+    fn containment_cycle_detected() {
+        let mut b = MetamodelBuilder::new("X");
+        let node = b.class("Node").unwrap();
+        let child = b
+            .reference(node, "child", node, 0, Upper::Many, true)
+            .unwrap();
+        let meta = b.build().unwrap();
+        let mut m = Model::new("m", meta);
+        let n1 = m.add(node).unwrap();
+        let n2 = m.add(node).unwrap();
+        m.add_link(n1, child, n2).unwrap();
+        m.add_link(n2, child, n1).unwrap();
+        let v = validate(&m);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::ContainmentCycle { .. })));
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = Violation::MultipleContainers { obj: ObjId(3) };
+        assert!(v.to_string().contains("@3"));
+    }
+}

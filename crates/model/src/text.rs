@@ -1,0 +1,724 @@
+//! Textual serialization for metamodels and models.
+//!
+//! The format is line-oriented and human-editable; it is what the `mmt`
+//! CLI reads and writes. Example:
+//!
+//! ```text
+//! metamodel FM {
+//!   class Feature {
+//!     attr name: Str;
+//!     attr mandatory: Bool;
+//!   }
+//!   class FeatureModel {
+//!     ref features: Feature [0..*] containment;
+//!   }
+//! }
+//! ```
+//!
+//! ```text
+//! model fm : FM {
+//!   f1 = Feature { name = "engine", mandatory = true }
+//!   root = FeatureModel { features = [f1] }
+//! }
+//! ```
+
+use crate::intern::Sym;
+use crate::meta::{ClassId, Metamodel, MetamodelBuilder, Upper};
+use crate::model::{Model, ObjId};
+use crate::value::{AttrType, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Error raised while parsing the textual formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// Explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Punct(char),
+    DotDot,
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+    /// Position of the token most recently returned by `next`.
+    tok_line: u32,
+    tok_col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+            tok_line: 1,
+            tok_col: 1,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.tok_line,
+            col: self.tok_col,
+            msg: msg.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.src[self.pos..].chars().next()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek_char(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek_char() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.src[self.pos..].starts_with("//") => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next(&mut self) -> Result<Tok, ParseError> {
+        self.skip_trivia();
+        self.tok_line = self.line;
+        self.tok_col = self.col;
+        let Some(c) = self.peek_char() else {
+            return Ok(Tok::Eof);
+        };
+        if c.is_alphabetic() || c == '_' {
+            let start = self.pos;
+            while matches!(self.peek_char(), Some(c) if c.is_alphanumeric() || c == '_') {
+                self.bump();
+            }
+            return Ok(Tok::Ident(self.src[start..self.pos].to_owned()));
+        }
+        if c.is_ascii_digit() || c == '-' {
+            let start = self.pos;
+            self.bump();
+            while matches!(self.peek_char(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+            let text = &self.src[start..self.pos];
+            return text
+                .parse::<i64>()
+                .map(Tok::Int)
+                .map_err(|_| self.err(format!("bad integer literal `{text}`")));
+        }
+        if c == '"' {
+            self.bump();
+            let mut s = String::new();
+            loop {
+                match self.bump() {
+                    None => return Err(self.err("unterminated string literal")),
+                    Some('"') => break,
+                    Some('\\') => match self.bump() {
+                        Some('"') => s.push('"'),
+                        Some('\\') => s.push('\\'),
+                        Some('n') => s.push('\n'),
+                        other => {
+                            return Err(self.err(format!("bad escape `\\{:?}`", other)));
+                        }
+                    },
+                    Some(c) => s.push(c),
+                }
+            }
+            return Ok(Tok::Str(s));
+        }
+        if c == '.' && self.src[self.pos..].starts_with("..") {
+            self.bump();
+            self.bump();
+            return Ok(Tok::DotDot);
+        }
+        self.bump();
+        Ok(Tok::Punct(c))
+    }
+}
+
+struct Parser<'a> {
+    lx: Lexer<'a>,
+    tok: Tok,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Result<Self, ParseError> {
+        let mut lx = Lexer::new(src);
+        let tok = lx.next()?;
+        Ok(Parser { lx, tok })
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        self.lx.err(msg)
+    }
+
+    fn advance(&mut self) -> Result<Tok, ParseError> {
+        let next = self.lx.next()?;
+        Ok(std::mem::replace(&mut self.tok, next))
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        if self.tok == Tok::Punct(c) {
+            self.advance()?;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{c}`, found {:?}", self.tok)))
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> Result<bool, ParseError> {
+        if self.tok == Tok::Punct(c) {
+            self.advance()?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.advance()? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        let id = self.expect_ident()?;
+        if id == kw {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`, found `{id}`")))
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(s) if s == kw)
+    }
+}
+
+/// Parses a metamodel from its textual form.
+pub fn parse_metamodel(src: &str) -> Result<Arc<Metamodel>, ParseError> {
+    let mut p = Parser::new(src)?;
+    p.expect_keyword("metamodel")?;
+    let name = p.expect_ident()?;
+    p.expect_punct('{')?;
+    // Two passes over class bodies so forward references work: first
+    // declare classes, then fill members.
+    #[allow(clippy::type_complexity)]
+    let mut decls: Vec<(String, Vec<String>, bool, Vec<MemberDecl>)> = Vec::new();
+    while !p.eat_punct('}')? {
+        let is_abstract = if p.at_keyword("abstract") {
+            p.advance()?;
+            true
+        } else {
+            false
+        };
+        p.expect_keyword("class")?;
+        let cname = p.expect_ident()?;
+        let mut supers = Vec::new();
+        if p.at_keyword("extends") {
+            p.advance()?;
+            supers.push(p.expect_ident()?);
+            while p.eat_punct(',')? {
+                supers.push(p.expect_ident()?);
+            }
+        }
+        p.expect_punct('{')?;
+        let mut members = Vec::new();
+        while !p.eat_punct('}')? {
+            members.push(parse_member(&mut p)?);
+        }
+        decls.push((cname, supers, is_abstract, members));
+    }
+    if p.tok != Tok::Eof {
+        return Err(p.err("trailing input after metamodel"));
+    }
+    let mut b = MetamodelBuilder::new(&name);
+    let mut ids: HashMap<String, ClassId> = HashMap::new();
+    for (cname, _, is_abstract, _) in &decls {
+        let id = b
+            .class_full(cname, &[], *is_abstract)
+            .map_err(|e| p.err(e.to_string()))?;
+        ids.insert(cname.clone(), id);
+    }
+    for (cname, supers, _, members) in &decls {
+        let cid = ids[cname];
+        for s in supers {
+            let sid = *ids
+                .get(s)
+                .ok_or_else(|| p.err(format!("unknown supertype `{s}`")))?;
+            b.add_super(cid, sid).map_err(|e| p.err(e.to_string()))?;
+        }
+        for m in members {
+            match m {
+                MemberDecl::Attr { name, ty } => {
+                    b.attr(cid, name, *ty).map_err(|e| p.err(e.to_string()))?;
+                }
+                MemberDecl::Ref {
+                    name,
+                    target,
+                    lower,
+                    upper,
+                    containment,
+                } => {
+                    let tid = *ids
+                        .get(target)
+                        .ok_or_else(|| p.err(format!("unknown class `{target}`")))?;
+                    b.reference(cid, name, tid, *lower, *upper, *containment)
+                        .map_err(|e| p.err(e.to_string()))?;
+                }
+            }
+        }
+    }
+    b.build().map_err(|e| ParseError {
+        line: 0,
+        col: 0,
+        msg: e.to_string(),
+    })
+}
+
+enum MemberDecl {
+    Attr {
+        name: String,
+        ty: AttrType,
+    },
+    Ref {
+        name: String,
+        target: String,
+        lower: u32,
+        upper: Upper,
+        containment: bool,
+    },
+}
+
+fn parse_member(p: &mut Parser<'_>) -> Result<MemberDecl, ParseError> {
+    if p.at_keyword("attr") {
+        p.advance()?;
+        let name = p.expect_ident()?;
+        p.expect_punct(':')?;
+        let ty_name = p.expect_ident()?;
+        let ty = match ty_name.as_str() {
+            "Str" => AttrType::Str,
+            "Bool" => AttrType::Bool,
+            "Int" => AttrType::Int,
+            other => return Err(p.err(format!("unknown attribute type `{other}`"))),
+        };
+        p.expect_punct(';')?;
+        Ok(MemberDecl::Attr { name, ty })
+    } else if p.at_keyword("ref") {
+        p.advance()?;
+        let name = p.expect_ident()?;
+        p.expect_punct(':')?;
+        let target = p.expect_ident()?;
+        let (mut lower, mut upper) = (0u32, Upper::Many);
+        if p.eat_punct('[')? {
+            lower = match p.advance()? {
+                Tok::Int(i) if i >= 0 => i as u32,
+                other => return Err(p.err(format!("expected lower bound, found {other:?}"))),
+            };
+            if p.tok == Tok::DotDot {
+                p.advance()?;
+                upper = match p.advance()? {
+                    Tok::Int(i) if i >= 0 => Upper::Bounded(i as u32),
+                    Tok::Punct('*') => Upper::Many,
+                    other => {
+                        return Err(p.err(format!("expected upper bound, found {other:?}")))
+                    }
+                };
+            } else {
+                upper = Upper::Bounded(lower);
+            }
+            p.expect_punct(']')?;
+        }
+        let containment = if p.at_keyword("containment") {
+            p.advance()?;
+            true
+        } else {
+            false
+        };
+        p.expect_punct(';')?;
+        Ok(MemberDecl::Ref {
+            name,
+            target,
+            lower,
+            upper,
+            containment,
+        })
+    } else {
+        Err(p.err(format!("expected `attr` or `ref`, found {:?}", p.tok)))
+    }
+}
+
+/// Parses a model in textual form against a known metamodel.
+pub fn parse_model(src: &str, meta: &Arc<Metamodel>) -> Result<Model, ParseError> {
+    let mut p = Parser::new(src)?;
+    p.expect_keyword("model")?;
+    let name = p.expect_ident()?;
+    p.expect_punct(':')?;
+    let mm_name = p.expect_ident()?;
+    if Sym::new(&mm_name) != meta.name {
+        return Err(p.err(format!(
+            "model declares metamodel `{mm_name}` but `{}` was supplied",
+            meta.name
+        )));
+    }
+    p.expect_punct('{')?;
+    // First pass: collect object declarations so links can forward-reference.
+    struct ObjDecl {
+        label: String,
+        class: String,
+        props: Vec<(String, PropValue)>,
+    }
+    enum PropValue {
+        Scalar(Value),
+        Objects(Vec<String>),
+    }
+    let mut decls: Vec<ObjDecl> = Vec::new();
+    while !p.eat_punct('}')? {
+        let label = p.expect_ident()?;
+        p.expect_punct('=')?;
+        let class = p.expect_ident()?;
+        p.expect_punct('{')?;
+        let mut props = Vec::new();
+        while !p.eat_punct('}')? {
+            let pname = p.expect_ident()?;
+            p.expect_punct('=')?;
+            let value = if p.eat_punct('[')? {
+                let mut labels = Vec::new();
+                if !p.eat_punct(']')? {
+                    loop {
+                        labels.push(p.expect_ident()?);
+                        if p.eat_punct(']')? {
+                            break;
+                        }
+                        p.expect_punct(',')?;
+                    }
+                }
+                PropValue::Objects(labels)
+            } else {
+                match p.advance()? {
+                    Tok::Str(s) => PropValue::Scalar(Value::str(&s)),
+                    Tok::Int(i) => PropValue::Scalar(Value::Int(i)),
+                    Tok::Ident(s) if s == "true" => PropValue::Scalar(Value::Bool(true)),
+                    Tok::Ident(s) if s == "false" => PropValue::Scalar(Value::Bool(false)),
+                    other => return Err(p.err(format!("bad property value {other:?}"))),
+                }
+            };
+            props.push((pname, value));
+            let _ = p.eat_punct(',')?;
+        }
+        decls.push(ObjDecl {
+            label,
+            class,
+            props,
+        });
+    }
+    if p.tok != Tok::Eof {
+        return Err(p.err("trailing input after model"));
+    }
+    let mut model = Model::new(&name, Arc::clone(meta));
+    let mut by_label: HashMap<String, ObjId> = HashMap::new();
+    for d in &decls {
+        let class = meta
+            .class_named(&d.class)
+            .ok_or_else(|| p.err(format!("unknown class `{}`", d.class)))?;
+        let id = model.add(class).map_err(|e| p.err(e.to_string()))?;
+        if by_label.insert(d.label.clone(), id).is_some() {
+            return Err(p.err(format!("duplicate object label `{}`", d.label)));
+        }
+    }
+    for d in &decls {
+        let id = by_label[&d.label];
+        let class = model.class_of(id).expect("just added");
+        for (pname, value) in &d.props {
+            let psym = Sym::new(pname);
+            match value {
+                PropValue::Scalar(v) => {
+                    let attr = meta.attr_of(class, psym).ok_or_else(|| {
+                        p.err(format!("class `{}` has no attribute `{pname}`", d.class))
+                    })?;
+                    model.set_attr(id, attr, *v).map_err(|e| p.err(e.to_string()))?;
+                }
+                PropValue::Objects(labels) => {
+                    let r = meta.ref_of(class, psym).ok_or_else(|| {
+                        p.err(format!("class `{}` has no reference `{pname}`", d.class))
+                    })?;
+                    for l in labels {
+                        let dst = *by_label
+                            .get(l)
+                            .ok_or_else(|| p.err(format!("unknown object label `{l}`")))?;
+                        model
+                            .add_link(id, r, dst)
+                            .map_err(|e| p.err(e.to_string()))?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(model)
+}
+
+/// Renders a metamodel in the textual format accepted by
+/// [`parse_metamodel`].
+pub fn print_metamodel(meta: &Metamodel) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "metamodel {} {{", meta.name);
+    for (_, class) in meta.classes() {
+        let kw = if class.is_abstract {
+            "abstract class"
+        } else {
+            "class"
+        };
+        let _ = write!(s, "  {kw} {}", class.name);
+        if !class.supers.is_empty() {
+            let names: Vec<String> = class
+                .supers
+                .iter()
+                .map(|&c| meta.class(c).name.resolve())
+                .collect();
+            let _ = write!(s, " extends {}", names.join(", "));
+        }
+        let _ = writeln!(s, " {{");
+        for &a in &class.own_attrs {
+            let attr = meta.attr(a);
+            let _ = writeln!(s, "    attr {}: {};", attr.name, attr.ty);
+        }
+        for &r in &class.own_refs {
+            let rf = meta.reference(r);
+            let cont = if rf.containment { " containment" } else { "" };
+            let _ = writeln!(
+                s,
+                "    ref {}: {} [{}..{}]{cont};",
+                rf.name,
+                meta.class(rf.target).name,
+                rf.lower,
+                rf.upper
+            );
+        }
+        let _ = writeln!(s, "  }}");
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Renders a model in the textual format accepted by [`parse_model`].
+pub fn print_model(model: &Model) -> String {
+    let meta = model.metamodel();
+    let mut s = String::new();
+    let _ = writeln!(s, "model {} : {} {{", model.name, meta.name);
+    for (id, obj) in model.objects() {
+        let class = meta.class(obj.class);
+        let _ = write!(s, "  o{} = {} {{ ", id.0, class.name);
+        let mut first = true;
+        for (slot, &attr_id) in class.all_attrs.iter().enumerate() {
+            if !first {
+                s.push_str(", ");
+            }
+            first = false;
+            let _ = write!(s, "{} = {}", meta.attr(attr_id).name, obj.attrs[slot]);
+        }
+        for (slot, &ref_id) in class.all_refs.iter().enumerate() {
+            if obj.refs[slot].is_empty() {
+                continue;
+            }
+            if !first {
+                s.push_str(", ");
+            }
+            first = false;
+            let targets: Vec<String> =
+                obj.refs[slot].iter().map(|t| format!("o{}", t.0)).collect();
+            let _ = write!(
+                s,
+                "{} = [{}]",
+                meta.reference(ref_id).name,
+                targets.join(", ")
+            );
+        }
+        let _ = writeln!(s, " }}");
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FM_SRC: &str = r#"
+metamodel FM {
+  class Feature {
+    attr name: Str;
+    attr mandatory: Bool;
+  }
+  class FeatureModel {
+    ref features: Feature [0..*] containment;
+  }
+}
+"#;
+
+    #[test]
+    fn parse_metamodel_basics() {
+        let mm = parse_metamodel(FM_SRC).unwrap();
+        assert_eq!(mm.name.resolve(), "FM");
+        let f = mm.class_named("Feature").unwrap();
+        assert_eq!(mm.class(f).all_attrs.len(), 2);
+        let root = mm.class_named("FeatureModel").unwrap();
+        let r = mm.ref_of(root, Sym::new("features")).unwrap();
+        assert!(mm.reference(r).containment);
+        assert_eq!(mm.reference(r).upper, Upper::Many);
+    }
+
+    #[test]
+    fn parse_model_and_roundtrip() {
+        let mm = parse_metamodel(FM_SRC).unwrap();
+        let src = r#"
+model fm : FM {
+  f1 = Feature { name = "engine", mandatory = true }
+  f2 = Feature { name = "radio" }
+  root = FeatureModel { features = [f1, f2] }
+}
+"#;
+        let m = parse_model(src, &mm).unwrap();
+        assert_eq!(m.len(), 3);
+        let printed = print_model(&m);
+        let m2 = parse_model(&printed, &mm).unwrap();
+        assert!(m.graph_eq(&m2));
+    }
+
+    #[test]
+    fn metamodel_roundtrip() {
+        let mm = parse_metamodel(FM_SRC).unwrap();
+        let printed = print_metamodel(&mm);
+        let mm2 = parse_metamodel(&printed).unwrap();
+        assert_eq!(mm.class_count(), mm2.class_count());
+        assert_eq!(mm.attr_count(), mm2.attr_count());
+        assert_eq!(mm.ref_count(), mm2.ref_count());
+    }
+
+    #[test]
+    fn inheritance_syntax() {
+        let src = r#"
+metamodel X {
+  abstract class Named { attr name: Str; }
+  class Person extends Named { attr age: Int; }
+}
+"#;
+        let mm = parse_metamodel(src).unwrap();
+        let p = mm.class_named("Person").unwrap();
+        let n = mm.class_named("Named").unwrap();
+        assert!(mm.conforms(p, n));
+        assert!(mm.class(n).is_abstract);
+        // Round-trips through the printer too.
+        let mm2 = parse_metamodel(&print_metamodel(&mm)).unwrap();
+        assert!(mm2.conforms(
+            mm2.class_named("Person").unwrap(),
+            mm2.class_named("Named").unwrap()
+        ));
+    }
+
+    #[test]
+    fn forward_references_in_metamodel() {
+        let src = r#"
+metamodel X {
+  class A { ref b: B; }
+  class B { }
+}
+"#;
+        let mm = parse_metamodel(src).unwrap();
+        assert!(mm.class_named("B").is_some());
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse_metamodel("metamodel X {\n  klass Y {}\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("class"));
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let mm = parse_metamodel(FM_SRC).unwrap();
+        let src = r#"model m : FM { root = FeatureModel { features = [ghost] } }"#;
+        let err = parse_model(src, &mm).unwrap_err();
+        assert!(err.msg.contains("ghost"));
+    }
+
+    #[test]
+    fn metamodel_name_mismatch_rejected() {
+        let mm = parse_metamodel(FM_SRC).unwrap();
+        let err = parse_model("model m : CF { }", &mm).unwrap_err();
+        assert!(err.msg.contains("CF"));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let mm = parse_metamodel(FM_SRC).unwrap();
+        let src = r#"model m : FM { f = Feature { name = "a\"b\\c" } }"#;
+        let m = parse_model(src, &mm).unwrap();
+        let (id, _) = m.objects().next().unwrap();
+        assert_eq!(m.attr_named(id, "name").unwrap(), Value::str("a\"b\\c"));
+        // And the printer escapes them back.
+        let m2 = parse_model(&print_model(&m), &mm).unwrap();
+        assert!(m.graph_eq(&m2));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = "// header\nmetamodel X { // c\n  class A { } // trailing\n}";
+        assert!(parse_metamodel(src).is_ok());
+    }
+
+    #[test]
+    fn bounded_multiplicity_syntax() {
+        let src = "metamodel X { class A { ref one: A [1..1]; ref opt: A [0..1]; } }";
+        let mm = parse_metamodel(src).unwrap();
+        let a = mm.class_named("A").unwrap();
+        let one = mm.ref_of(a, Sym::new("one")).unwrap();
+        assert_eq!(mm.reference(one).lower, 1);
+        assert_eq!(mm.reference(one).upper, Upper::Bounded(1));
+    }
+}

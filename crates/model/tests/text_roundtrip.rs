@@ -1,0 +1,129 @@
+//! Property-based round-trip tests for the textual model format over
+//! randomly generated models.
+
+use mmt_model::text::{parse_metamodel, parse_model, print_metamodel, print_model};
+use mmt_model::{conformance, AttrType, Metamodel, MetamodelBuilder, Model, Upper, Value};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn rich_metamodel() -> Arc<Metamodel> {
+    let mut b = MetamodelBuilder::new("Rich");
+    let named = b.abstract_class("Named").unwrap();
+    b.attr(named, "name", AttrType::Str).unwrap();
+    let item = b.class_full("Item", &[named], false).unwrap();
+    b.attr(item, "weight", AttrType::Int).unwrap();
+    b.attr(item, "fragile", AttrType::Bool).unwrap();
+    let bin = b.class_full("Bin", &[named], false).unwrap();
+    b.reference(bin, "holds", item, 0, Upper::Many, true).unwrap();
+    b.reference(bin, "next", bin, 0, Upper::Bounded(1), false)
+        .unwrap();
+    b.build().unwrap()
+}
+
+/// Instruction stream → model, fully deterministic.
+fn build_model(meta: &Arc<Metamodel>, script: &[(u8, u8, i64)]) -> Model {
+    let item = meta.class_named("Item").unwrap();
+    let bin = meta.class_named("Bin").unwrap();
+    let holds = meta
+        .ref_of(bin, mmt_model::Sym::new("holds"))
+        .unwrap();
+    let next = meta.ref_of(bin, mmt_model::Sym::new("next")).unwrap();
+    let mut m = Model::new("m", Arc::clone(meta));
+    for &(op, sel, val) in script {
+        let items: Vec<_> = m.objects_of(item).collect();
+        let bins: Vec<_> = m.objects_of(bin).collect();
+        match op % 6 {
+            0 => {
+                let id = m.add(item).unwrap();
+                m.set_attr_named(id, "name", Value::str(&format!("i{}", val % 10)))
+                    .unwrap();
+                m.set_attr_named(id, "weight", Value::Int(val % 100)).unwrap();
+                m.set_attr_named(id, "fragile", Value::Bool(val % 2 == 0))
+                    .unwrap();
+            }
+            1 => {
+                let id = m.add(bin).unwrap();
+                m.set_attr_named(id, "name", Value::str(&format!("b{}", val % 10)))
+                    .unwrap();
+            }
+            2 => {
+                if !bins.is_empty() && !items.is_empty() {
+                    let b0 = bins[sel as usize % bins.len()];
+                    let i0 = items[val.unsigned_abs() as usize % items.len()];
+                    // Keep containment single-parent: only link if the
+                    // item has no container yet.
+                    let already = bins
+                        .iter()
+                        .any(|&b| m.targets(b, holds).unwrap().contains(&i0));
+                    if !already {
+                        m.add_link(b0, holds, i0).unwrap();
+                    }
+                }
+            }
+            3 => {
+                if bins.len() >= 2 {
+                    let b0 = bins[sel as usize % bins.len()];
+                    let b1 = bins[val.unsigned_abs() as usize % bins.len()];
+                    if m.targets(b0, next).unwrap().is_empty() {
+                        m.add_link(b0, next, b1).unwrap();
+                    }
+                }
+            }
+            4 => {
+                if !items.is_empty() {
+                    let i0 = items[sel as usize % items.len()];
+                    m.set_attr_named(i0, "weight", Value::Int(val)).unwrap();
+                }
+            }
+            _ => {
+                if !items.is_empty() && val % 3 == 0 {
+                    let i0 = items[sel as usize % items.len()];
+                    m.delete(i0).unwrap();
+                }
+            }
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// print → parse reproduces the exact object graph (modulo ids, which
+    /// the printer renumbers densely).
+    #[test]
+    fn model_text_round_trip(script in proptest::collection::vec((0u8..6, 0u8..8, -50i64..50), 0..30)) {
+        let meta = rich_metamodel();
+        let m = build_model(&meta, &script);
+        let printed = print_model(&m);
+        let reparsed = parse_model(&printed, &meta).expect("printer output parses");
+        // Same number of objects per class, same multiset of attribute
+        // tuples, same link count.
+        prop_assert_eq!(m.len(), reparsed.len());
+        let sig = |m: &Model| {
+            let mut v: Vec<String> = m
+                .objects()
+                .map(|(_id, o)| {
+                    let links: usize = o.refs.iter().map(Vec::len).sum();
+                    format!("{:?}|{:?}|{}", o.class, o.attrs, links)
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(sig(&m), sig(&reparsed));
+        // And the reparsed model still conforms.
+        prop_assert!(conformance::is_conformant(&reparsed));
+    }
+
+    /// Metamodel printing round-trips structurally.
+    #[test]
+    fn metamodel_text_round_trip(_x in 0u8..4) {
+        let meta = rich_metamodel();
+        let printed = print_metamodel(&meta);
+        let reparsed = parse_metamodel(&printed).expect("printer output parses");
+        prop_assert_eq!(meta.class_count(), reparsed.class_count());
+        prop_assert_eq!(meta.attr_count(), reparsed.attr_count());
+        prop_assert_eq!(meta.ref_count(), reparsed.ref_count());
+    }
+}

@@ -1,0 +1,197 @@
+//! Unresolved abstract syntax tree, as produced by the parser.
+//!
+//! Names are plain strings with spans; [`crate::resolve`] turns this into
+//! the typed [`crate::hir`] representation against concrete metamodels.
+
+use crate::lexer::Span;
+
+/// A whole `transformation` declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AstTransformation {
+    /// Transformation name.
+    pub name: String,
+    /// Declared model parameters `(model name, metamodel name)`.
+    pub models: Vec<AstModelParam>,
+    /// The relations, in declaration order.
+    pub relations: Vec<AstRelation>,
+    /// Position of the `transformation` keyword.
+    pub span: Span,
+}
+
+/// A model parameter `m : MM` in the transformation header.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AstModelParam {
+    /// Model (domain space) name.
+    pub name: String,
+    /// Metamodel name it conforms to.
+    pub metamodel: String,
+    /// Position.
+    pub span: Span,
+}
+
+/// A `relation` declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AstRelation {
+    /// Relation name.
+    pub name: String,
+    /// Whether declared `top`.
+    pub is_top: bool,
+    /// Declared primitive variables (`n : Str;`).
+    pub vars: Vec<AstVarDecl>,
+    /// Domains, in declaration order.
+    pub domains: Vec<AstDomain>,
+    /// Optional `when { … }` pre-condition.
+    pub when: Option<AstExpr>,
+    /// Optional `where { … }` post-condition.
+    pub where_: Option<AstExpr>,
+    /// `depend …;` clauses (empty ⇒ standard semantics, per §2.2).
+    pub depends: Vec<AstDepend>,
+    /// Position of the relation name.
+    pub span: Span,
+}
+
+/// A declared primitive variable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AstVarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Type name (`Str`, `Bool`, `Int`).
+    pub ty: String,
+    /// Position.
+    pub span: Span,
+}
+
+/// A `domain m v : Class { … }` clause.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AstDomain {
+    /// Model parameter this domain patterns over.
+    pub model: String,
+    /// Root object template.
+    pub template: AstTemplate,
+    /// QVT-R compatibility marker (`checkonly` / `enforce`); recorded but
+    /// not semantically load-bearing — enforcement direction is chosen by
+    /// the *shape* at enforce time (§3).
+    pub qualifier: Option<String>,
+    /// Position.
+    pub span: Span,
+}
+
+/// An object template `v : Class { prop = …, ref = tpl }`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AstTemplate {
+    /// Variable the matched object binds to.
+    pub var: String,
+    /// Class name.
+    pub class: String,
+    /// Property items.
+    pub items: Vec<AstTemplateItem>,
+    /// Position of `var`.
+    pub span: Span,
+}
+
+/// One `prop = value` item inside a template.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AstTemplateItem {
+    /// `attr = expr` — attribute must equal the expression's value.
+    Attr {
+        /// Attribute name.
+        name: String,
+        /// Right-hand side (literal or variable).
+        value: AstExpr,
+        /// Position.
+        span: Span,
+    },
+    /// `ref = v` — some target of the reference is the object bound to `v`.
+    RefVar {
+        /// Reference name.
+        name: String,
+        /// Target variable (bound by another template).
+        var: String,
+        /// Position.
+        span: Span,
+    },
+    /// `ref = v : Class { … }` — some target matches the nested template.
+    RefTemplate {
+        /// Reference name.
+        name: String,
+        /// Nested template (binds its own variable).
+        template: AstTemplate,
+        /// Position.
+        span: Span,
+    },
+}
+
+/// A `depend` clause: `depend a b -> c;`, `depend a -> b c;` (multi-target
+/// sugar), or `depend a | b -> c;` (source-union sugar). Both sugars expand
+/// to plain dependencies per §2.3.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AstDepend {
+    /// Source alternatives: each alternative is a set of model names.
+    /// A single alternative = plain dependency; several = union sugar.
+    pub source_alts: Vec<Vec<String>>,
+    /// Target model names (several = multi-target sugar).
+    pub targets: Vec<String>,
+    /// Position.
+    pub span: Span,
+}
+
+/// Binary comparison operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Expressions in `when`/`where` clauses and template item values.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AstExpr {
+    /// String literal.
+    Str(String, Span),
+    /// Integer literal.
+    Int(i64, Span),
+    /// Boolean literal.
+    Bool(bool, Span),
+    /// Variable reference.
+    Var(String, Span),
+    /// Attribute navigation `v.attr`.
+    Nav(String, String, Span),
+    /// Comparison.
+    Cmp(CmpOp, Box<AstExpr>, Box<AstExpr>, Span),
+    /// Conjunction.
+    And(Box<AstExpr>, Box<AstExpr>),
+    /// Disjunction.
+    Or(Box<AstExpr>, Box<AstExpr>),
+    /// Implication.
+    Implies(Box<AstExpr>, Box<AstExpr>),
+    /// Negation.
+    Not(Box<AstExpr>, Span),
+    /// Relation invocation `R(a, b, c)`.
+    Call(String, Vec<(String, Span)>, Span),
+}
+
+impl AstExpr {
+    /// The position most useful for diagnostics about this expression.
+    pub fn span(&self) -> Span {
+        match self {
+            AstExpr::Str(_, s)
+            | AstExpr::Int(_, s)
+            | AstExpr::Bool(_, s)
+            | AstExpr::Var(_, s)
+            | AstExpr::Nav(_, _, s)
+            | AstExpr::Cmp(_, _, _, s)
+            | AstExpr::Not(_, s)
+            | AstExpr::Call(_, _, s) => *s,
+            AstExpr::And(a, _) | AstExpr::Or(a, _) | AstExpr::Implies(a, _) => a.span(),
+        }
+    }
+}

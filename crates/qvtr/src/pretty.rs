@@ -1,0 +1,304 @@
+//! Pretty-printer: renders a resolved [`Hir`] back to the surface syntax
+//! accepted by [`crate::parser::parse`].
+//!
+//! Useful for the CLI (`mmt deps`), for debugging resolved specifications,
+//! and for round-trip testing the front-end (print ∘ resolve ∘ parse is
+//! the identity up to formatting).
+
+use crate::ast::CmpOp;
+use crate::hir::{Atom, Constraint, Hir, HirDomain, HirExpr, HirRelation, VarId};
+use mmt_deps::DepSet;
+use std::fmt::Write as _;
+
+/// Renders a whole transformation.
+pub fn print_hir(hir: &Hir) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "transformation {}(", hir.name);
+    for (i, m) in hir.models.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{} : {}", m.name, m.meta.name);
+    }
+    s.push_str(") {\n");
+    for rel in &hir.relations {
+        print_relation(hir, rel, &mut s);
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn print_relation(hir: &Hir, rel: &HirRelation, s: &mut String) {
+    let _ = writeln!(
+        s,
+        "  {}relation {} {{",
+        if rel.is_top { "top " } else { "" },
+        rel.name
+    );
+    // Declared primitive variables: those not bound inside templates are
+    // indistinguishable after resolution; declare every primitive
+    // variable explicitly (legal, and re-resolves identically).
+    let prims: Vec<(VarId, &crate::hir::HirVar)> = rel
+        .vars
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (VarId(i as u32), v))
+        .filter(|(_, v)| matches!(v.ty, crate::hir::VarTy::Prim(_)))
+        .collect();
+    for (_, v) in &prims {
+        if let crate::hir::VarTy::Prim(ty) = v.ty {
+            let _ = writeln!(s, "    {} : {};", v.name, ty.name());
+        }
+    }
+    for d in &rel.domains {
+        print_domain(hir, rel, d, s);
+    }
+    if let Some(w) = &rel.when {
+        let _ = writeln!(s, "    when {{ {} }}", expr_str(hir, rel, w));
+    }
+    if let Some(w) = &rel.where_ {
+        let _ = writeln!(s, "    where {{ {} }}", expr_str(hir, rel, w));
+    }
+    print_deps(hir, &rel.deps, s);
+    s.push_str("  }\n");
+}
+
+fn print_domain(hir: &Hir, rel: &HirRelation, d: &HirDomain, s: &mut String) {
+    let model = &hir.models[d.model.index()];
+    let _ = write!(s, "    domain {} ", model.name);
+    print_template(hir, rel, d, d.root, s);
+    s.push_str(";\n");
+}
+
+/// Prints the template rooted at `root` by reassembling the flattened
+/// constraints owned by that object variable.
+fn print_template(hir: &Hir, rel: &HirRelation, d: &HirDomain, root: VarId, s: &mut String) {
+    let model = &hir.models[d.model.index()];
+    let class = d
+        .constraints
+        .iter()
+        .find_map(|c| match *c {
+            Constraint::Obj { var, class, .. } if var == root => Some(class),
+            _ => None,
+        })
+        .expect("every template var has an Obj constraint");
+    let _ = write!(
+        s,
+        "{} : {} {{ ",
+        rel.vars[root.index()].name,
+        model.meta.class(class).name
+    );
+    let mut first = true;
+    for c in &d.constraints {
+        match *c {
+            Constraint::AttrEq { obj, attr, rhs } if obj == root => {
+                if !first {
+                    s.push_str(", ");
+                }
+                first = false;
+                let _ = write!(s, "{} = ", model.meta.attr(attr).name);
+                match rhs {
+                    Atom::Lit(v) => {
+                        let _ = write!(s, "{v}");
+                    }
+                    Atom::Var(v) => {
+                        let _ = write!(s, "{}", rel.vars[v.index()].name);
+                    }
+                }
+            }
+            Constraint::RefContains { obj, r, dst } if obj == root => {
+                if !first {
+                    s.push_str(", ");
+                }
+                first = false;
+                let _ = write!(s, "{} = ", model.meta.reference(r).name);
+                print_template(hir, rel, d, dst, s);
+            }
+            _ => {}
+        }
+    }
+    s.push_str(" }");
+}
+
+fn print_deps(hir: &Hir, deps: &DepSet, s: &mut String) {
+    for dep in deps.deps() {
+        s.push_str("    depend");
+        for m in dep.sources.iter() {
+            let _ = write!(s, " {}", hir.models[m.index()].name);
+        }
+        let _ = writeln!(s, " -> {};", hir.models[dep.target.index()].name);
+    }
+}
+
+fn expr_str(hir: &Hir, rel: &HirRelation, e: &HirExpr) -> String {
+    match e {
+        HirExpr::Lit(v) => v.to_string(),
+        HirExpr::Var(v) => rel.vars[v.index()].name.to_string(),
+        HirExpr::Nav(v, attr) => {
+            let model = match rel.vars[v.index()].ty {
+                crate::hir::VarTy::Obj { model, .. } => model,
+                crate::hir::VarTy::Prim(_) => unreachable!("navigation on object var"),
+            };
+            format!(
+                "{}.{}",
+                rel.vars[v.index()].name,
+                hir.models[model.index()].meta.attr(*attr).name
+            )
+        }
+        HirExpr::Cmp(op, a, b) => {
+            let op = match op {
+                CmpOp::Eq => "=",
+                CmpOp::Neq => "!=",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+            };
+            format!("{} {op} {}", expr_str(hir, rel, a), expr_str(hir, rel, b))
+        }
+        HirExpr::And(a, b) => format!(
+            "({} and {})",
+            expr_str(hir, rel, a),
+            expr_str(hir, rel, b)
+        ),
+        HirExpr::Or(a, b) => format!(
+            "({} or {})",
+            expr_str(hir, rel, a),
+            expr_str(hir, rel, b)
+        ),
+        HirExpr::Implies(a, b) => format!(
+            "({} implies {})",
+            expr_str(hir, rel, a),
+            expr_str(hir, rel, b)
+        ),
+        HirExpr::Not(a) => format!("not ({})", expr_str(hir, rel, a)),
+        HirExpr::Call(rid, args) => {
+            let callee = hir.relation(*rid);
+            let args: Vec<String> = args
+                .iter()
+                .map(|a| rel.vars[a.index()].name.to_string())
+                .collect();
+            format!("{}({})", callee.name, args.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_and_resolve;
+    use mmt_model::text::parse_metamodel;
+    use mmt_model::Metamodel;
+    use std::sync::Arc;
+
+    fn mms() -> Vec<Arc<Metamodel>> {
+        vec![
+            parse_metamodel("metamodel CF { class Feature { attr name: Str; } }").unwrap(),
+            parse_metamodel(
+                "metamodel FM { class Feature { attr name: Str; attr mandatory: Bool; } }",
+            )
+            .unwrap(),
+        ]
+    }
+
+    /// print ∘ resolve ∘ parse round-trips to a structurally identical HIR.
+    #[test]
+    fn round_trip_paper_mf() {
+        let src = r#"
+transformation F(cf1 : CF, cf2 : CF, fm : FM) {
+  top relation MF {
+    n : Str;
+    domain cf1 s1 : Feature { name = n };
+    domain cf2 s2 : Feature { name = n };
+    domain fm  f  : Feature { name = n, mandatory = true };
+    depend cf1 cf2 -> fm;
+    depend fm -> cf1 cf2;
+  }
+}
+"#;
+        let mms = mms();
+        let hir1 = parse_and_resolve(src, &mms).unwrap();
+        let printed = print_hir(&hir1);
+        let hir2 = parse_and_resolve(&printed, &mms).unwrap_or_else(|e| {
+            panic!("re-parse failed: {e}\n--- printed ---\n{printed}")
+        });
+        assert_structurally_equal(&hir1, &hir2, &printed);
+    }
+
+    #[test]
+    fn round_trip_with_when_where_and_calls() {
+        let src = r#"
+transformation F(cf1 : CF, cf2 : CF, fm : FM) {
+  relation Base {
+    b : Str;
+    domain cf1 p : Feature { name = b };
+    domain fm  q : Feature { name = b };
+    depend cf1 -> fm;
+  }
+  top relation R {
+    n : Str;
+    domain cf1 s : Feature { name = n };
+    domain fm  f : Feature { name = n };
+    when { not (n = "legacy") }
+    where { Base(s, f) and f.mandatory = true }
+    depend cf1 -> fm;
+  }
+}
+"#;
+        let mms = mms();
+        let hir1 = parse_and_resolve(src, &mms).unwrap();
+        let printed = print_hir(&hir1);
+        let hir2 = parse_and_resolve(&printed, &mms).unwrap_or_else(|e| {
+            panic!("re-parse failed: {e}\n--- printed ---\n{printed}")
+        });
+        assert_structurally_equal(&hir1, &hir2, &printed);
+    }
+
+    #[test]
+    fn round_trip_nested_templates() {
+        let uml = parse_metamodel(
+            "metamodel UML { class Class { attr name: Str; ref attrs: Attribute [0..*] containment; } class Attribute { attr name: Str; } }",
+        )
+        .unwrap();
+        let rdb = parse_metamodel(
+            "metamodel RDB { class Table { attr name: Str; ref cols: Column [0..*] containment; } class Column { attr name: Str; } }",
+        )
+        .unwrap();
+        let src = r#"
+transformation C2T(uml : UML, rdb : RDB) {
+  top relation AttrToCol {
+    cn, an : Str;
+    domain uml c : Class { name = cn, attrs = a : Attribute { name = an } };
+    domain rdb t : Table { name = cn, cols = col : Column { name = an } };
+  }
+}
+"#;
+        let mms = vec![uml, rdb];
+        let hir1 = parse_and_resolve(src, &mms).unwrap();
+        let printed = print_hir(&hir1);
+        let hir2 = parse_and_resolve(&printed, &mms).unwrap_or_else(|e| {
+            panic!("re-parse failed: {e}\n--- printed ---\n{printed}")
+        });
+        assert_structurally_equal(&hir1, &hir2, &printed);
+    }
+
+    fn assert_structurally_equal(a: &Hir, b: &Hir, printed: &str) {
+        assert_eq!(a.name, b.name, "{printed}");
+        assert_eq!(a.models.len(), b.models.len());
+        assert_eq!(a.relations.len(), b.relations.len());
+        for (ra, rb) in a.relations.iter().zip(&b.relations) {
+            assert_eq!(ra.name, rb.name);
+            assert_eq!(ra.is_top, rb.is_top);
+            assert_eq!(ra.vars.len(), rb.vars.len(), "{printed}");
+            assert_eq!(ra.domains.len(), rb.domains.len());
+            for (da, db) in ra.domains.iter().zip(&rb.domains) {
+                assert_eq!(da.model, db.model);
+                assert_eq!(da.class, db.class);
+                assert_eq!(da.constraints.len(), db.constraints.len(), "{printed}");
+            }
+            assert_eq!(ra.deps.deps(), rb.deps.deps(), "{printed}");
+            assert_eq!(ra.when.is_some(), rb.when.is_some());
+            assert_eq!(ra.where_.is_some(), rb.where_.is_some());
+        }
+    }
+}

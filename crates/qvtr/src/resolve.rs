@@ -1,0 +1,1115 @@
+//! Name resolution, type checking and dependency typing.
+//!
+//! Turns the parsed [`AstTransformation`] plus concrete metamodels into the
+//! typed [`Hir`]. Besides ordinary name/type resolution this implements the
+//! paper's static rules:
+//!
+//! * `depend` clauses are expanded (multi-target and source-union sugar,
+//!   §2.3) and validated (`S ⊆ dom R`, `T ∈ dom R`, `T ∉ S`);
+//! * relations without `depend` clauses default to the *standard semantics*
+//!   dependency set over their domain models (§2.2 conservativity);
+//! * every relation invocation is direction-type-checked: for each
+//!   dependency `S → T` of the caller, the callee must entail the projected
+//!   direction (`D ⊢ d`, §2.3), via linear-time Horn entailment. A `where`
+//!   call whose callee has no domain on the target model is rejected — the
+//!   situation the standard is omissive about.
+
+use crate::ast::*;
+use crate::hir::*;
+use crate::lexer::Span;
+use mmt_deps::{Dep, DepSet, DomIdx, DomSet};
+use mmt_model::{AttrType, Metamodel, Sym, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Classified resolution error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResolveErrorKind {
+    /// A name could not be resolved.
+    Unknown(String),
+    /// A name was declared twice.
+    Duplicate(String),
+    /// A type error in patterns or expressions.
+    Type(String),
+    /// An ill-formed `depend` clause.
+    Dependency(String),
+    /// A relation invocation violating the §2.3 direction typing rule.
+    Direction(String),
+}
+
+/// A resolution error with source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResolveError {
+    /// Where.
+    pub span: Span,
+    /// What.
+    pub kind: ResolveErrorKind,
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (label, msg) = match &self.kind {
+            ResolveErrorKind::Unknown(m) => ("unknown name", m),
+            ResolveErrorKind::Duplicate(m) => ("duplicate", m),
+            ResolveErrorKind::Type(m) => ("type error", m),
+            ResolveErrorKind::Dependency(m) => ("bad dependency", m),
+            ResolveErrorKind::Direction(m) => ("direction type error", m),
+        };
+        write!(f, "{}: {label}: {msg}", self.span)
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+fn err(span: Span, kind: ResolveErrorKind) -> ResolveError {
+    ResolveError { span, kind }
+}
+
+/// Resolves `ast` against `metamodels` (matched by metamodel name).
+pub fn resolve(
+    ast: &AstTransformation,
+    metamodels: &[Arc<Metamodel>],
+) -> Result<Hir, ResolveError> {
+    // Model parameters.
+    let mut models: Vec<ModelParam> = Vec::with_capacity(ast.models.len());
+    let mut model_idx: HashMap<Sym, DomIdx> = HashMap::new();
+    if ast.models.len() > mmt_deps::MAX_DOMAINS {
+        return Err(err(
+            ast.span,
+            ResolveErrorKind::Dependency(format!(
+                "transformations support at most {} models",
+                mmt_deps::MAX_DOMAINS
+            )),
+        ));
+    }
+    for (i, p) in ast.models.iter().enumerate() {
+        let name = Sym::new(&p.name);
+        if model_idx.insert(name, DomIdx(i as u8)).is_some() {
+            return Err(err(
+                p.span,
+                ResolveErrorKind::Duplicate(format!("model parameter `{}`", p.name)),
+            ));
+        }
+        let mm_name = Sym::new(&p.metamodel);
+        let meta = metamodels
+            .iter()
+            .find(|m| m.name == mm_name)
+            .cloned()
+            .ok_or_else(|| {
+                err(
+                    p.span,
+                    ResolveErrorKind::Unknown(format!("metamodel `{}`", p.metamodel)),
+                )
+            })?;
+        models.push(ModelParam { name, meta });
+    }
+    let arity = models.len();
+
+    // Pass A: register relation names.
+    let mut rel_ids: HashMap<Sym, RelId> = HashMap::new();
+    for (i, r) in ast.relations.iter().enumerate() {
+        let name = Sym::new(&r.name);
+        if rel_ids.insert(name, RelId(i as u32)).is_some() {
+            return Err(err(
+                r.span,
+                ResolveErrorKind::Duplicate(format!("relation `{}`", r.name)),
+            ));
+        }
+    }
+
+    // Pass B1: resolve variables, domains and dependency sets.
+    let mut partial: Vec<PartialRelation> = Vec::with_capacity(ast.relations.len());
+    for r in &ast.relations {
+        partial.push(resolve_structure(r, &models, &model_idx, arity)?);
+    }
+
+    // Pass B2: resolve when/where and type-check calls & directions.
+    let mut relations: Vec<HirRelation> = Vec::with_capacity(partial.len());
+    for (i, r) in ast.relations.iter().enumerate() {
+        let p = &partial[i];
+        let when = r
+            .when
+            .as_ref()
+            .map(|e| resolve_expr(e, p, &models, &rel_ids, &partial))
+            .transpose()?;
+        let where_ = r
+            .where_
+            .as_ref()
+            .map(|e| resolve_expr(e, p, &models, &rel_ids, &partial))
+            .transpose()?;
+        // Direction typing of calls, per attached dependency of the caller.
+        if let Some(w) = &when {
+            check_call_directions(w, p, &partial, CallSite::When, r.span)?;
+        }
+        if let Some(w) = &where_ {
+            check_call_directions(w, p, &partial, CallSite::Where, r.span)?;
+        }
+        relations.push(HirRelation {
+            name: p.name,
+            is_top: r.is_top,
+            vars: p.vars.clone(),
+            domains: p.domains.clone(),
+            when,
+            where_,
+            deps: p.deps.clone(),
+        });
+    }
+    Ok(Hir::new(Sym::new(&ast.name), models, relations))
+}
+
+/// Relation structure resolved in pass B1 (everything but when/where).
+struct PartialRelation {
+    name: Sym,
+    vars: Vec<HirVar>,
+    var_ids: HashMap<Sym, VarId>,
+    domains: Vec<HirDomain>,
+    deps: DepSet,
+}
+
+fn resolve_structure(
+    r: &AstRelation,
+    models: &[ModelParam],
+    model_idx: &HashMap<Sym, DomIdx>,
+    arity: usize,
+) -> Result<PartialRelation, ResolveError> {
+    let mut p = PartialRelation {
+        name: Sym::new(&r.name),
+        vars: Vec::new(),
+        var_ids: HashMap::new(),
+        domains: Vec::new(),
+        deps: DepSet::new(arity),
+    };
+    // Declared primitive variables.
+    for v in &r.vars {
+        let ty = match v.ty.as_str() {
+            "Str" | "String" => AttrType::Str,
+            "Bool" | "Boolean" => AttrType::Bool,
+            "Int" | "Integer" => AttrType::Int,
+            other => {
+                return Err(err(
+                    v.span,
+                    ResolveErrorKind::Unknown(format!("primitive type `{other}`")),
+                ))
+            }
+        };
+        declare_var(&mut p, Sym::new(&v.name), VarTy::Prim(ty), v.span)?;
+    }
+    // Domains.
+    for d in &r.domains {
+        let model = *model_idx.get(&Sym::new(&d.model)).ok_or_else(|| {
+            err(
+                d.span,
+                ResolveErrorKind::Unknown(format!("model parameter `{}`", d.model)),
+            )
+        })?;
+        if p.domains.iter().any(|dom| dom.model == model) {
+            return Err(err(
+                d.span,
+                ResolveErrorKind::Duplicate(format!(
+                    "domain over model `{}` in relation `{}`",
+                    d.model, r.name
+                )),
+            ));
+        }
+        let meta = &models[model.index()].meta;
+        let mut constraints = Vec::new();
+        let mut dvars = Vec::new();
+        let root = resolve_template(
+            &d.template,
+            model,
+            meta,
+            &mut p,
+            &mut constraints,
+            &mut dvars,
+        )?;
+        let class = match p.vars[root.index()].ty {
+            VarTy::Obj { class, .. } => class,
+            VarTy::Prim(_) => unreachable!("template root is an object var"),
+        };
+        p.domains.push(HirDomain {
+            model,
+            root,
+            class,
+            constraints,
+            vars: dvars,
+        });
+    }
+    if p.domains.len() < 2 {
+        return Err(err(
+            r.span,
+            ResolveErrorKind::Dependency(format!(
+                "relation `{}` needs at least two domains",
+                r.name
+            )),
+        ));
+    }
+    // Dependencies.
+    let dom_models = DomSet::from_iter(p.domains.iter().map(|d| d.model));
+    if r.depends.is_empty() {
+        // §2.2: the conservative default — standard semantics over the
+        // relation's own domain models.
+        for d in &p.domains {
+            let dep = Dep::new(dom_models.without(d.model), d.model)
+                .expect("target removed from sources");
+            p.deps.add(dep).expect("arity-checked");
+        }
+    } else {
+        for ad in &r.depends {
+            let mut targets = Vec::new();
+            for t in &ad.targets {
+                let ti = *model_idx.get(&Sym::new(t)).ok_or_else(|| {
+                    err(
+                        ad.span,
+                        ResolveErrorKind::Unknown(format!("model parameter `{t}`")),
+                    )
+                })?;
+                if !dom_models.contains(ti) {
+                    return Err(err(
+                        ad.span,
+                        ResolveErrorKind::Dependency(format!(
+                            "target `{t}` is not a domain of relation `{}`",
+                            r.name
+                        )),
+                    ));
+                }
+                targets.push(ti);
+            }
+            for alt in &ad.source_alts {
+                let mut sources = DomSet::EMPTY;
+                for s in alt {
+                    let si = *model_idx.get(&Sym::new(s)).ok_or_else(|| {
+                        err(
+                            ad.span,
+                            ResolveErrorKind::Unknown(format!("model parameter `{s}`")),
+                        )
+                    })?;
+                    if !dom_models.contains(si) {
+                        return Err(err(
+                            ad.span,
+                            ResolveErrorKind::Dependency(format!(
+                                "source `{s}` is not a domain of relation `{}`",
+                                r.name
+                            )),
+                        ));
+                    }
+                    sources = sources.with(si);
+                }
+                for &t in &targets {
+                    let dep = Dep::new(sources, t).map_err(|e| {
+                        err(ad.span, ResolveErrorKind::Dependency(e.to_string()))
+                    })?;
+                    p.deps
+                        .add(dep)
+                        .map_err(|e| err(ad.span, ResolveErrorKind::Dependency(e.to_string())))?;
+                }
+            }
+        }
+    }
+    Ok(p)
+}
+
+fn declare_var(
+    p: &mut PartialRelation,
+    name: Sym,
+    ty: VarTy,
+    span: Span,
+) -> Result<VarId, ResolveError> {
+    if p.var_ids.contains_key(&name) {
+        return Err(err(
+            span,
+            ResolveErrorKind::Duplicate(format!("variable `{name}`")),
+        ));
+    }
+    let id = VarId(p.vars.len() as u32);
+    p.vars.push(HirVar { name, ty });
+    p.var_ids.insert(name, id);
+    Ok(id)
+}
+
+/// Resolves a template, flattening it into constraints. Returns the root
+/// variable.
+fn resolve_template(
+    t: &AstTemplate,
+    model: DomIdx,
+    meta: &Arc<Metamodel>,
+    p: &mut PartialRelation,
+    constraints: &mut Vec<Constraint>,
+    dvars: &mut Vec<VarId>,
+) -> Result<VarId, ResolveError> {
+    let class = meta.class_named(&t.class).ok_or_else(|| {
+        err(
+            t.span,
+            ResolveErrorKind::Unknown(format!("class `{}` in metamodel `{}`", t.class, meta.name)),
+        )
+    })?;
+    let root = declare_var(p, Sym::new(&t.var), VarTy::Obj { model, class }, t.span)?;
+    constraints.push(Constraint::Obj {
+        var: root,
+        model,
+        class,
+    });
+    dvars.push(root);
+    for item in &t.items {
+        match item {
+            AstTemplateItem::Attr { name, value, span } => {
+                let psym = Sym::new(name);
+                if let Some(attr) = meta.attr_of(class, psym) {
+                    let decl_ty = meta.attr(attr).ty;
+                    let rhs = match value {
+                        AstExpr::Str(s, _) => Atom::Lit(Value::str(s)),
+                        AstExpr::Int(i, _) => Atom::Lit(Value::Int(*i)),
+                        AstExpr::Bool(b, _) => Atom::Lit(Value::Bool(*b)),
+                        AstExpr::Var(vname, vspan) => {
+                            let vsym = Sym::new(vname);
+                            match p.var_ids.get(&vsym) {
+                                Some(&vid) => match p.vars[vid.index()].ty {
+                                    VarTy::Prim(t2) if t2 == decl_ty => Atom::Var(vid),
+                                    VarTy::Prim(t2) => {
+                                        return Err(err(
+                                            *vspan,
+                                            ResolveErrorKind::Type(format!(
+                                                "variable `{vname}` has type {t2:?}, attribute `{name}` needs {decl_ty:?}"
+                                            )),
+                                        ))
+                                    }
+                                    VarTy::Obj { .. } => {
+                                        return Err(err(
+                                            *vspan,
+                                            ResolveErrorKind::Type(format!(
+                                                "object variable `{vname}` used in attribute position `{name}`"
+                                            )),
+                                        ))
+                                    }
+                                },
+                                None => {
+                                    // QVT-R implicit variable declaration.
+                                    let vid =
+                                        declare_var(p, vsym, VarTy::Prim(decl_ty), *vspan)?;
+                                    Atom::Var(vid)
+                                }
+                            }
+                        }
+                        other => {
+                            return Err(err(
+                                other.span(),
+                                ResolveErrorKind::Type(format!(
+                                    "attribute `{name}` value must be a literal or a variable"
+                                )),
+                            ))
+                        }
+                    };
+                    if let Atom::Lit(v) = rhs {
+                        if v.ty() != decl_ty {
+                            return Err(err(
+                                *span,
+                                ResolveErrorKind::Type(format!(
+                                    "attribute `{name}` expects {decl_ty:?}"
+                                )),
+                            ));
+                        }
+                    }
+                    if let Atom::Var(vid) = rhs {
+                        if !dvars.contains(&vid) {
+                            dvars.push(vid);
+                        }
+                    }
+                    constraints.push(Constraint::AttrEq {
+                        obj: root,
+                        attr,
+                        rhs,
+                    });
+                } else if let Some(rid) = meta.ref_of(class, psym) {
+                    // `ref = v` with a plain variable.
+                    let target_class = meta.reference(rid).target;
+                    let vname = match value {
+                        AstExpr::Var(v, _) => v,
+                        other => {
+                            return Err(err(
+                                other.span(),
+                                ResolveErrorKind::Type(format!(
+                                    "reference `{name}` value must be a variable or nested template"
+                                )),
+                            ))
+                        }
+                    };
+                    let vsym = Sym::new(vname);
+                    let dst = match p.var_ids.get(&vsym) {
+                        Some(&vid) => match p.vars[vid.index()].ty {
+                            VarTy::Obj {
+                                model: m2,
+                                class: c2,
+                            } => {
+                                if m2 != model {
+                                    return Err(err(
+                                        *span,
+                                        ResolveErrorKind::Type(format!(
+                                            "reference `{name}` target `{vname}` lives in another model"
+                                        )),
+                                    ));
+                                }
+                                if !meta.conforms(c2, target_class) {
+                                    return Err(err(
+                                        *span,
+                                        ResolveErrorKind::Type(format!(
+                                            "reference `{name}` target `{vname}` has incompatible class"
+                                        )),
+                                    ));
+                                }
+                                vid
+                            }
+                            VarTy::Prim(_) => {
+                                return Err(err(
+                                    *span,
+                                    ResolveErrorKind::Type(format!(
+                                        "primitive variable `{vname}` used as reference target"
+                                    )),
+                                ))
+                            }
+                        },
+                        None => declare_var(
+                            p,
+                            vsym,
+                            VarTy::Obj {
+                                model,
+                                class: target_class,
+                            },
+                            *span,
+                        )?,
+                    };
+                    if !dvars.contains(&dst) {
+                        dvars.push(dst);
+                    }
+                    constraints.push(Constraint::RefContains {
+                        obj: root,
+                        r: rid,
+                        dst,
+                    });
+                } else {
+                    return Err(err(
+                        *span,
+                        ResolveErrorKind::Unknown(format!(
+                            "property `{name}` on class `{}`",
+                            t.class
+                        )),
+                    ));
+                }
+            }
+            AstTemplateItem::RefVar { name, var, span } => {
+                // Parser never emits this directly (kept for programmatic
+                // AST construction); reuse the Attr path's logic.
+                let item = AstTemplateItem::Attr {
+                    name: name.clone(),
+                    value: AstExpr::Var(var.clone(), *span),
+                    span: *span,
+                };
+                let tpl = AstTemplate {
+                    var: t.var.clone(),
+                    class: t.class.clone(),
+                    items: vec![item],
+                    span: *span,
+                };
+                // Resolve just this item against the already-declared root:
+                // simplest is to inline: but recursion would redeclare the
+                // root. Handle by erroring: programmatic ASTs should use
+                // `Attr` with a Var value.
+                let _ = tpl;
+                return Err(err(
+                    *span,
+                    ResolveErrorKind::Type(
+                        "RefVar items are normalized to Attr items by the parser".into(),
+                    ),
+                ));
+            }
+            AstTemplateItem::RefTemplate {
+                name,
+                template,
+                span,
+            } => {
+                let psym = Sym::new(name);
+                let rid = meta.ref_of(class, psym).ok_or_else(|| {
+                    err(
+                        *span,
+                        ResolveErrorKind::Unknown(format!(
+                            "reference `{name}` on class `{}`",
+                            t.class
+                        )),
+                    )
+                })?;
+                let target_class = meta.reference(rid).target;
+                let nested = resolve_template(template, model, meta, p, constraints, dvars)?;
+                let nclass = match p.vars[nested.index()].ty {
+                    VarTy::Obj { class, .. } => class,
+                    VarTy::Prim(_) => unreachable!(),
+                };
+                if !meta.conforms(nclass, target_class) {
+                    return Err(err(
+                        *span,
+                        ResolveErrorKind::Type(format!(
+                            "nested template class does not conform to reference `{name}` target"
+                        )),
+                    ));
+                }
+                constraints.push(Constraint::RefContains {
+                    obj: root,
+                    r: rid,
+                    dst: nested,
+                });
+            }
+        }
+    }
+    Ok(root)
+}
+
+/// Expression types for checking.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum ExprTy {
+    Prim(AttrType),
+    Obj(DomIdx, mmt_model::ClassId),
+    Bool,
+}
+
+fn resolve_expr(
+    e: &AstExpr,
+    p: &PartialRelation,
+    models: &[ModelParam],
+    rel_ids: &HashMap<Sym, RelId>,
+    partial: &[PartialRelation],
+) -> Result<HirExpr, ResolveError> {
+    let (h, _) = resolve_expr_ty(e, p, models, rel_ids, partial)?;
+    Ok(h)
+}
+
+fn resolve_expr_ty(
+    e: &AstExpr,
+    p: &PartialRelation,
+    models: &[ModelParam],
+    rel_ids: &HashMap<Sym, RelId>,
+    partial: &[PartialRelation],
+) -> Result<(HirExpr, ExprTy), ResolveError> {
+    match e {
+        AstExpr::Str(s, _) => Ok((
+            HirExpr::Lit(Value::str(s)),
+            ExprTy::Prim(AttrType::Str),
+        )),
+        AstExpr::Int(i, _) => Ok((HirExpr::Lit(Value::Int(*i)), ExprTy::Prim(AttrType::Int))),
+        AstExpr::Bool(b, _) => Ok((
+            HirExpr::Lit(Value::Bool(*b)),
+            ExprTy::Prim(AttrType::Bool),
+        )),
+        AstExpr::Var(name, span) => {
+            let vid = *p.var_ids.get(&Sym::new(name)).ok_or_else(|| {
+                err(
+                    *span,
+                    ResolveErrorKind::Unknown(format!("variable `{name}`")),
+                )
+            })?;
+            let ty = match p.vars[vid.index()].ty {
+                VarTy::Prim(t) => ExprTy::Prim(t),
+                VarTy::Obj { model, class } => ExprTy::Obj(model, class),
+            };
+            Ok((HirExpr::Var(vid), ty))
+        }
+        AstExpr::Nav(vname, aname, span) => {
+            let vid = *p.var_ids.get(&Sym::new(vname)).ok_or_else(|| {
+                err(
+                    *span,
+                    ResolveErrorKind::Unknown(format!("variable `{vname}`")),
+                )
+            })?;
+            let (model, class) = match p.vars[vid.index()].ty {
+                VarTy::Obj { model, class } => (model, class),
+                VarTy::Prim(_) => {
+                    return Err(err(
+                        *span,
+                        ResolveErrorKind::Type(format!(
+                            "`.{aname}` navigation on primitive variable `{vname}`"
+                        )),
+                    ))
+                }
+            };
+            let meta = &models[model.index()].meta;
+            let attr = meta.attr_of(class, Sym::new(aname)).ok_or_else(|| {
+                err(
+                    *span,
+                    ResolveErrorKind::Unknown(format!(
+                        "attribute `{aname}` on class `{}`",
+                        meta.class(class).name
+                    )),
+                )
+            })?;
+            Ok((HirExpr::Nav(vid, attr), ExprTy::Prim(meta.attr(attr).ty)))
+        }
+        AstExpr::Cmp(op, a, b, span) => {
+            let (ha, ta) = resolve_expr_ty(a, p, models, rel_ids, partial)?;
+            let (hb, tb) = resolve_expr_ty(b, p, models, rel_ids, partial)?;
+            let ok = match op {
+                CmpOp::Eq | CmpOp::Neq => ta == tb,
+                _ => ta == ExprTy::Prim(AttrType::Int) && tb == ExprTy::Prim(AttrType::Int),
+            };
+            if !ok {
+                return Err(err(
+                    *span,
+                    ResolveErrorKind::Type(format!(
+                        "comparison operand types mismatch ({ta:?} vs {tb:?})"
+                    )),
+                ));
+            }
+            Ok((HirExpr::Cmp(*op, Box::new(ha), Box::new(hb)), ExprTy::Bool))
+        }
+        AstExpr::And(a, b) | AstExpr::Or(a, b) | AstExpr::Implies(a, b) => {
+            let (ha, ta) = resolve_expr_ty(a, p, models, rel_ids, partial)?;
+            let (hb, tb) = resolve_expr_ty(b, p, models, rel_ids, partial)?;
+            for (t, side) in [(ta, a), (tb, b)] {
+                if !matches!(t, ExprTy::Bool | ExprTy::Prim(AttrType::Bool)) {
+                    return Err(err(
+                        side.span(),
+                        ResolveErrorKind::Type("logical operand must be boolean".into()),
+                    ));
+                }
+            }
+            let h = match e {
+                AstExpr::And(..) => HirExpr::And(Box::new(ha), Box::new(hb)),
+                AstExpr::Or(..) => HirExpr::Or(Box::new(ha), Box::new(hb)),
+                _ => HirExpr::Implies(Box::new(ha), Box::new(hb)),
+            };
+            Ok((h, ExprTy::Bool))
+        }
+        AstExpr::Not(a, span) => {
+            let (ha, ta) = resolve_expr_ty(a, p, models, rel_ids, partial)?;
+            if !matches!(ta, ExprTy::Bool | ExprTy::Prim(AttrType::Bool)) {
+                return Err(err(
+                    *span,
+                    ResolveErrorKind::Type("`not` operand must be boolean".into()),
+                ));
+            }
+            Ok((HirExpr::Not(Box::new(ha)), ExprTy::Bool))
+        }
+        AstExpr::Call(rname, args, span) => {
+            let rid = *rel_ids.get(&Sym::new(rname)).ok_or_else(|| {
+                err(
+                    *span,
+                    ResolveErrorKind::Unknown(format!("relation `{rname}`")),
+                )
+            })?;
+            let callee = &partial[rid.index()];
+            if callee.name == p.name {
+                return Err(err(
+                    *span,
+                    ResolveErrorKind::Direction(format!(
+                        "relation `{rname}` may not call itself"
+                    )),
+                ));
+            }
+            if args.len() != callee.domains.len() {
+                return Err(err(
+                    *span,
+                    ResolveErrorKind::Type(format!(
+                        "relation `{rname}` has {} domains, call passes {} arguments",
+                        callee.domains.len(),
+                        args.len()
+                    )),
+                ));
+            }
+            let mut arg_ids = Vec::with_capacity(args.len());
+            for ((aname, aspan), dom) in args.iter().zip(&callee.domains) {
+                let vid = *p.var_ids.get(&Sym::new(aname)).ok_or_else(|| {
+                    err(
+                        *aspan,
+                        ResolveErrorKind::Unknown(format!("variable `{aname}`")),
+                    )
+                })?;
+                match p.vars[vid.index()].ty {
+                    VarTy::Obj { model, class } => {
+                        if model != dom.model {
+                            return Err(err(
+                                *aspan,
+                                ResolveErrorKind::Type(format!(
+                                    "argument `{aname}` lives in model `{}`, callee domain expects `{}`",
+                                    models[model.index()].name,
+                                    models[dom.model.index()].name
+                                )),
+                            ));
+                        }
+                        let meta = &models[model.index()].meta;
+                        if !meta.conforms(class, dom.class) {
+                            return Err(err(
+                                *aspan,
+                                ResolveErrorKind::Type(format!(
+                                    "argument `{aname}` class does not conform to callee domain class"
+                                )),
+                            ));
+                        }
+                    }
+                    VarTy::Prim(_) => {
+                        return Err(err(
+                            *aspan,
+                            ResolveErrorKind::Type(format!(
+                                "primitive variable `{aname}` passed as relation argument"
+                            )),
+                        ))
+                    }
+                }
+                arg_ids.push(vid);
+            }
+            Ok((HirExpr::Call(rid, arg_ids), ExprTy::Bool))
+        }
+    }
+}
+
+/// Whether a call occurs in `when` or `where`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum CallSite {
+    When,
+    Where,
+}
+
+/// §2.3 direction typing: for each dependency `S → T` of the caller and
+/// each call `Q(…)`, project the direction onto the callee's domain models
+/// and require `Q̄ ⊢ (S ∩ dom Q) → T` when `T ∈ dom Q`. A `where` call with
+/// `T ∉ dom Q` cannot constrain the target and is rejected.
+fn check_call_directions(
+    expr: &HirExpr,
+    caller: &PartialRelation,
+    partial: &[PartialRelation],
+    site: CallSite,
+    span: Span,
+) -> Result<(), ResolveError> {
+    let mut calls = Vec::new();
+    expr.calls(&mut calls);
+    for (rid, _) in calls {
+        let callee = &partial[rid.index()];
+        let callee_models = DomSet::from_iter(callee.domains.iter().map(|d| d.model));
+        for dep in caller.deps.deps() {
+            let proj_sources = dep.sources.intersect(callee_models);
+            if callee_models.contains(dep.target) {
+                let required = Dep::new(proj_sources, dep.target).expect("disjoint by caller dep");
+                if !callee.deps.entails(required) {
+                    return Err(err(
+                        span,
+                        ResolveErrorKind::Direction(format!(
+                            "relation `{}` (deps {}) calls `{}` (deps {}), which does not entail the required direction {}",
+                            caller.name, caller.deps, callee.name, callee.deps, required
+                        )),
+                    ));
+                }
+            } else if site == CallSite::Where {
+                return Err(err(
+                    span,
+                    ResolveErrorKind::Direction(format!(
+                        "`where` of relation `{}` calls `{}`, which has no domain over the target model of dependency {}",
+                        caller.name, callee.name, dep
+                    )),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use mmt_model::text::parse_metamodel;
+
+    fn fm_cf_metamodels() -> Vec<Arc<Metamodel>> {
+        let fm = parse_metamodel(
+            "metamodel FM { class Feature { attr name: Str; attr mandatory: Bool; } }",
+        )
+        .unwrap();
+        let cf = parse_metamodel("metamodel CF { class Feature { attr name: Str; } }").unwrap();
+        vec![fm, cf]
+    }
+
+    const MF_SRC: &str = r#"
+transformation FeatureConfig(cf1 : CF, cf2 : CF, fm : FM) {
+  top relation MF {
+    n : Str;
+    domain cf1 s1 : Feature { name = n };
+    domain cf2 s2 : Feature { name = n };
+    domain fm  f  : Feature { name = n, mandatory = true };
+    depend cf1 cf2 -> fm;
+    depend fm -> cf1 cf2;
+  }
+}
+"#;
+
+    #[test]
+    fn resolves_paper_mf() {
+        let ast = parse(MF_SRC).unwrap();
+        let hir = resolve(&ast, &fm_cf_metamodels()).unwrap();
+        assert_eq!(hir.arity(), 3);
+        let r = &hir.relations[0];
+        assert_eq!(r.domains.len(), 3);
+        // n + s1 + s2 + f = 4 variables.
+        assert_eq!(r.vars.len(), 4);
+        // deps: {cf1 cf2 → fm, fm → cf1, fm → cf2}.
+        assert_eq!(r.deps.len(), 3);
+        assert!(r.deps.deps().contains(&Dep::of(&[0, 1], 2)));
+        assert!(r.deps.deps().contains(&Dep::of(&[2], 0)));
+        assert!(r.deps.deps().contains(&Dep::of(&[2], 1)));
+        // MF's pattern over fm includes mandatory = true.
+        let fm_dom = r.domain_for_model(DomIdx(2)).unwrap();
+        assert_eq!(fm_dom.constraints.len(), 3); // Obj + name + mandatory
+    }
+
+    #[test]
+    fn default_is_standard_semantics() {
+        let src = r#"
+transformation T(cf1 : CF, cf2 : CF, fm : FM) {
+  top relation R {
+    n : Str;
+    domain cf1 s1 : Feature { name = n };
+    domain fm  f  : Feature { name = n };
+  }
+}
+"#;
+        let ast = parse(src).unwrap();
+        let hir = resolve(&ast, &fm_cf_metamodels()).unwrap();
+        let r = &hir.relations[0];
+        // Standard semantics over the relation's own domains {cf1, fm}:
+        // {fm → cf1, cf1 → fm}.
+        assert_eq!(r.deps.len(), 2);
+        assert!(r.deps.deps().contains(&Dep::of(&[2], 0)));
+        assert!(r.deps.deps().contains(&Dep::of(&[0], 2)));
+    }
+
+    #[test]
+    fn implicit_prim_vars() {
+        let src = r#"
+transformation T(cf1 : CF, fm : FM) {
+  top relation R {
+    domain cf1 s : Feature { name = n };
+    domain fm  f : Feature { name = n };
+  }
+}
+"#;
+        let ast = parse(src).unwrap();
+        let hir = resolve(&ast, &fm_cf_metamodels()).unwrap();
+        let r = &hir.relations[0];
+        // s, n, f — n implicitly declared with the attribute's type.
+        let n = r.var_named(Sym::new("n")).unwrap();
+        assert_eq!(r.vars[n.index()].ty, VarTy::Prim(AttrType::Str));
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        let mms = fm_cf_metamodels();
+        let bad_class = r#"
+transformation T(cf1 : CF, fm : FM) {
+  top relation R {
+    domain cf1 s : Nope { };
+    domain fm f : Feature { };
+  }
+}
+"#;
+        let e = resolve(&parse(bad_class).unwrap(), &mms).unwrap_err();
+        assert!(matches!(e.kind, ResolveErrorKind::Unknown(_)));
+
+        let bad_attr = bad_class.replace("Nope { }", "Feature { nope = n }");
+        let e = resolve(&parse(&bad_attr).unwrap(), &mms).unwrap_err();
+        assert!(matches!(e.kind, ResolveErrorKind::Unknown(_)));
+
+        let bad_mm = bad_class.replace("cf1 : CF", "cf1 : ZZ");
+        let e = resolve(&parse(&bad_mm).unwrap(), &mms).unwrap_err();
+        assert!(matches!(e.kind, ResolveErrorKind::Unknown(_)));
+    }
+
+    #[test]
+    fn attr_type_mismatch_rejected() {
+        let src = r#"
+transformation T(cf1 : CF, fm : FM) {
+  top relation R {
+    domain cf1 s : Feature { name = 42 };
+    domain fm f : Feature { };
+  }
+}
+"#;
+        let e = resolve(&parse(src).unwrap(), &fm_cf_metamodels()).unwrap_err();
+        assert!(matches!(e.kind, ResolveErrorKind::Type(_)));
+    }
+
+    #[test]
+    fn dependency_on_non_domain_model_rejected() {
+        let src = r#"
+transformation T(cf1 : CF, cf2 : CF, fm : FM) {
+  top relation R {
+    n : Str;
+    domain cf1 s : Feature { name = n };
+    domain fm f : Feature { name = n };
+    depend cf2 -> fm;
+  }
+}
+"#;
+        let e = resolve(&parse(src).unwrap(), &fm_cf_metamodels()).unwrap_err();
+        assert!(matches!(e.kind, ResolveErrorKind::Dependency(_)));
+    }
+
+    #[test]
+    fn reversed_call_direction_rejected() {
+        // The paper's §2.3 example: R̄ = {a→b} calling S̄ = {b→a}.
+        let mm =
+            parse_metamodel("metamodel M { class K { attr name: Str; } }").unwrap();
+        let src = r#"
+transformation T(a : M, b : M) {
+  relation S {
+    n : Str;
+    domain a x : K { name = n };
+    domain b y : K { name = n };
+    depend b -> a;
+  }
+  top relation R {
+    m : Str;
+    domain a u : K { name = m };
+    domain b v : K { name = m };
+    depend a -> b;
+    where { S(u, v) }
+  }
+}
+"#;
+        let e = resolve(&parse(src).unwrap(), &[mm.clone()]).unwrap_err();
+        assert!(matches!(e.kind, ResolveErrorKind::Direction(_)));
+
+        // Flipping the callee's dependency makes it well-typed.
+        let ok = src.replace("depend b -> a;", "depend a -> b;");
+        assert!(resolve(&parse(&ok).unwrap(), &[mm]).is_ok());
+    }
+
+    #[test]
+    fn entailed_call_direction_accepted() {
+        // Callee deps {a→b, b→c} entail the required a→c? The caller runs
+        // a→c and the callee spans (a, c) only via entailment over three
+        // domains — model space is shared, so S projects cleanly.
+        let mm = parse_metamodel("metamodel M { class K { attr name: Str; } }").unwrap();
+        let src = r#"
+transformation T(a : M, b : M, c : M) {
+  relation S {
+    n : Str;
+    domain a x : K { name = n };
+    domain b y : K { name = n };
+    domain c z : K { name = n };
+    depend a -> b;
+    depend b -> c;
+  }
+  top relation R {
+    m : Str;
+    domain a u : K { name = m };
+    domain b v : K { name = m };
+    domain c w : K { name = m };
+    depend a -> c;
+    where { S(u, v, w) }
+  }
+}
+"#;
+        // Required direction for the call under caller dep a→c is
+        // {a} → c; callee deps {a→b, b→c} ⊢ a→c. Accepted.
+        assert!(resolve(&parse(src).unwrap(), &[mm]).is_ok());
+    }
+
+    #[test]
+    fn where_call_without_target_domain_rejected() {
+        // Caller runs towards fm; callee has no fm domain (the standard's
+        // omissive case, which we flag statically).
+        let mm1 = parse_metamodel("metamodel CF { class Feature { attr name: Str; } }").unwrap();
+        let mm2 = parse_metamodel(
+            "metamodel FM { class Feature { attr name: Str; attr mandatory: Bool; } }",
+        )
+        .unwrap();
+        let src = r#"
+transformation T(cf1 : CF, cf2 : CF, fm : FM) {
+  relation S {
+    n : Str;
+    domain cf1 x : Feature { name = n };
+    domain cf2 y : Feature { name = n };
+  }
+  top relation R {
+    m : Str;
+    domain cf1 u : Feature { name = m };
+    domain cf2 v : Feature { name = m };
+    domain fm  w : Feature { name = m };
+    depend cf1 cf2 -> fm;
+    where { S(u, v) }
+  }
+}
+"#;
+        let e = resolve(&parse(src).unwrap(), &[mm1, mm2]).unwrap_err();
+        assert!(matches!(e.kind, ResolveErrorKind::Direction(_)));
+    }
+
+    #[test]
+    fn nested_template_resolution() {
+        let mm = parse_metamodel(
+            "metamodel UML { class Class { attr name: Str; ref attrs: Attribute [0..*] containment; } class Attribute { attr name: Str; } }",
+        )
+        .unwrap();
+        let mm2 = parse_metamodel(
+            "metamodel RDB { class Table { attr name: Str; ref cols: Column [0..*] containment; } class Column { attr name: Str; } }",
+        )
+        .unwrap();
+        let src = r#"
+transformation C2T(uml : UML, rdb : RDB) {
+  top relation AttrToCol {
+    cn, an : Str;
+    domain uml c : Class { name = cn, attrs = a : Attribute { name = an } };
+    domain rdb t : Table { name = cn, cols = col : Column { name = an } };
+  }
+}
+"#;
+        let hir = resolve(&parse(src).unwrap(), &[mm, mm2]).unwrap();
+        let r = &hir.relations[0];
+        // Each domain: Obj(root) + AttrEq + Obj(nested) + AttrEq + RefContains.
+        assert_eq!(r.domains[0].constraints.len(), 5);
+        assert_eq!(r.domains[0].vars.len(), 4); // c, cn, a, an
+    }
+
+    #[test]
+    fn duplicate_domain_model_rejected() {
+        let src = r#"
+transformation T(cf1 : CF, fm : FM) {
+  top relation R {
+    domain cf1 a : Feature { };
+    domain cf1 b : Feature { };
+  }
+}
+"#;
+        let e = resolve(&parse(src).unwrap(), &fm_cf_metamodels()).unwrap_err();
+        assert!(matches!(e.kind, ResolveErrorKind::Duplicate(_)));
+    }
+
+    #[test]
+    fn when_where_type_checked() {
+        let mms = fm_cf_metamodels();
+        let src = r#"
+transformation T(cf1 : CF, fm : FM) {
+  top relation R {
+    n : Str;
+    domain cf1 s : Feature { name = n };
+    domain fm f : Feature { name = n };
+    when { n = 42 }
+  }
+}
+"#;
+        let e = resolve(&parse(src).unwrap(), &mms).unwrap_err();
+        assert!(matches!(e.kind, ResolveErrorKind::Type(_)));
+
+        let ok = src.replace("n = 42", "f.mandatory = true and not (n = \"\")");
+        assert!(resolve(&parse(&ok).unwrap(), &mms).is_ok());
+    }
+
+    #[test]
+    fn self_call_rejected() {
+        let src = r#"
+transformation T(cf1 : CF, fm : FM) {
+  top relation R {
+    n : Str;
+    domain cf1 s : Feature { name = n };
+    domain fm f : Feature { name = n };
+    when { R(s, f) }
+  }
+}
+"#;
+        let e = resolve(&parse(src).unwrap(), &fm_cf_metamodels()).unwrap_err();
+        assert!(matches!(e.kind, ResolveErrorKind::Direction(_)));
+    }
+}

@@ -1,0 +1,184 @@
+//! DIMACS CNF import/export.
+//!
+//! Lets ground problems be dumped for external solvers (debugging the
+//! grounding) and standard benchmark instances be replayed against this
+//! solver.
+
+use crate::{Lit, SatResult, Solver, Var};
+use std::fmt::Write as _;
+
+/// Errors raised while parsing DIMACS text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimacsError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation.
+    pub msg: String,
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parses DIMACS CNF into a fresh solver. Returns the solver and the
+/// variable table (index `i` = DIMACS variable `i + 1`).
+pub fn parse_dimacs(src: &str) -> Result<(Solver, Vec<Var>), DimacsError> {
+    let mut solver = Solver::new();
+    let mut vars: Vec<Var> = Vec::new();
+    let mut declared: Option<(usize, usize)> = None;
+    let mut clauses = 0usize;
+    let mut current: Vec<Lit> = Vec::new();
+    for (ln, line) in src.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let mut it = rest.split_whitespace();
+            if it.next() != Some("cnf") {
+                return Err(DimacsError {
+                    line: ln + 1,
+                    msg: "expected `p cnf <vars> <clauses>`".into(),
+                });
+            }
+            let nv: usize = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(DimacsError {
+                    line: ln + 1,
+                    msg: "bad variable count".into(),
+                })?;
+            let nc: usize = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(DimacsError {
+                    line: ln + 1,
+                    msg: "bad clause count".into(),
+                })?;
+            declared = Some((nv, nc));
+            while vars.len() < nv {
+                vars.push(solver.new_var());
+            }
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let v: i64 = tok.parse().map_err(|_| DimacsError {
+                line: ln + 1,
+                msg: format!("bad literal `{tok}`"),
+            })?;
+            if v == 0 {
+                solver.add_clause(&current);
+                current.clear();
+                clauses += 1;
+            } else {
+                let idx = (v.unsigned_abs() - 1) as usize;
+                while vars.len() <= idx {
+                    vars.push(solver.new_var());
+                }
+                current.push(Lit::new(vars[idx], v > 0));
+            }
+        }
+    }
+    if !current.is_empty() {
+        solver.add_clause(&current);
+        clauses += 1;
+    }
+    if let Some((_, nc)) = declared {
+        if clauses != nc {
+            return Err(DimacsError {
+                line: 0,
+                msg: format!("header declared {nc} clauses, found {clauses}"),
+            });
+        }
+    }
+    Ok((solver, vars))
+}
+
+/// Renders a clause list in DIMACS CNF.
+pub fn to_dimacs(num_vars: usize, clauses: &[Vec<Lit>]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "p cnf {} {}", num_vars, clauses.len());
+    for cl in clauses {
+        for &l in cl {
+            let v = l.var().0 as i64 + 1;
+            let _ = write!(s, "{} ", if l.sign() { v } else { -v });
+        }
+        s.push_str("0\n");
+    }
+    s
+}
+
+/// Convenience: parse, solve and report `SATISFIABLE`/`UNSATISFIABLE` in
+/// SAT-competition style, including the model line when satisfiable.
+pub fn solve_dimacs(src: &str) -> Result<String, DimacsError> {
+    let (mut solver, vars) = parse_dimacs(src)?;
+    match solver.solve() {
+        SatResult::Unsat => Ok("s UNSATISFIABLE\n".into()),
+        SatResult::Sat => {
+            let mut s = String::from("s SATISFIABLE\nv ");
+            for (i, &v) in vars.iter().enumerate() {
+                let val = solver.value(v).unwrap_or(false);
+                let _ = write!(s, "{} ", if val { i as i64 + 1 } else { -(i as i64 + 1) });
+            }
+            s.push_str("0\n");
+            Ok(s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_solve_sat() {
+        let out = solve_dimacs("c a comment\np cnf 2 2\n1 2 0\n-1 0\n").unwrap();
+        assert!(out.starts_with("s SATISFIABLE"));
+        assert!(out.contains("-1"));
+        assert!(out.contains(" 2 "));
+    }
+
+    #[test]
+    fn parse_and_solve_unsat() {
+        let out = solve_dimacs("p cnf 1 2\n1 0\n-1 0\n").unwrap();
+        assert_eq!(out, "s UNSATISFIABLE\n");
+    }
+
+    #[test]
+    fn round_trip() {
+        let (mut solver, vars) = parse_dimacs("p cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
+        assert_eq!(vars.len(), 3);
+        assert_eq!(solver.solve(), SatResult::Sat);
+        let clauses = vec![
+            vec![Lit::pos(vars[0]), Lit::neg(vars[1])],
+            vec![Lit::pos(vars[1]), Lit::pos(vars[2])],
+        ];
+        let text = to_dimacs(3, &clauses);
+        let (mut s2, _) = parse_dimacs(&text).unwrap();
+        assert_eq!(s2.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn header_clause_count_checked() {
+        let err = parse_dimacs("p cnf 1 5\n1 0\n").unwrap_err();
+        assert!(err.msg.contains("declared 5"));
+    }
+
+    #[test]
+    fn bad_tokens_rejected() {
+        assert!(parse_dimacs("p cnf x 1\n").is_err());
+        assert!(parse_dimacs("p cnf 1 1\nzz 0\n").is_err());
+        assert!(parse_dimacs("p dnf 1 1\n").is_err());
+    }
+
+    #[test]
+    fn clauses_without_header_accepted() {
+        let (mut s, vars) = parse_dimacs("1 -2 0\n2 0\n").unwrap();
+        assert_eq!(vars.len(), 2);
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+}

@@ -1,0 +1,72 @@
+//! Co-evolution (§4 future work): a product line evolving over several
+//! steps, with the framework repairing after every update — alternating
+//! repair shapes depending on where the update landed.
+//!
+//! Run with: `cargo run --example co_evolution`
+
+use mmtf::gen::{feature_workload, transformation_source, FeatureSpec};
+use mmtf::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let k = 2;
+    let t = Transformation::from_sources(
+        &transformation_source(k),
+        &[mmtf::gen::CF_METAMODEL, mmtf::gen::FM_METAMODEL],
+    )?;
+    let w = feature_workload(FeatureSpec {
+        n_features: 4,
+        k_configs: k,
+        mandatory_ratio: 0.5,
+        select_prob: 0.5,
+        seed: 7,
+    });
+    let mut models = w.models.clone();
+    let fm_idx = k;
+    let feature_fm = w.fm.class_named("Feature").expect("static");
+    let feature_cf = w.cf.class_named("Feature").expect("static");
+
+    println!("step 0: baseline is consistent: {}", t.check(&models)?.consistent());
+
+    // Evolution step 1: the product manager adds a mandatory `telemetry`
+    // feature to the feature model.
+    let id = models[fm_idx].add(feature_fm)?;
+    models[fm_idx].set_attr_named(id, "name", Value::str("telemetry"))?;
+    models[fm_idx].set_attr_named(id, "mandatory", Value::Bool(true))?;
+    println!("\nstep 1: FM gains mandatory `telemetry`");
+    let out = t
+        .enforce(&models, Shape::of(&[0, 1]), EngineKind::Sat)?
+        .expect("→F_CFᵏ repairs");
+    println!("  repaired configurations at distance {}", out.cost);
+    models = out.models;
+    assert!(t.check(&models)?.consistent());
+
+    // Evolution step 2: a customer selects a brand-new `beta` feature in
+    // configuration 1 that the feature model does not know yet.
+    let id = models[0].add(feature_cf)?;
+    models[0].set_attr_named(id, "name", Value::str("beta"))?;
+    println!("\nstep 2: cf1 selects unknown `beta`");
+    let out = t
+        .enforce(&models, Shape::towards(fm_idx), EngineKind::Sat)?
+        .expect("→F_FM repairs");
+    println!("  feature model co-evolved at distance {}:", out.cost);
+    println!("  {}", out.deltas[fm_idx]);
+    models = out.models;
+    assert!(t.check(&models)?.consistent());
+
+    // Evolution step 3: both configurations end up selecting `beta`;
+    // MF forces it to become mandatory.
+    let id = models[1].add(feature_cf)?;
+    models[1].set_attr_named(id, "name", Value::str("beta"))?;
+    println!("\nstep 3: cf2 also selects `beta` — it must become mandatory");
+    let out = t
+        .enforce(&models, Shape::towards(fm_idx), EngineKind::Sat)?
+        .expect("→F_FM repairs");
+    println!("  {}", out.deltas[fm_idx]);
+    models = out.models;
+    let report = t.check(&models)?;
+    assert!(report.consistent());
+
+    println!("\nfinal feature model:\n{}", print_model(&models[fm_idx]));
+    println!("three co-evolution rounds, consistency restored after each.");
+    Ok(())
+}

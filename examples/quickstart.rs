@@ -1,0 +1,63 @@
+//! Quickstart: define metamodels, models and a multidirectional
+//! transformation in text, check consistency, and repair.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mmtf::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Metamodels (Figure 1 of the paper).
+    let cf_mm = parse_metamodel("metamodel CF { class Feature { attr name: Str; } }")?;
+    let fm_mm = parse_metamodel(
+        "metamodel FM { class Feature { attr name: Str; attr mandatory: Bool; } }",
+    )?;
+
+    // 2. The MF relation with the paper's §2.2 checking dependencies.
+    let t = Transformation::from_sources(
+        r#"
+        transformation F(cf1 : CF, cf2 : CF, fm : FM) {
+          top relation MF {
+            n : Str;
+            domain cf1 s1 : Feature { name = n };
+            domain cf2 s2 : Feature { name = n };
+            domain fm  f  : Feature { name = n, mandatory = true };
+            depend cf1 cf2 -> fm;
+            depend fm -> cf1 cf2;
+          }
+        }"#,
+        &[
+            "metamodel CF { class Feature { attr name: Str; } }",
+            "metamodel FM { class Feature { attr name: Str; attr mandatory: Bool; } }",
+        ],
+    )?;
+
+    // 3. Three models: two configurations and a feature model that
+    //    demands `engine` everywhere — but cf2 misses it.
+    let cf1 = parse_model(r#"model cf1 : CF { f = Feature { name = "engine" } }"#, &cf_mm)?;
+    let cf2 = parse_model(r#"model cf2 : CF { }"#, &cf_mm)?;
+    let fm = parse_model(
+        r#"model fm : FM { f = Feature { name = "engine", mandatory = true } }"#,
+        &fm_mm,
+    )?;
+    let models = [cf1, cf2, fm];
+
+    // 4. Check: the FM → CF2 direction is violated.
+    let report = t.check(&models)?;
+    println!("before repair:\n{report}\n");
+    assert!(!report.consistent());
+
+    // 5. Repair towards cf2 (the shape →F²_CF) with the SAT engine.
+    let out = t
+        .enforce(&models, Shape::towards(1), EngineKind::Sat)?
+        .expect("repairable");
+    println!("repaired at distance {} — edits:", out.cost);
+    for (name, delta) in ["cf1", "cf2", "fm"].iter().zip(&out.deltas) {
+        if !delta.is_empty() {
+            println!("  {name}: {delta}");
+        }
+    }
+    println!("\nafter repair:\n{}", t.check(&out.models)?);
+    assert!(t.check(&out.models)?.consistent());
+    println!("\nrepaired cf2:\n{}", print_model(&out.models[1]));
+    Ok(())
+}

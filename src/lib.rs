@@ -1,0 +1,74 @@
+//! # mmtf — A Framework for Multidirectional Model Transformations
+//!
+//! A from-scratch Rust implementation of *“Towards a Framework for
+//! Multidirectional Model Transformations”* (Macedo, Cunha, Pacheco;
+//! EDBT/ICDT 2014 workshops): QVT-R checkonly semantics extended with
+//! *checking dependencies* (§2.2), linear-time Horn typing of relation
+//! invocations (§2.3), and least-change enforcement for arbitrary repair
+//! shapes (§3) — plus every substrate the paper assumes from the
+//! Eclipse/EMF/Alloy stack, rebuilt natively:
+//!
+//! | Layer | Crate |
+//! |-------|-------|
+//! | metamodels & typed object graphs | [`model`] |
+//! | QVT-R front-end with `depend` clauses | [`qvtr`] |
+//! | dependency algebra, Horn entailment | [`deps`] |
+//! | checkonly engine (conjunctive-query evaluator) | [`check`] |
+//! | edits, diffs, weighted distances | [`dist`] |
+//! | CDCL SAT solver | [`sat`] |
+//! | bounded relational grounding to CNF | [`ground`] |
+//! | least-change repair engines | [`enforce`] |
+//! | synthetic workloads | [`gen`] |
+//! | the framework facade | [`core`] |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mmtf::prelude::*;
+//!
+//! // The paper's running example: a feature model and k = 2
+//! // configurations, kept consistent by F = MF ∧ OF.
+//! let t = Transformation::from_sources(
+//!     &mmtf::gen::transformation_source(2),
+//!     &[mmtf::gen::CF_METAMODEL, mmtf::gen::FM_METAMODEL],
+//! ).unwrap();
+//!
+//! let mut w = mmtf::gen::feature_workload(Default::default());
+//! assert!(t.check(&w.models).unwrap().consistent());
+//!
+//! // Break it the way §3 does: a new mandatory feature in FM …
+//! mmtf::gen::inject(&mut w, mmtf::gen::Injection::NewMandatoryInFm);
+//! assert!(!t.check(&w.models).unwrap().consistent());
+//!
+//! // … and repair with the multi-target shape →F_CFᵏ.
+//! let out = t
+//!     .enforce(&w.models, Shape::of(&[0, 1]), EngineKind::Sat)
+//!     .unwrap()
+//!     .expect("repairable");
+//! assert!(t.check(&out.models).unwrap().consistent());
+//! ```
+
+#![deny(missing_docs)]
+
+pub use mmt_check as check;
+pub use mmt_core as core;
+pub use mmt_deps as deps;
+pub use mmt_dist as dist;
+pub use mmt_enforce as enforce;
+pub use mmt_gen as gen;
+pub use mmt_ground as ground;
+pub use mmt_model as model;
+pub use mmt_qvtr as qvtr;
+pub use mmt_sat as sat;
+
+/// The most common imports, re-exported flat.
+pub mod prelude {
+    pub use mmt_check::{CheckOptions, CheckReport, Checker};
+    pub use mmt_core::{CoreError, EngineKind, Shape, Transformation};
+    pub use mmt_deps::{Dep, DepSet, DomIdx, DomSet};
+    pub use mmt_dist::{CostModel, Delta, EditOp, TupleCost};
+    pub use mmt_enforce::{RepairEngine, RepairOptions, RepairOutcome, SatEngine, SearchEngine};
+    pub use mmt_model::text::{parse_metamodel, parse_model, print_metamodel, print_model};
+    pub use mmt_model::{Metamodel, MetamodelBuilder, Model, ObjId, Sym, Value};
+    pub use mmt_qvtr::{parse_and_resolve, Hir};
+}

@@ -1,0 +1,152 @@
+//! Randomized differential testing of the two enforcement engines and
+//! the checking engine, across seeded workloads and injections.
+
+use mmtf::gen::{feature_workload, inject, FeatureSpec, Injection};
+use mmtf::prelude::*;
+
+/// Both engines agree on repairability and minimal cost across a grid of
+/// random workloads; every repaired tuple re-checks as consistent and the
+/// untouched models are bit-identical.
+#[test]
+fn engines_agree_across_random_workloads() {
+    let injections = [
+        Injection::NewMandatoryInFm,
+        Injection::RenameInConfig { config: 0 },
+        Injection::SelectEverywhere,
+        Injection::SelectUnknown { config: 0 },
+    ];
+    for seed in 0..6u64 {
+        for (i, &injection) in injections.iter().enumerate() {
+            let mut w = feature_workload(FeatureSpec {
+                n_features: 3 + (seed as usize % 2),
+                k_configs: 2,
+                mandatory_ratio: 0.4,
+                select_prob: 0.4,
+                seed: seed * 13 + i as u64,
+            });
+            let t = Transformation::from_hir(w.hir.clone());
+            inject(&mut w, injection);
+            let shape = Shape::all(3);
+            let a = t
+                .enforce(&w.models, shape, EngineKind::Search)
+                .expect("search runs");
+            let b = t.enforce(&w.models, shape, EngineKind::Sat).expect("sat runs");
+            match (&a, &b) {
+                (Some(x), Some(y)) => {
+                    assert_eq!(
+                        x.cost, y.cost,
+                        "seed={seed} injection={injection:?}: minimal costs differ"
+                    );
+                    for out in [x, y] {
+                        assert!(
+                            t.check(&out.models).unwrap().consistent(),
+                            "seed={seed} {injection:?}"
+                        );
+                        for m in &out.models {
+                            assert!(mmtf::model::conformance::is_conformant(m));
+                        }
+                    }
+                }
+                (None, None) => {}
+                _ => panic!(
+                    "seed={seed} injection={injection:?}: engines disagree ({:?} vs {:?})",
+                    a.as_ref().map(|o| o.cost),
+                    b.as_ref().map(|o| o.cost)
+                ),
+            }
+        }
+    }
+}
+
+/// The checker's memoized and unmemoized modes agree on every directional
+/// verdict across random (possibly inconsistent) workloads.
+#[test]
+fn memoization_is_observationally_equivalent() {
+    for seed in 0..10u64 {
+        let mut w = feature_workload(FeatureSpec {
+            n_features: 6,
+            k_configs: 3,
+            mandatory_ratio: 0.3,
+            select_prob: 0.5,
+            seed,
+        });
+        if seed % 2 == 0 {
+            inject(&mut w, Injection::SelectEverywhere);
+        }
+        let t = Transformation::from_hir(w.hir.clone());
+        let on = t
+            .check_with(
+                &w.models,
+                CheckOptions {
+                    memoize: true,
+                    max_violations: 16,
+                },
+            )
+            .unwrap();
+        let off = t
+            .check_with(
+                &w.models,
+                CheckOptions {
+                    memoize: false,
+                    max_violations: 16,
+                },
+            )
+            .unwrap();
+        assert_eq!(on.consistent(), off.consistent(), "seed={seed}");
+        for (a, b) in on.checks.iter().zip(&off.checks) {
+            assert_eq!(a.holds, b.holds, "seed={seed} {} {}", a.relation_name, a.dep);
+        }
+    }
+}
+
+/// Repair is idempotent: repairing an already-consistent tuple costs zero
+/// and changes nothing.
+#[test]
+fn repair_is_idempotent_on_consistent_tuples() {
+    for seed in [1u64, 5, 9] {
+        let w = feature_workload(FeatureSpec {
+            n_features: 4,
+            k_configs: 2,
+            mandatory_ratio: 0.5,
+            select_prob: 0.3,
+            seed,
+        });
+        let t = Transformation::from_hir(w.hir.clone());
+        for engine in [EngineKind::Search, EngineKind::Sat] {
+            let out = t
+                .enforce(&w.models, Shape::all(3), engine)
+                .unwrap()
+                .expect("consistent tuple repairs trivially");
+            assert_eq!(out.cost, 0, "seed={seed} {engine:?}");
+            for (orig, new) in w.models.iter().zip(&out.models) {
+                assert!(orig.graph_eq(new), "seed={seed} {engine:?}");
+            }
+        }
+    }
+}
+
+/// The deltas reported by a repair replay onto the originals to produce
+/// exactly the repaired models.
+#[test]
+fn reported_deltas_replay() {
+    let mut w = feature_workload(FeatureSpec {
+        n_features: 4,
+        k_configs: 2,
+        mandatory_ratio: 0.5,
+        select_prob: 0.4,
+        seed: 77,
+    });
+    let t = Transformation::from_hir(w.hir.clone());
+    inject(&mut w, Injection::NewMandatoryInFm);
+    for engine in [EngineKind::Search, EngineKind::Sat] {
+        let out = t
+            .enforce(&w.models, Shape::of(&[0, 1]), engine)
+            .unwrap()
+            .expect("repairable");
+        for ((orig, new), delta) in w.models.iter().zip(&out.models).zip(&out.deltas) {
+            let mut replay = orig.clone();
+            delta.apply(&mut replay).expect("delta applies");
+            assert!(replay.graph_eq(new), "{engine:?}");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Scale smoke tests: the checking engine handles workloads well beyond
+//! the paper's illustrative sizes, and the engines stay within sane
+//! budgets at moderate repair scales.
+
+use mmtf::gen::{feature_workload, inject, FeatureSpec, Injection};
+use mmtf::prelude::*;
+use std::time::Instant;
+
+#[test]
+fn checking_scales_to_hundreds_of_features() {
+    let w = feature_workload(FeatureSpec {
+        n_features: 300,
+        k_configs: 4,
+        mandatory_ratio: 0.3,
+        select_prob: 0.4,
+        seed: 1,
+    });
+    let t = Transformation::from_hir(w.hir.clone());
+    let start = Instant::now();
+    let report = t.check(&w.models).unwrap();
+    let elapsed = start.elapsed();
+    assert!(report.consistent());
+    // Generous bound: a laptop-scale budget even in debug builds.
+    assert!(
+        elapsed.as_secs() < 30,
+        "checking 300 features x 4 configs took {elapsed:?}"
+    );
+}
+
+#[test]
+fn sat_repair_handles_moderate_scopes() {
+    let mut w = feature_workload(FeatureSpec {
+        n_features: 12,
+        k_configs: 2,
+        mandatory_ratio: 0.3,
+        select_prob: 0.4,
+        seed: 2,
+    });
+    let t = Transformation::from_hir(w.hir.clone());
+    inject(&mut w, Injection::NewMandatoryInFm);
+    let out = t
+        .enforce(&w.models, Shape::of(&[0, 1]), EngineKind::Sat)
+        .unwrap()
+        .expect("repairable");
+    assert!(t.check(&out.models).unwrap().consistent());
+}
+
+#[test]
+fn many_configurations() {
+    // The paper's k-ary scenario with k = 6 configurations.
+    let k = 6;
+    let mut w = feature_workload(FeatureSpec {
+        n_features: 6,
+        k_configs: k,
+        mandatory_ratio: 0.4,
+        select_prob: 0.4,
+        seed: 3,
+    });
+    let t = Transformation::from_hir(w.hir.clone());
+    assert!(t.check(&w.models).unwrap().consistent());
+    inject(&mut w, Injection::NewMandatoryInFm);
+    // Repairing all k configurations at once. The SAT engine is the one
+    // built for this scale (6 interdependent targets) — exactly why the
+    // paper routes enforcement through a model finder.
+    let shape = Shape::of(&(0..k).collect::<Vec<_>>());
+    let out = t
+        .enforce(&w.models, shape, EngineKind::Sat)
+        .unwrap()
+        .expect("repairable");
+    assert!(t.check(&out.models).unwrap().consistent());
+    // Each configuration was touched at most twice (add + name).
+    for d in &out.deltas[..k] {
+        assert!(d.len() <= 2);
+    }
+}
