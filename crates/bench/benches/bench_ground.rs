@@ -37,8 +37,7 @@ fn bench_ground(c: &mut Criterion) {
                         },
                         ..GroundOptions::default()
                     };
-                    let mut p =
-                        GroundProblem::build(t.hir(), &w.models, targets, opts).unwrap();
+                    let mut p = GroundProblem::build(t.hir(), &w.models, targets, opts).unwrap();
                     p.solve_min_cost()
                 })
             },

@@ -39,12 +39,13 @@ fn main() {
 fn exp_f1_metamodels() {
     header("EXP-F1 (Figure 1) — CF and FM metamodels");
     let (cf, fm) = metamodels();
-    println!("CF: {} classes; FM: {} classes", cf.class_count(), fm.class_count());
+    println!(
+        "CF: {} classes; FM: {} classes",
+        cf.class_count(),
+        fm.class_count()
+    );
     let w = consistent_workload(6, 2, 1);
-    let ok = w
-        .models
-        .iter()
-        .all(mmt_model::conformance::is_conformant);
+    let ok = w.models.iter().all(mmt_model::conformance::is_conformant);
     println!("generated workload conformant: {ok}");
     assert!(ok);
 }
@@ -182,10 +183,21 @@ transformation T(a : CF, b : CF) {{
         );
         assert_eq!(ok, expect_ok, "{label}");
     };
-    println!("{:<52} {:>10} {:>8}", "caller a→b invokes callee with …", "verdict", "paper");
+    println!(
+        "{:<52} {:>10} {:>8}",
+        "caller a→b invokes callee with …", "verdict", "paper"
+    );
     case("S̄ = {a→b} (matching direction)", "depend a -> b;", true);
-    case("S̄ = {b→a} (reversed — §2.3 'answer should be no')", "depend b -> a;", false);
-    case("S̄ = {a→b, b→a} (bidirectional, entails a→b)", "depend a -> b;\n    depend b -> a;", true);
+    case(
+        "S̄ = {b→a} (reversed — §2.3 'answer should be no')",
+        "depend b -> a;",
+        false,
+    );
+    case(
+        "S̄ = {a→b, b→a} (bidirectional, entails a→b)",
+        "depend a -> b;\n    depend b -> a;",
+        true,
+    );
     // Transitive entailment across three models.
     let src3 = r#"
 transformation T(a : CF, b : CF, c : CF) {
@@ -339,7 +351,10 @@ fn exp_t6_weighted() {
     header("EXP-T6 (§3) — weighted tuple distance steers repairs");
     let t = paper_transformation(2);
     let w = broken_workload(4, 2, 41, Injection::SelectUnknown { config: 0 });
-    println!("{:<28} {:>18} {:>14}", "weights (cf1,cf2,fm)", "models touched", "fm touched");
+    println!(
+        "{:<28} {:>18} {:>14}",
+        "weights (cf1,cf2,fm)", "models touched", "fm touched"
+    );
     for (label, weights) in [
         ("uniform (1,1,1)", vec![1u64, 1, 1]),
         ("fm expensive (1,1,50)", vec![1, 1, 50]),
@@ -364,7 +379,11 @@ fn exp_t6_weighted() {
             "{:<28} {:>18} {:>14}",
             label,
             touched.join("+"),
-            if out.deltas[2].is_empty() { "no" } else { "yes" }
+            if out.deltas[2].is_empty() {
+                "no"
+            } else {
+                "yes"
+            }
         );
     }
     println!("=> the §3 'prioritize configurations over feature models' knob works.");

@@ -80,7 +80,10 @@ impl fmt::Display for EvalError {
                 "relation `{relation}`: variable `{var}` cannot be bound in this direction"
             ),
             EvalError::TooManyConstraints { relation } => {
-                write!(f, "relation `{relation}`: pattern too large (max 64 constraints)")
+                write!(
+                    f,
+                    "relation `{relation}`: pattern too large (max 64 constraints)"
+                )
             }
             EvalError::RecursionLimit => f.write_str("relation call recursion limit exceeded"),
             EvalError::NoTargetDomain { relation, dep } => write!(
@@ -241,9 +244,7 @@ impl<'a> EvalCtx<'a> {
             let mut wv = Vec::new();
             wher.free_vars(&mut wv);
             for v in wv {
-                if !src_vars.contains(&v)
-                    && !tgt_vars.contains(&v)
-                    && binding[v.index()].is_none()
+                if !src_vars.contains(&v) && !tgt_vars.contains(&v) && binding[v.index()].is_none()
                 {
                     match rel.vars[v.index()].ty {
                         VarTy::Obj { model, class } => {
@@ -288,43 +289,38 @@ impl<'a> EvalCtx<'a> {
         let mut witness_memo: HashMap<Vec<Slot>, bool> = HashMap::new();
         let mut holds = true;
         let rel_ref = rel;
-        self.solve(
-            rel,
-            &src_constraints,
-            &mut binding,
-            &mut |ctx, b| {
-                ctx.stats.borrow_mut().universal_bindings += 1;
-                // `when` filter.
-                if let Some(when) = &rel_ref.when {
-                    if !ctx.eval_bool(rel_ref, when, b, dir)? {
-                        return Ok(false); // continue enumeration
-                    }
+        self.solve(rel, &src_constraints, &mut binding, &mut |ctx, b| {
+            ctx.stats.borrow_mut().universal_bindings += 1;
+            // `when` filter.
+            if let Some(when) = &rel_ref.when {
+                if !ctx.eval_bool(rel_ref, when, b, dir)? {
+                    return Ok(false); // continue enumeration
                 }
-                // Existential probe, memoized on the shared variables.
-                let key: Vec<Slot> = shared
-                    .iter()
-                    .map(|v| b[v.index()].expect("shared var bound"))
-                    .collect();
-                let witnessed = if ctx.memoize {
-                    if let Some(&w) = witness_memo.get(&key) {
-                        ctx.stats.borrow_mut().witness_hits += 1;
-                        w
-                    } else {
-                        let w = ctx.probe_witness(rel_ref, &tgt_constraints, b, dir)?;
-                        witness_memo.insert(key, w);
-                        w
-                    }
+            }
+            // Existential probe, memoized on the shared variables.
+            let key: Vec<Slot> = shared
+                .iter()
+                .map(|v| b[v.index()].expect("shared var bound"))
+                .collect();
+            let witnessed = if ctx.memoize {
+                if let Some(&w) = witness_memo.get(&key) {
+                    ctx.stats.borrow_mut().witness_hits += 1;
+                    w
                 } else {
-                    ctx.probe_witness(rel_ref, &tgt_constraints, b, dir)?
-                };
-                if !witnessed {
-                    holds = false;
-                    let keep_going = on_violation(rel_ref, b);
-                    return Ok(!keep_going); // stop if callback is sated
+                    let w = ctx.probe_witness(rel_ref, &tgt_constraints, b, dir)?;
+                    witness_memo.insert(key, w);
+                    w
                 }
-                Ok(false)
-            },
-        )?;
+            } else {
+                ctx.probe_witness(rel_ref, &tgt_constraints, b, dir)?
+            };
+            if !witnessed {
+                holds = false;
+                let keep_going = on_violation(rel_ref, b);
+                return Ok(!keep_going); // stop if callback is sated
+            }
+            Ok(false)
+        })?;
         Ok(holds)
     }
 
@@ -480,8 +476,16 @@ impl<'a> EvalCtx<'a> {
         }
         // Choose the cheapest generator among the remaining constraints.
         enum Gen {
-            RefTraverse { idx: usize, var: VarId, candidates: Vec<ObjId> },
-            Extent { idx: usize, var: VarId, candidates: Vec<ObjId> },
+            RefTraverse {
+                idx: usize,
+                var: VarId,
+                candidates: Vec<ObjId>,
+            },
+            Extent {
+                idx: usize,
+                var: VarId,
+                candidates: Vec<ObjId>,
+            },
         }
         let mut best: Option<(usize, Gen)> = None;
         for (i, c) in constraints.iter().enumerate() {
@@ -532,8 +536,7 @@ impl<'a> EvalCtx<'a> {
                                 },
                             };
                             if let Some(val) = known {
-                                let probe =
-                                    self.indexes[model.index()].by_attr(attr, val);
+                                let probe = self.indexes[model.index()].by_attr(attr, val);
                                 let meta = self.models[model.index()].metamodel();
                                 let filtered: Vec<ObjId> = probe
                                     .iter()
@@ -555,9 +558,8 @@ impl<'a> EvalCtx<'a> {
                             }
                         }
                     }
-                    let candidates = candidates.unwrap_or_else(|| {
-                        self.indexes[model.index()].extent(class).to_vec()
-                    });
+                    let candidates = candidates
+                        .unwrap_or_else(|| self.indexes[model.index()].extent(class).to_vec());
                     let cost = candidates.len();
                     if best.as_ref().map(|(c0, _)| cost < *c0).unwrap_or(true) {
                         best = Some((
@@ -664,14 +666,15 @@ impl<'a> EvalCtx<'a> {
                     }
                 })
             }
-            HirExpr::And(a, b) => {
-                Ok(self.eval_bool(rel, a, binding, dir)? && self.eval_bool(rel, b, binding, dir)?)
-            }
-            HirExpr::Or(a, b) => {
-                Ok(self.eval_bool(rel, a, binding, dir)? || self.eval_bool(rel, b, binding, dir)?)
-            }
+            HirExpr::And(a, b) => Ok(
+                self.eval_bool(rel, a, binding, dir)? && self.eval_bool(rel, b, binding, dir)?
+            ),
+            HirExpr::Or(a, b) => Ok(
+                self.eval_bool(rel, a, binding, dir)? || self.eval_bool(rel, b, binding, dir)?
+            ),
             HirExpr::Implies(a, b) => {
-                Ok(!self.eval_bool(rel, a, binding, dir)? || self.eval_bool(rel, b, binding, dir)?)
+                Ok(!self.eval_bool(rel, a, binding, dir)?
+                    || self.eval_bool(rel, b, binding, dir)?)
             }
             HirExpr::Not(a) => Ok(!self.eval_bool(rel, a, binding, dir)?),
             HirExpr::Call(rid, args) => self.eval_call(rel, *rid, args, binding, dir),

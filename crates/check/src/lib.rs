@@ -247,9 +247,7 @@ impl<'a> Checker<'a> {
                     let vars = binding
                         .iter()
                         .enumerate()
-                        .filter_map(|(i, slot)| {
-                            slot.map(|s| (r.vars[i].name, s.to_string()))
-                        })
+                        .filter_map(|(i, slot)| slot.map(|s| (r.vars[i].name, s.to_string())))
                         .collect();
                     violations.push(ViolationBinding { vars });
                     violations.len() < max
@@ -284,8 +282,7 @@ mod tests {
     use std::sync::Arc;
 
     fn metamodels() -> (Arc<Metamodel>, Arc<Metamodel>) {
-        let cf =
-            parse_metamodel("metamodel CF { class Feature { attr name: Str; } }").unwrap();
+        let cf = parse_metamodel("metamodel CF { class Feature { attr name: Str; } }").unwrap();
         let fm = parse_metamodel(
             "metamodel FM { class Feature { attr name: Str; attr mandatory: Bool; } }",
         )
@@ -541,7 +538,10 @@ transformation F(cf1 : CF, cf2 : CF, fm : FM) {
         let short = [cf_model(&cf, "cf1", &[])];
         assert!(matches!(
             Checker::new(&hir, &short).unwrap_err(),
-            CheckError::ModelCountMismatch { expected: 3, got: 1 }
+            CheckError::ModelCountMismatch {
+                expected: 3,
+                got: 1
+            }
         ));
         let wrong = [
             cf_model(&cf, "cf1", &[]),
@@ -646,11 +646,8 @@ transformation C2T(uml : UML, rdb : RDB) {
         let models = [m_uml.clone(), m_rdb_ok];
         assert!(Checker::new(&hir, &models).unwrap().consistent().unwrap());
         // Missing column → the uml→rdb direction fails.
-        let m_rdb_bad = parse_model(
-            r#"model r : RDB { t1 = Table { name = "Person" } }"#,
-            &rdb,
-        )
-        .unwrap();
+        let m_rdb_bad =
+            parse_model(r#"model r : RDB { t1 = Table { name = "Person" } }"#, &rdb).unwrap();
         let models = [m_uml, m_rdb_bad];
         assert!(!Checker::new(&hir, &models).unwrap().consistent().unwrap());
     }

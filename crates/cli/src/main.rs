@@ -223,8 +223,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                         std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
                         for (param, model) in t.hir().models.iter().zip(&out.models) {
                             let path = Path::new(dir).join(format!("{}.model", param.name));
-                            std::fs::write(&path, print_model(model))
-                                .map_err(|e| e.to_string())?;
+                            std::fs::write(&path, print_model(model)).map_err(|e| e.to_string())?;
                             println!("wrote {}", path.display());
                         }
                     }

@@ -57,9 +57,7 @@ impl Shape {
 
     /// Update every model in `indices`.
     pub fn of(indices: &[usize]) -> Shape {
-        Shape(DomSet::from_iter(
-            indices.iter().map(|&i| DomIdx(i as u8)),
-        ))
+        Shape(DomSet::from_iter(indices.iter().map(|&i| DomIdx(i as u8))))
     }
 
     /// Update every model.
@@ -234,9 +232,7 @@ impl Transformation {
             EngineKind::Search => {
                 SearchEngine::new(opts).repair(&self.hir, models, shape.targets())?
             }
-            EngineKind::Sat => {
-                SatEngine::new(opts).repair(&self.hir, models, shape.targets())?
-            }
+            EngineKind::Sat => SatEngine::new(opts).repair(&self.hir, models, shape.targets())?,
         };
         Ok(outcome)
     }
@@ -366,11 +362,8 @@ mod tests {
     fn error_display() {
         let e = Transformation::from_sources("junk", &[CF_METAMODEL]).unwrap_err();
         assert!(e.to_string().contains("syntax"));
-        let e = Transformation::from_sources(
-            &transformation_source(1),
-            &["metamodel X {"],
-        )
-        .unwrap_err();
+        let e = Transformation::from_sources(&transformation_source(1), &["metamodel X {"])
+            .unwrap_err();
         assert!(matches!(e, CoreError::Metamodel(_)));
     }
 }

@@ -218,7 +218,10 @@ impl fmt::Display for DepError {
                 write!(f, "dependency target {target} also appears in sources")
             }
             DepError::DomainOutOfRange { idx, arity } => {
-                write!(f, "domain {idx} out of range (relation has {arity} domains)")
+                write!(
+                    f,
+                    "domain {idx} out of range (relation has {arity} domains)"
+                )
             }
         }
     }

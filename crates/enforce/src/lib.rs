@@ -407,9 +407,9 @@ transformation F(cf1 : CF, cf2 : CF, fm : FM) {
             assert!(report.consistent(), "{}", engine.name());
             // The rename really happened (fm now has `motor`).
             let fm_new = &out.models[2];
-            let has_motor = fm_new.objects().any(|(id, _)| {
-                fm_new.attr_named(id, "name") == Ok(mmt_model::Value::str("motor"))
-            });
+            let has_motor = fm_new
+                .objects()
+                .any(|(id, _)| fm_new.attr_named(id, "name") == Ok(mmt_model::Value::str("motor")));
             assert!(has_motor, "{}", engine.name());
         }
     }

@@ -20,8 +20,8 @@ use mmt_deps::{Dep, DomIdx, DomSet};
 use mmt_dist::{Delta, EditOp};
 use mmt_model::{AttrType, Model, ObjId, Sym, Value};
 use mmt_qvtr::{Atom, Constraint, Hir, HirExpr, HirRelation, VarTy};
-use std::collections::{BinaryHeap, HashSet};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
 use std::hash::{Hash, Hasher};
 
 /// One candidate edit on a specific model.
@@ -91,8 +91,7 @@ pub fn repair_search(
         candidates.sort_by_key(|c| (c.model.0, format!("{:?}", c.op)));
         candidates.dedup();
         for cand in candidates {
-            let step =
-                op_cost(&cand.op, opts) * opts.tuple.weight(cand.model.index());
+            let step = op_cost(&cand.op, opts) * opts.tuple.weight(cand.model.index());
             if cost + step > opts.max_cost {
                 continue;
             }
@@ -395,7 +394,11 @@ fn witness_candidates(
                         if !m.has_link(so, r, dobj) {
                             out.push(Candidate {
                                 model: t,
-                                op: EditOp::AddLink { src: so, r, dst: dobj },
+                                op: EditOp::AddLink {
+                                    src: so,
+                                    r,
+                                    dst: dobj,
+                                },
                             });
                         }
                     }

@@ -71,8 +71,14 @@ pub fn transformation_source(k: usize) -> String {
     let mut mf_domains = String::new();
     let mut of_domains = String::new();
     for i in 1..=k {
-        let _ = writeln!(mf_domains, "    domain cf{i} s{i} : Feature {{ name = n }};");
-        let _ = writeln!(of_domains, "    domain cf{i} t{i} : Feature {{ name = m }};");
+        let _ = writeln!(
+            mf_domains,
+            "    domain cf{i} s{i} : Feature {{ name = n }};"
+        );
+        let _ = writeln!(
+            of_domains,
+            "    domain cf{i} t{i} : Feature {{ name = m }};"
+        );
     }
     let all_cfs: Vec<String> = (1..=k).map(|i| format!("cf{i}")).collect();
     let union_cfs = all_cfs.join(" | ");
@@ -112,9 +118,16 @@ pub fn feature_workload(spec: FeatureSpec) -> FeatureWorkload {
     .expect("static transformation");
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let names: Vec<String> = (0..spec.n_features).map(|i| format!("feat{i}")).collect();
-    let mandatory: Vec<bool> = (0..spec.n_features)
+    let mut mandatory: Vec<bool> = (0..spec.n_features)
         .map(|_| rng.gen_bool(spec.mandatory_ratio))
         .collect();
+    // Guarantee at least one mandatory feature (for any positive ratio):
+    // mandatory features are selected in every configuration, so this
+    // keeps configurations non-empty — injections such as
+    // [`Injection::RenameInConfig`] rely on having something to rename.
+    if spec.n_features > 0 && spec.mandatory_ratio > 0.0 && !mandatory.contains(&true) {
+        mandatory[0] = true;
+    }
     // Selections: every mandatory feature in every configuration; optional
     // features with probability `select_prob`.
     let mut selections: Vec<Vec<bool>> = (0..spec.k_configs)
@@ -216,9 +229,7 @@ pub fn inject(w: &mut FeatureWorkload, injection: Injection) -> String {
                 let fm_model = &w.models[fm_idx];
                 fm_model
                     .objects()
-                    .find(|(id, _)| {
-                        fm_model.attr_named(*id, "mandatory") == Ok(Value::Bool(false))
-                    })
+                    .find(|(id, _)| fm_model.attr_named(*id, "mandatory") == Ok(Value::Bool(false)))
                     .map(|(id, _)| fm_model.attr_named(id, "name").expect("attr"))
             };
             // If every feature happens to be mandatory, introduce a fresh

@@ -216,8 +216,7 @@ impl CnfBuilder {
                 let out = Lit::pos(self.fresh());
                 for reason in reasons {
                     // (⋀ reason) → out.
-                    let mut clause: Vec<Lit> =
-                        reason.iter().map(|l| l.negate()).collect();
+                    let mut clause: Vec<Lit> = reason.iter().map(|l| l.negate()).collect();
                     clause.push(out);
                     self.clause(&clause);
                 }

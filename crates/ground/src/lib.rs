@@ -478,11 +478,8 @@ impl<'a> Grounder<'a> {
                     let chg = Lit::pos(self.builder.fresh());
                     for &(val, var) in &vars {
                         if val != baseline {
-                            self.builder.clause(&[
-                                Lit::neg(mm.alive[u]),
-                                Lit::neg(var),
-                                chg,
-                            ]);
+                            self.builder
+                                .clause(&[Lit::neg(mm.alive[u]), Lit::neg(var), chg]);
                         }
                     }
                     self.cost_items
@@ -506,9 +503,8 @@ impl<'a> Grounder<'a> {
                         // link → both endpoints alive.
                         self.builder.clause(&[l.negate(), Lit::pos(mm.alive[su])]);
                         self.builder.clause(&[l.negate(), Lit::pos(mm.alive[du])]);
-                        let originally_linked = sobj.original
-                            && dobj.original
-                            && model.has_link(sobj.id, r, dobj.id);
+                        let originally_linked =
+                            sobj.original && dobj.original && model.has_link(sobj.id, r, dobj.id);
                         if originally_linked {
                             // Removal cost, charged only if both endpoints
                             // survive (otherwise DelObj already paid).
@@ -524,8 +520,7 @@ impl<'a> Grounder<'a> {
                             // A present link defaults to present: no cost
                             // for keeping it.
                         } else {
-                            self.cost_items
-                                .push((l, self.opts.cost.add_link * weight));
+                            self.cost_items.push((l, self.opts.cost.add_link * weight));
                         }
                         slot_lits.push(l);
                         mm.link_vars.insert((su as u32, r, du as u32), v);
@@ -686,9 +681,7 @@ impl<'a> Grounder<'a> {
             let mut wv = Vec::new();
             wher.free_vars(&mut wv);
             for v in wv {
-                if !src_vars.contains(&v)
-                    && !tgt_vars.contains(&v)
-                    && binding[v.index()].is_none()
+                if !src_vars.contains(&v) && !tgt_vars.contains(&v) && binding[v.index()].is_none()
                 {
                     if let VarTy::Obj { model, class } = rel.vars[v.index()].ty {
                         tgt_constraints.push(Constraint::Obj {
@@ -807,12 +800,7 @@ impl<'a> Grounder<'a> {
     }
 
     /// Translates a single constraint under a binding (all its vars bound).
-    fn constraint_formula(
-        &self,
-        rel: &HirRelation,
-        c: &Constraint,
-        binding: &GBinding,
-    ) -> Formula {
+    fn constraint_formula(&self, rel: &HirRelation, c: &Constraint, binding: &GBinding) -> Formula {
         match *c {
             Constraint::Obj { var, model, class } => match binding[var.index()] {
                 Some(GVal::FrozenObj(o)) => {
@@ -845,9 +833,9 @@ impl<'a> Grounder<'a> {
                 };
                 let model = obj_model(rel, obj);
                 match binding[obj.index()] {
-                    Some(GVal::FrozenObj(o)) => Formula::Const(
-                        self.models[model.index()].attr(o, attr) == Ok(value),
-                    ),
+                    Some(GVal::FrozenObj(o)) => {
+                        Formula::Const(self.models[model.index()].attr(o, attr) == Ok(value))
+                    }
                     Some(GVal::MutObj(u)) => {
                         let mm = &self.muts[&model.0];
                         match mm.attr_vars.get(&(u, attr)) {
@@ -946,9 +934,7 @@ impl<'a> Grounder<'a> {
             HirExpr::Var(v) => match binding[v.index()] {
                 Some(GVal::Val(val)) => Term::Const(val),
                 Some(GVal::FrozenObj(o)) => Term::ObjConst(ObjRef::Frozen(o)),
-                Some(GVal::MutObj(u)) => {
-                    Term::ObjConst(ObjRef::Mut(obj_model(rel, *v), u))
-                }
+                Some(GVal::MutObj(u)) => Term::ObjConst(ObjRef::Mut(obj_model(rel, *v), u)),
                 None => unreachable!("type checker: bound variable"),
             },
             HirExpr::Nav(v, attr) => self.nav_term(rel, *v, *attr, binding),
@@ -970,8 +956,7 @@ impl<'a> Grounder<'a> {
             match (x, y) {
                 (Term::Const(v1), Term::Const(v2)) => Formula::Const(v1 == v2),
                 (Term::ObjConst(o1), Term::ObjConst(o2)) => Formula::Const(o1 == o2),
-                (Term::Const(v), Term::Slot(model, u))
-                | (Term::Slot(model, u), Term::Const(v)) => {
+                (Term::Const(v), Term::Slot(model, u)) | (Term::Slot(model, u), Term::Const(v)) => {
                     g.slot_eq_const(&g.muts[&model.0], *u, *v)
                 }
                 (Term::Slot(m1, u1), Term::Slot(m2, u2)) => g.slots_eq(*m1, *u1, *m2, *u2),
@@ -1268,9 +1253,8 @@ transformation F(cf1 : CF, cf2 : CF, fm : FM) {
             cf_model(&cf, "cf2", &["engine"]),
             fm_model(&fm, &[("engine", true)]),
         ];
-        let mut p =
-            GroundProblem::build(&hir, &models, targets(&[0, 1]), GroundOptions::default())
-                .unwrap();
+        let mut p = GroundProblem::build(&hir, &models, targets(&[0, 1]), GroundOptions::default())
+            .unwrap();
         let (cost, repaired) = p.solve_min_cost().expect("solvable");
         assert_eq!(cost, 0);
         for (orig, rep) in models.iter().zip(&repaired) {
@@ -1294,8 +1278,7 @@ transformation F(cf1 : CF, cf2 : CF, fm : FM) {
         // Single-target: only cf1 may change → no repair (cf2 still
         // violates FM → CF2).
         let mut single =
-            GroundProblem::build(&hir, &models, targets(&[0]), GroundOptions::default())
-                .unwrap();
+            GroundProblem::build(&hir, &models, targets(&[0]), GroundOptions::default()).unwrap();
         assert!(single.solve_min_cost().is_none());
         // Multi-target: both configurations may change.
         let mut multi =
@@ -1323,8 +1306,7 @@ transformation F(cf1 : CF, cf2 : CF, fm : FM) {
             fm_model(&fm, &[("engine", true), ("gps", false)]),
         ];
         let mut p =
-            GroundProblem::build(&hir, &models, targets(&[2]), GroundOptions::default())
-                .unwrap();
+            GroundProblem::build(&hir, &models, targets(&[2]), GroundOptions::default()).unwrap();
         let (cost, repaired) = p.solve_min_cost().expect("repairable");
         // Minimal repair: flip gps.mandatory — one attribute change.
         assert_eq!(cost, 1);
@@ -1377,9 +1359,8 @@ transformation G(cf1 : CF, fm : FM) {
             cf_model(&cf, "cf2", &[]),
             fm_model(&fm, &[("engine", true)]),
         ];
-        let mut p =
-            GroundProblem::build(&hir, &models, targets(&[0, 1]), GroundOptions::default())
-                .unwrap();
+        let mut p = GroundProblem::build(&hir, &models, targets(&[0, 1]), GroundOptions::default())
+            .unwrap();
         let (_, repaired) = p.solve_min_cost().expect("repairable");
         for m in &repaired {
             assert!(mmt_model::conformance::is_conformant(m));
@@ -1395,8 +1376,8 @@ transformation G(cf1 : CF, fm : FM) {
             cf_model(&cf, "cf2", &["engine"]),
             fm_model(&fm, &[("engine", true)]),
         ];
-        let p = GroundProblem::build(&hir, &models, targets(&[0]), GroundOptions::default())
-            .unwrap();
+        let p =
+            GroundProblem::build(&hir, &models, targets(&[0]), GroundOptions::default()).unwrap();
         let s = p.stats();
         assert!(s.vars > 0);
         assert!(s.clauses > 0);

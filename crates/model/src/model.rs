@@ -86,10 +86,7 @@ impl fmt::Display for ModelError {
                 attr,
                 expected,
                 got,
-            } => write!(
-                f,
-                "attribute `{attr}` expects {expected}, got {got}"
-            ),
+            } => write!(f, "attribute `{attr}` expects {expected}, got {got}"),
             ModelError::BadLinkTarget { reference, target } => {
                 write!(f, "reference `{reference}`: target {target} has wrong type")
             }
@@ -225,12 +222,7 @@ impl Model {
     }
 
     /// Sets attribute `attr` of `obj` to `value`, checking types.
-    pub fn set_attr(
-        &mut self,
-        obj: ObjId,
-        attr: AttrId,
-        value: Value,
-    ) -> Result<(), ModelError> {
+    pub fn set_attr(&mut self, obj: ObjId, attr: AttrId, value: Value) -> Result<(), ModelError> {
         let meta = Arc::clone(&self.meta);
         let o = self.obj_mut(obj)?;
         let decl = meta.attr(attr);
@@ -259,39 +251,39 @@ impl Model {
         value: Value,
     ) -> Result<(), ModelError> {
         let class = self.class_of(obj)?;
-        let attr = self
-            .meta
-            .attr_of(class, Sym::new(name))
-            .ok_or_else(|| ModelError::NoSuchProperty {
-                class: self.meta.class(class).name.resolve(),
-                name: name.to_owned(),
-            })?;
+        let attr =
+            self.meta
+                .attr_of(class, Sym::new(name))
+                .ok_or_else(|| ModelError::NoSuchProperty {
+                    class: self.meta.class(class).name.resolve(),
+                    name: name.to_owned(),
+                })?;
         self.set_attr(obj, attr, value)
     }
 
     /// Reads attribute `attr` of `obj`.
     pub fn attr(&self, obj: ObjId, attr: AttrId) -> Result<Value, ModelError> {
         let o = self.get(obj).ok_or(ModelError::NoSuchObject(obj))?;
-        let slot = self
-            .meta
-            .attr_slot(o.class, attr)
-            .ok_or_else(|| ModelError::NoSuchProperty {
-                class: self.meta.class(o.class).name.resolve(),
-                name: self.meta.attr(attr).name.resolve(),
-            })?;
+        let slot =
+            self.meta
+                .attr_slot(o.class, attr)
+                .ok_or_else(|| ModelError::NoSuchProperty {
+                    class: self.meta.class(o.class).name.resolve(),
+                    name: self.meta.attr(attr).name.resolve(),
+                })?;
         Ok(o.attrs[slot])
     }
 
     /// Reads attribute named `name` of `obj`.
     pub fn attr_named(&self, obj: ObjId, name: &str) -> Result<Value, ModelError> {
         let class = self.class_of(obj)?;
-        let attr = self
-            .meta
-            .attr_of(class, Sym::new(name))
-            .ok_or_else(|| ModelError::NoSuchProperty {
-                class: self.meta.class(class).name.resolve(),
-                name: name.to_owned(),
-            })?;
+        let attr =
+            self.meta
+                .attr_of(class, Sym::new(name))
+                .ok_or_else(|| ModelError::NoSuchProperty {
+                    class: self.meta.class(class).name.resolve(),
+                    name: name.to_owned(),
+                })?;
         self.attr(obj, attr)
     }
 

@@ -365,9 +365,7 @@ fn parse_member(p: &mut Parser<'_>) -> Result<MemberDecl, ParseError> {
                 upper = match p.advance()? {
                     Tok::Int(i) if i >= 0 => Upper::Bounded(i as u32),
                     Tok::Punct('*') => Upper::Many,
-                    other => {
-                        return Err(p.err(format!("expected upper bound, found {other:?}")))
-                    }
+                    other => return Err(p.err(format!("expected upper bound, found {other:?}"))),
                 };
             } else {
                 upper = Upper::Bounded(lower);
@@ -481,7 +479,9 @@ pub fn parse_model(src: &str, meta: &Arc<Metamodel>) -> Result<Model, ParseError
                     let attr = meta.attr_of(class, psym).ok_or_else(|| {
                         p.err(format!("class `{}` has no attribute `{pname}`", d.class))
                     })?;
-                    model.set_attr(id, attr, *v).map_err(|e| p.err(e.to_string()))?;
+                    model
+                        .set_attr(id, attr, *v)
+                        .map_err(|e| p.err(e.to_string()))?;
                 }
                 PropValue::Objects(labels) => {
                     let r = meta.ref_of(class, psym).ok_or_else(|| {
@@ -569,8 +569,7 @@ pub fn print_model(model: &Model) -> String {
                 s.push_str(", ");
             }
             first = false;
-            let targets: Vec<String> =
-                obj.refs[slot].iter().map(|t| format!("o{}", t.0)).collect();
+            let targets: Vec<String> = obj.refs[slot].iter().map(|t| format!("o{}", t.0)).collect();
             let _ = write!(
                 s,
                 "{} = [{}]",

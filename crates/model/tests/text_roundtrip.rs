@@ -14,7 +14,8 @@ fn rich_metamodel() -> Arc<Metamodel> {
     b.attr(item, "weight", AttrType::Int).unwrap();
     b.attr(item, "fragile", AttrType::Bool).unwrap();
     let bin = b.class_full("Bin", &[named], false).unwrap();
-    b.reference(bin, "holds", item, 0, Upper::Many, true).unwrap();
+    b.reference(bin, "holds", item, 0, Upper::Many, true)
+        .unwrap();
     b.reference(bin, "next", bin, 0, Upper::Bounded(1), false)
         .unwrap();
     b.build().unwrap()
@@ -24,9 +25,7 @@ fn rich_metamodel() -> Arc<Metamodel> {
 fn build_model(meta: &Arc<Metamodel>, script: &[(u8, u8, i64)]) -> Model {
     let item = meta.class_named("Item").unwrap();
     let bin = meta.class_named("Bin").unwrap();
-    let holds = meta
-        .ref_of(bin, mmt_model::Sym::new("holds"))
-        .unwrap();
+    let holds = meta.ref_of(bin, mmt_model::Sym::new("holds")).unwrap();
     let next = meta.ref_of(bin, mmt_model::Sym::new("next")).unwrap();
     let mut m = Model::new("m", Arc::clone(meta));
     for &(op, sel, val) in script {
@@ -37,7 +36,8 @@ fn build_model(meta: &Arc<Metamodel>, script: &[(u8, u8, i64)]) -> Model {
                 let id = m.add(item).unwrap();
                 m.set_attr_named(id, "name", Value::str(&format!("i{}", val % 10)))
                     .unwrap();
-                m.set_attr_named(id, "weight", Value::Int(val % 100)).unwrap();
+                m.set_attr_named(id, "weight", Value::Int(val % 100))
+                    .unwrap();
                 m.set_attr_named(id, "fragile", Value::Bool(val % 2 == 0))
                     .unwrap();
             }

@@ -309,10 +309,7 @@ mod tests {
     #[test]
     fn comparison_operators() {
         use TokenKind::*;
-        assert_eq!(
-            kinds("= != < <= > >="),
-            vec![Eq, Neq, Lt, Le, Gt, Ge, Eof]
-        );
+        assert_eq!(kinds("= != < <= > >="), vec![Eq, Neq, Lt, Le, Gt, Ge, Eof]);
     }
 
     #[test]

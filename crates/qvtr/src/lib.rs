@@ -42,8 +42,7 @@ pub mod resolve;
 
 pub use ast::{AstExpr, AstRelation, AstTransformation, CmpOp};
 pub use hir::{
-    Atom, Constraint, Hir, HirDomain, HirExpr, HirRelation, HirVar, ModelParam, RelId, VarId,
-    VarTy,
+    Atom, Constraint, Hir, HirDomain, HirExpr, HirRelation, HirVar, ModelParam, RelId, VarId, VarTy,
 };
 pub use lexer::Span;
 pub use parser::SyntaxError;
@@ -87,10 +86,7 @@ impl From<ResolveError> for FrontendError {
 }
 
 /// Parses and resolves a transformation in one step.
-pub fn parse_and_resolve(
-    src: &str,
-    metamodels: &[Arc<Metamodel>],
-) -> Result<Hir, FrontendError> {
+pub fn parse_and_resolve(src: &str, metamodels: &[Arc<Metamodel>]) -> Result<Hir, FrontendError> {
     let ast = parser::parse(src)?;
     Ok(resolve::resolve(&ast, metamodels)?)
 }

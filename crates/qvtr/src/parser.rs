@@ -135,10 +135,7 @@ impl P {
         if self.peek().kind == TokenKind::Eof {
             Ok(())
         } else {
-            Err(self.err(format!(
-                "expected end of input, found {}",
-                self.peek().kind
-            )))
+            Err(self.err(format!("expected end of input, found {}", self.peek().kind)))
         }
     }
 
@@ -277,8 +274,7 @@ impl P {
         let (name, span) = self.ident()?;
         self.expect(TokenKind::Eq)?;
         // Nested template: IDENT ':' IDENT '{'
-        if matches!(self.peek().kind, TokenKind::Ident(_))
-            && self.peek2().kind == TokenKind::Colon
+        if matches!(self.peek().kind, TokenKind::Ident(_)) && self.peek2().kind == TokenKind::Colon
         {
             let template = self.template()?;
             return Ok(AstTemplateItem::RefTemplate {
@@ -542,8 +538,14 @@ transformation T(a : A, b : B) {
 }
 "#;
         let t = parse(src).unwrap();
-        assert_eq!(t.relations[0].domains[0].qualifier.as_deref(), Some("checkonly"));
-        assert_eq!(t.relations[0].domains[1].qualifier.as_deref(), Some("enforce"));
+        assert_eq!(
+            t.relations[0].domains[0].qualifier.as_deref(),
+            Some("checkonly")
+        );
+        assert_eq!(
+            t.relations[0].domains[1].qualifier.as_deref(),
+            Some("enforce")
+        );
     }
 
     #[test]

@@ -156,16 +156,8 @@ fn expr_str(hir: &Hir, rel: &HirRelation, e: &HirExpr) -> String {
             };
             format!("{} {op} {}", expr_str(hir, rel, a), expr_str(hir, rel, b))
         }
-        HirExpr::And(a, b) => format!(
-            "({} and {})",
-            expr_str(hir, rel, a),
-            expr_str(hir, rel, b)
-        ),
-        HirExpr::Or(a, b) => format!(
-            "({} or {})",
-            expr_str(hir, rel, a),
-            expr_str(hir, rel, b)
-        ),
+        HirExpr::And(a, b) => format!("({} and {})", expr_str(hir, rel, a), expr_str(hir, rel, b)),
+        HirExpr::Or(a, b) => format!("({} or {})", expr_str(hir, rel, a), expr_str(hir, rel, b)),
         HirExpr::Implies(a, b) => format!(
             "({} implies {})",
             expr_str(hir, rel, a),
@@ -219,9 +211,8 @@ transformation F(cf1 : CF, cf2 : CF, fm : FM) {
         let mms = mms();
         let hir1 = parse_and_resolve(src, &mms).unwrap();
         let printed = print_hir(&hir1);
-        let hir2 = parse_and_resolve(&printed, &mms).unwrap_or_else(|e| {
-            panic!("re-parse failed: {e}\n--- printed ---\n{printed}")
-        });
+        let hir2 = parse_and_resolve(&printed, &mms)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n--- printed ---\n{printed}"));
         assert_structurally_equal(&hir1, &hir2, &printed);
     }
 
@@ -248,9 +239,8 @@ transformation F(cf1 : CF, cf2 : CF, fm : FM) {
         let mms = mms();
         let hir1 = parse_and_resolve(src, &mms).unwrap();
         let printed = print_hir(&hir1);
-        let hir2 = parse_and_resolve(&printed, &mms).unwrap_or_else(|e| {
-            panic!("re-parse failed: {e}\n--- printed ---\n{printed}")
-        });
+        let hir2 = parse_and_resolve(&printed, &mms)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n--- printed ---\n{printed}"));
         assert_structurally_equal(&hir1, &hir2, &printed);
     }
 
@@ -276,9 +266,8 @@ transformation C2T(uml : UML, rdb : RDB) {
         let mms = vec![uml, rdb];
         let hir1 = parse_and_resolve(src, &mms).unwrap();
         let printed = print_hir(&hir1);
-        let hir2 = parse_and_resolve(&printed, &mms).unwrap_or_else(|e| {
-            panic!("re-parse failed: {e}\n--- printed ---\n{printed}")
-        });
+        let hir2 = parse_and_resolve(&printed, &mms)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n--- printed ---\n{printed}"));
         assert_structurally_equal(&hir1, &hir2, &printed);
     }
 

@@ -296,9 +296,8 @@ fn resolve_structure(
                     sources = sources.with(si);
                 }
                 for &t in &targets {
-                    let dep = Dep::new(sources, t).map_err(|e| {
-                        err(ad.span, ResolveErrorKind::Dependency(e.to_string()))
-                    })?;
+                    let dep = Dep::new(sources, t)
+                        .map_err(|e| err(ad.span, ResolveErrorKind::Dependency(e.to_string())))?;
                     p.deps
                         .add(dep)
                         .map_err(|e| err(ad.span, ResolveErrorKind::Dependency(e.to_string())))?;
@@ -588,15 +587,9 @@ fn resolve_expr_ty(
     partial: &[PartialRelation],
 ) -> Result<(HirExpr, ExprTy), ResolveError> {
     match e {
-        AstExpr::Str(s, _) => Ok((
-            HirExpr::Lit(Value::str(s)),
-            ExprTy::Prim(AttrType::Str),
-        )),
+        AstExpr::Str(s, _) => Ok((HirExpr::Lit(Value::str(s)), ExprTy::Prim(AttrType::Str))),
         AstExpr::Int(i, _) => Ok((HirExpr::Lit(Value::Int(*i)), ExprTy::Prim(AttrType::Int))),
-        AstExpr::Bool(b, _) => Ok((
-            HirExpr::Lit(Value::Bool(*b)),
-            ExprTy::Prim(AttrType::Bool),
-        )),
+        AstExpr::Bool(b, _) => Ok((HirExpr::Lit(Value::Bool(*b)), ExprTy::Prim(AttrType::Bool))),
         AstExpr::Var(name, span) => {
             let vid = *p.var_ids.get(&Sym::new(name)).ok_or_else(|| {
                 err(
@@ -696,9 +689,7 @@ fn resolve_expr_ty(
             if callee.name == p.name {
                 return Err(err(
                     *span,
-                    ResolveErrorKind::Direction(format!(
-                        "relation `{rname}` may not call itself"
-                    )),
+                    ResolveErrorKind::Direction(format!("relation `{rname}` may not call itself")),
                 ));
             }
             if args.len() != callee.domains.len() {
@@ -949,8 +940,7 @@ transformation T(cf1 : CF, cf2 : CF, fm : FM) {
     #[test]
     fn reversed_call_direction_rejected() {
         // The paper's §2.3 example: R̄ = {a→b} calling S̄ = {b→a}.
-        let mm =
-            parse_metamodel("metamodel M { class K { attr name: Str; } }").unwrap();
+        let mm = parse_metamodel("metamodel M { class K { attr name: Str; } }").unwrap();
         let src = r#"
 transformation T(a : M, b : M) {
   relation S {

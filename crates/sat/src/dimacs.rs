@@ -45,20 +45,14 @@ pub fn parse_dimacs(src: &str) -> Result<(Solver, Vec<Var>), DimacsError> {
                     msg: "expected `p cnf <vars> <clauses>`".into(),
                 });
             }
-            let nv: usize = it
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or(DimacsError {
-                    line: ln + 1,
-                    msg: "bad variable count".into(),
-                })?;
-            let nc: usize = it
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or(DimacsError {
-                    line: ln + 1,
-                    msg: "bad clause count".into(),
-                })?;
+            let nv: usize = it.next().and_then(|s| s.parse().ok()).ok_or(DimacsError {
+                line: ln + 1,
+                msg: "bad variable count".into(),
+            })?;
+            let nc: usize = it.next().and_then(|s| s.parse().ok()).ok_or(DimacsError {
+                line: ln + 1,
+                msg: "bad clause count".into(),
+            })?;
             declared = Some((nv, nc));
             while vars.len() < nv {
                 vars.push(solver.new_var());

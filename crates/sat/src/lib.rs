@@ -510,8 +510,7 @@ impl Solver {
         } else {
             let mut max_i = 1;
             for i in 2..learned.len() {
-                if self.level[learned[i].var().index()] > self.level[learned[max_i].var().index()]
-                {
+                if self.level[learned[i].var().index()] > self.level[learned[max_i].var().index()] {
                     max_i = i;
                 }
             }

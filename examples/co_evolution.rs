@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let feature_fm = w.fm.class_named("Feature").expect("static");
     let feature_cf = w.cf.class_named("Feature").expect("static");
 
-    println!("step 0: baseline is consistent: {}", t.check(&models)?.consistent());
+    println!(
+        "step 0: baseline is consistent: {}",
+        t.check(&models)?.consistent()
+    );
 
     // Evolution step 1: the product manager adds a mandatory `telemetry`
     // feature to the feature model.

@@ -33,11 +33,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("scenario A: new mandatory feature in FM");
     let mut w = feature_workload(base.spec.clone());
     println!("{}", inject(&mut w, Injection::NewMandatoryInFm));
-    println!("single-target →F¹_CF: {}",
+    println!(
+        "single-target →F¹_CF: {}",
         match t.enforce(&w.models, Shape::towards(0), EngineKind::Sat)? {
             Some(_) => "repaired (unexpected!)".into(),
             None => "cannot restore consistency — as §3 predicts".to_string(),
-        });
+        }
+    );
     let out = t
         .enforce(&w.models, Shape::of(&[0, 1, 2]), EngineKind::Sat)?
         .expect("→F_CFᵏ repairs");
@@ -47,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ── Scenario B (§1): rename a feature in one configuration. ──────
     banner("scenario B: feature renamed in cf1");
     let mut w = feature_workload(base.spec.clone());
-    println!("{}", inject(&mut w, Injection::RenameInConfig { config: 0 }));
+    println!(
+        "{}",
+        inject(&mut w, Injection::RenameInConfig { config: 0 })
+    );
     let shape = Shape::all_but(0, k + 1); // →F¹_{FM×CFᵏ⁻¹}
     let out = t
         .enforce(&w.models, shape, EngineKind::Sat)?
@@ -85,8 +90,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .expect("repairable");
     println!(
         "with FM weighted 50×, the repair edits {} and leaves FM {}",
-        if out.deltas[1].is_empty() { "other models" } else { "cf2" },
-        if out.deltas[fm_idx].is_empty() { "untouched" } else { "changed" }
+        if out.deltas[1].is_empty() {
+            "other models"
+        } else {
+            "cf2"
+        },
+        if out.deltas[fm_idx].is_empty() {
+            "untouched"
+        } else {
+            "changed"
+        }
     );
     assert!(out.deltas[fm_idx].is_empty());
     assert!(t.check(&out.models)?.consistent());

@@ -95,7 +95,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = t
         .enforce(&models, Shape::towards(2), EngineKind::Sat)?
         .expect("documentation repairable");
-    println!("→Views_DOC repaired the documentation at distance {}:", out.cost);
+    println!(
+        "→Views_DOC repaired the documentation at distance {}:",
+        out.cost
+    );
     println!("{}\n", out.deltas[2]);
     assert!(t.check(&out.models)?.consistent());
 

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Three models: two configurations and a feature model that
     //    demands `engine` everywhere — but cf2 misses it.
-    let cf1 = parse_model(r#"model cf1 : CF { f = Feature { name = "engine" } }"#, &cf_mm)?;
+    let cf1 = parse_model(
+        r#"model cf1 : CF { f = Feature { name = "engine" } }"#,
+        &cf_mm,
+    )?;
     let cf2 = parse_model(r#"model cf2 : CF { }"#, &cf_mm)?;
     let fm = parse_model(
         r#"model fm : FM { f = Feature { name = "engine", mandatory = true } }"#,

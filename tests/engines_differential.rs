@@ -30,7 +30,9 @@ fn engines_agree_across_random_workloads() {
             let a = t
                 .enforce(&w.models, shape, EngineKind::Search)
                 .expect("search runs");
-            let b = t.enforce(&w.models, shape, EngineKind::Sat).expect("sat runs");
+            let b = t
+                .enforce(&w.models, shape, EngineKind::Sat)
+                .expect("sat runs");
             match (&a, &b) {
                 (Some(x), Some(y)) => {
                     assert_eq!(
@@ -94,7 +96,11 @@ fn memoization_is_observationally_equivalent() {
             .unwrap();
         assert_eq!(on.consistent(), off.consistent(), "seed={seed}");
         for (a, b) in on.checks.iter().zip(&off.checks) {
-            assert_eq!(a.holds, b.holds, "seed={seed} {} {}", a.relation_name, a.dep);
+            assert_eq!(
+                a.holds, b.holds,
+                "seed={seed} {} {}",
+                a.relation_name, a.dep
+            );
         }
     }
 }

@@ -90,7 +90,10 @@ fn s23_entailment_rules() {
     d.add(Dep::of(&[0], 1)).unwrap();
     d.add(Dep::of(&[0], 2)).unwrap();
     assert!(
-        d.entails_multi(DomSet::single(DomIdx(0)), DomSet::from_iter([DomIdx(1), DomIdx(2)])),
+        d.entails_multi(
+            DomSet::single(DomIdx(0)),
+            DomSet::from_iter([DomIdx(1), DomIdx(2)])
+        ),
         "{{M1→M2, M1→M3}} ⊢ M1 → M2M3"
     );
 
@@ -98,7 +101,10 @@ fn s23_entailment_rules() {
     d.add(Dep::of(&[0], 2)).unwrap();
     d.add(Dep::of(&[1], 2)).unwrap();
     assert!(
-        d.entails_union(&[DomSet::single(DomIdx(0)), DomSet::single(DomIdx(1))], DomIdx(2)),
+        d.entails_union(
+            &[DomSet::single(DomIdx(0)), DomSet::single(DomIdx(1))],
+            DomIdx(2)
+        ),
         "{{M1→M3, M2→M3}} ⊢ M1|M2 → M3"
     );
 }
@@ -146,7 +152,9 @@ fn s3_shapes_and_scenarios() {
         let mut w = feature_workload(spec.clone());
         inject(&mut w, Injection::NewMandatoryInFm);
         assert!(
-            t.enforce(&w.models, Shape::towards(0), engine).unwrap().is_none(),
+            t.enforce(&w.models, Shape::towards(0), engine)
+                .unwrap()
+                .is_none(),
             "{engine:?}: single-target must fail"
         );
         let out = t
@@ -204,11 +212,7 @@ fn s3_least_change_minimality() {
             .expect("repairable");
         assert_eq!(a.cost, b.cost, "{injection:?}");
         // The reported cost matches the recomputed tuple distance.
-        let recomputed: u64 = a
-            .deltas
-            .iter()
-            .map(|d| d.cost(&CostModel::default()))
-            .sum();
+        let recomputed: u64 = a.deltas.iter().map(|d| d.cost(&CostModel::default())).sum();
         assert_eq!(a.cost, recomputed, "{injection:?}");
     }
 }

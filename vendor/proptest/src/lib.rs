@@ -1,0 +1,373 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of proptest the workspace's property tests use:
+//! range strategies over the integer primitives, tuple and `Vec`
+//! composition, `prop_map` / `prop_filter_map`, `proptest::bool::ANY`,
+//! the `proptest!` macro (with optional `#![proptest_config(..)]`), and
+//! the `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * **no shrinking** — a failing case panics with its generated inputs
+//!   via the normal assert message instead of a minimized counterexample;
+//! * **fixed deterministic seeding** — every test function derives its
+//!   RNG seed from its own name, so runs are reproducible and failures
+//!   stable across invocations;
+//! * `prop_assert!`/`prop_assert_eq!` are plain `assert!`/`assert_eq!`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Runs-per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property test executes.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The deterministic RNG driving all strategies (splitmix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from `seed`.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Derives a seed from a test name (used by the `proptest!` macro).
+    pub fn from_name(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::new(h)
+    }
+
+    /// The next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform sample from `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// A value generator. Real proptest separates strategies from value
+/// trees to support shrinking; without shrinking, one method suffices.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values `f` maps to `Some`, retrying otherwise.
+    /// `_reason` matches real proptest's diagnostic argument.
+    fn prop_filter_map<U, F>(self, _reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<U>,
+    {
+        FilterMap { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter_map`].
+#[derive(Clone, Debug)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        // The workspace's filters accept most inputs; cap retries so a
+        // degenerate filter fails loudly instead of spinning.
+        for _ in 0..10_000 {
+            if let Some(v) = (self.f)(self.inner.generate(rng)) {
+                return v;
+            }
+        }
+        panic!("prop_filter_map rejected 10000 consecutive inputs");
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128) - (self.start as i128);
+                assert!(span > 0, "empty range strategy");
+                (self.start as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                assert!(span > 0, "empty range strategy");
+                (*self.start() as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Boolean strategies (`proptest::bool`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// A fair coin.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The canonical fair-coin strategy, as in `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive length range for [`vec`], as in proptest's `SizeRange`.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector strategy: each element from `element`, length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len =
+                self.size.min + rng.below((self.size.max - self.size.min + 1) as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything tests conventionally import.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a property holds (plain `assert!` without shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts two expressions are equal (plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts two expressions differ (plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$attr:meta])*
+         fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_cover_bounds() {
+        let mut rng = crate::TestRng::new(3);
+        let mut seen = [false; 6];
+        for _ in 0..200 {
+            seen[(0u8..6).generate(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let v = (-50i64..50).generate(&mut rng);
+            assert!((-50..50).contains(&v));
+            let w = (1i32..=8).generate(&mut rng);
+            assert!((1..=8).contains(&w));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_size_range() {
+        let mut rng = crate::TestRng::new(5);
+        for _ in 0..100 {
+            let v = crate::collection::vec(0u8..6, 0..30).generate(&mut rng);
+            assert!(v.len() < 30);
+            let w = crate::collection::vec(0u8..6, 2..=4).generate(&mut rng);
+            assert!((2..=4).contains(&w.len()));
+        }
+    }
+
+    #[test]
+    fn map_and_filter_map_compose() {
+        let mut rng = crate::TestRng::new(9);
+        let evens = (0u32..100).prop_filter_map("even", |v| (v % 2 == 0).then_some(v));
+        let doubled = (0u32..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            assert_eq!(evens.generate(&mut rng) % 2, 0);
+            assert_eq!(doubled.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// The macro itself: arguments bind, bodies run.
+        #[test]
+        fn macro_generates_cases(x in 0u8..10, pair in (0u8..4, crate::bool::ANY)) {
+            prop_assert!(x < 10);
+            prop_assert!(pair.0 < 4);
+        }
+    }
+}
