@@ -1,0 +1,54 @@
+//! EXP-I1: incremental re-checking under point edits vs re-running the
+//! whole checkonly evaluation, as the model scale grows. The
+//! incremental path should be roughly flat in model size (the edit
+//! touches one object), while the full recheck grows with `n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmt_bench::consistent_workload;
+use mmt_check::{Checker, DeltaChecker};
+use mmt_deps::DomIdx;
+use mmt_dist::EditOp;
+use mmt_model::{ObjId, Sym, Value};
+
+fn bench_check_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("check_incremental");
+    group.sample_size(10);
+    for n in [32usize, 128, 512] {
+        let w = consistent_workload(n, 2, 7);
+        let fm_feature = w.fm.class_named("Feature").unwrap();
+        let mand = w.fm.attr_of(fm_feature, Sym::new("mandatory")).unwrap();
+        let fm_idx = w.models.len() - 1;
+        let toggle = |flag: bool| EditOp::SetAttr {
+            id: ObjId(0),
+            attr: mand,
+            value: Value::Bool(flag),
+            old: Value::Bool(!flag),
+        };
+        // Baseline: apply the edit, then run a full from-scratch check.
+        group.bench_with_input(BenchmarkId::new("full_recheck", n), &w, |b, w| {
+            let mut models = w.models.clone();
+            let mut flag = false;
+            b.iter(|| {
+                flag = !flag;
+                models[fm_idx]
+                    .set_attr(ObjId(0), mand, Value::Bool(flag))
+                    .unwrap();
+                Checker::new(&w.hir, &models).unwrap().check().unwrap()
+            })
+        });
+        // Incremental: one DeltaChecker absorbs the edit and reports.
+        group.bench_with_input(BenchmarkId::new("incremental", n), &w, |b, w| {
+            let mut checker = DeltaChecker::new(&w.hir, &w.models).unwrap();
+            let mut flag = false;
+            b.iter(|| {
+                flag = !flag;
+                checker.apply(DomIdx(fm_idx as u8), &toggle(flag)).unwrap();
+                checker.report()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_check_incremental);
+criterion_main!(benches);

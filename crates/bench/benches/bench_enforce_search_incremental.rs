@@ -1,0 +1,35 @@
+//! EXP-I2: ablation of the search engine's oracle on the §3 enforce
+//! workloads — the incremental `DeltaChecker` oracle (each state carries
+//! its parent's checker state plus one edit) against the from-scratch
+//! oracle (every state re-checks the whole tuple). The acceptance bar
+//! for ISSUE 2 is ≥5× on the n=3 and n=7 search workloads vs the PR 1
+//! baseline (19.1 ms / 1.96 ms).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmt_bench::{broken_workload, paper_transformation};
+use mmt_core::Shape;
+use mmt_enforce::{RepairEngine, RepairOptions, SearchEngine};
+use mmt_gen::Injection;
+
+fn bench_enforce_search_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enforce_search_incremental");
+    group.sample_size(10);
+    let t = paper_transformation(2);
+    for n in [3usize, 7] {
+        let w = broken_workload(n, 2, 53, Injection::NewMandatoryInFm);
+        let targets = Shape::of(&[0, 1]).targets();
+        for (label, incremental) in [("incremental", true), ("scratch", false)] {
+            group.bench_with_input(BenchmarkId::new(label, n), &w, |b, w| {
+                let engine = SearchEngine::new(RepairOptions {
+                    incremental_oracle: incremental,
+                    ..RepairOptions::default()
+                });
+                b.iter(|| engine.repair(t.hir(), &w.models, targets).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enforce_search_incremental);
+criterion_main!(benches);

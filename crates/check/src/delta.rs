@@ -1,0 +1,1323 @@
+//! Incremental, delta-driven checking.
+//!
+//! A [`DeltaChecker`] owns a model tuple together with the *match state*
+//! of every directional check: all universal bindings, each tagged with
+//! whether a witness exists and — when it does — **which objects the
+//! witness bound**. Given one [`mmt_dist::EditOp`] (or a whole
+//! [`mmt_dist::Delta`]), it re-establishes the [`CheckReport`] by
+//! re-evaluating only the matches whose read-set intersects the edit,
+//! instead of re-running every directional check from scratch. The
+//! enforcement search (`mmt-enforce`) uses this as its per-state
+//! consistency oracle, making the oracle cost proportional to the edit
+//! rather than to the model tuple.
+//!
+//! ## Invalidation model
+//!
+//! Each check carries three static per-model *footprints* — the classes
+//! whose extents it enumerates, the attributes it compares, and the
+//! references it traverses — split by side: the **universal** footprint
+//! (source patterns + `when`), the **witness** footprint (target pattern
+//! + `where`), and the **call** footprint (everything reachable through
+//! relation invocations). An edit that misses all three footprints of a
+//! check leaves it untouched. An edit that hits only one side triggers a
+//! *partial* update at object granularity:
+//!
+//! * universal side — matches binding an edited object are dropped and
+//!   re-enumerated with the edited object *pinned*, so only the join
+//!   slice through that object is recomputed (a fresh universal match
+//!   must bind the edited object, because every pattern read is a read
+//!   of a bound object's slots);
+//! * witness side — a surviving witness is re-probed only when it bound
+//!   an edited object (or the `where` clause reads one); a violation is
+//!   re-probed with the edited object pinned into the target pattern,
+//!   because under the positive pattern language a *new* witness must
+//!   bind it. Purely destructive edits ([`EditOp::is_destructive_only`])
+//!   skip the violation re-probe entirely — deletions never create
+//!   witnesses.
+//!
+//! Edits that reach a check through a relation call fall back to a full
+//! re-evaluation of that one check (calls are memoized per update, so
+//! this stays cheap in practice).
+//!
+//! ```
+//! use mmt_model::text::{parse_metamodel, parse_model};
+//! use mmt_qvtr::parse_and_resolve;
+//! use mmt_check::DeltaChecker;
+//! use mmt_deps::DomIdx;
+//! use mmt_dist::EditOp;
+//! use mmt_model::Value;
+//!
+//! let cf = parse_metamodel("metamodel CF { class Feature { attr name: Str; } }").unwrap();
+//! let fm = parse_metamodel(
+//!     "metamodel FM { class Feature { attr name: Str; attr mandatory: Bool; } }").unwrap();
+//! let hir = parse_and_resolve(r#"
+//! transformation F(cf1 : CF, fm : FM) {
+//!   top relation Sel {
+//!     n : Str;
+//!     domain cf1 s : Feature { name = n };
+//!     domain fm  f : Feature { name = n };
+//!     depend cf1 -> fm;
+//!   }
+//! }"#, &[cf.clone(), fm.clone()]).unwrap();
+//! let m_cf = parse_model(r#"model cf1 : CF { f = Feature { name = "engine" } }"#, &cf).unwrap();
+//! let m_fm = parse_model(r#"model fm : FM { f = Feature { name = "gps" } }"#, &fm).unwrap();
+//!
+//! let mut checker = DeltaChecker::new(&hir, &[m_cf, m_fm]).unwrap();
+//! assert!(!checker.consistent()); // "engine" has no FM counterpart
+//!
+//! // Rename the FM feature to "engine": only the affected matches are
+//! // re-evaluated, and the tuple becomes consistent.
+//! let name = fm.attr_of(fm.class_named("Feature").unwrap(), mmt_model::Sym::new("name")).unwrap();
+//! checker.apply(DomIdx(1), &EditOp::SetAttr {
+//!     id: mmt_model::ObjId(0),
+//!     attr: name,
+//!     value: Value::str("engine"),
+//!     old: Value::str("gps"),
+//! }).unwrap();
+//! assert!(checker.consistent());
+//! ```
+
+use crate::eval::{plan_check, Binding, CheckPlan, EvalCtx, EvalError, EvalStats, Slot};
+use crate::index::ModelIndex;
+use crate::{CheckError, CheckOptions, CheckReport, DirectionalOutcome, ViolationBinding};
+use mmt_deps::{Dep, DomIdx};
+use mmt_dist::{Delta, EditOp};
+use mmt_model::{AttrId, ClassId, Metamodel, Model, ModelError, ObjId, RefId};
+use mmt_qvtr::{Constraint, Hir, HirExpr, HirRelation, RelId, VarId, VarTy};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors raised by the incremental checker.
+#[derive(Clone, Debug)]
+pub enum DeltaError {
+    /// Binding models to the transformation failed.
+    Check(CheckError),
+    /// Evaluation failed (the checker state is poisoned; rebuild it).
+    Eval(EvalError),
+    /// An edit could not be applied to the model.
+    Model(ModelError),
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::Check(e) => write!(f, "binding error: {e}"),
+            DeltaError::Eval(e) => write!(f, "evaluation error: {e}"),
+            DeltaError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl From<CheckError> for DeltaError {
+    fn from(e: CheckError) -> Self {
+        DeltaError::Check(e)
+    }
+}
+
+impl From<EvalError> for DeltaError {
+    fn from(e: EvalError) -> Self {
+        DeltaError::Eval(e)
+    }
+}
+
+impl From<ModelError> for DeltaError {
+    fn from(e: ModelError) -> Self {
+        DeltaError::Model(e)
+    }
+}
+
+/// Incremental-update statistics (exposed for the ablation benches).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct DeltaStats {
+    /// Edits applied (no-op edits excluded).
+    pub edits: u64,
+    /// Directional checks an edit left untouched (footprint miss).
+    pub checks_skipped: u64,
+    /// Partial (object-granular) check updates performed.
+    pub partial_updates: u64,
+    /// Full single-check re-evaluations (call-reachable edits).
+    pub full_reevals: u64,
+}
+
+/// What one side of a check reads in one model: the classes whose
+/// extents it enumerates, the attributes it compares or navigates, and
+/// the references it traverses.
+#[derive(Clone, Debug, Default)]
+struct Footprint {
+    classes: Vec<ClassId>,
+    attrs: Vec<AttrId>,
+    refs: Vec<RefId>,
+}
+
+impl Footprint {
+    fn add_class(&mut self, c: ClassId) {
+        if !self.classes.contains(&c) {
+            self.classes.push(c);
+        }
+    }
+
+    fn add_attr(&mut self, a: AttrId) {
+        if !self.attrs.contains(&a) {
+            self.attrs.push(a);
+        }
+    }
+
+    fn add_ref(&mut self, r: RefId) {
+        if !self.refs.contains(&r) {
+            self.refs.push(r);
+        }
+    }
+
+    /// Does `op` (with `extent_class` the concrete class whose extent it
+    /// grows/shrinks, and `scrubbed` the references a deletion rewired)
+    /// intersect this footprint?
+    fn hits(
+        &self,
+        meta: &Metamodel,
+        op: &EditOp,
+        extent_class: Option<ClassId>,
+        scrubbed: &[RefId],
+    ) -> bool {
+        match op {
+            EditOp::AddObj { .. } | EditOp::DelObj { .. } => {
+                extent_class
+                    .map(|c| self.classes.iter().any(|&rc| meta.conforms(c, rc)))
+                    .unwrap_or(false)
+                    || scrubbed.iter().any(|r| self.refs.contains(r))
+            }
+            EditOp::SetAttr { attr, .. } => self.attrs.contains(attr),
+            EditOp::AddLink { r, .. } | EditOp::DelLink { r, .. } => self.refs.contains(r),
+        }
+    }
+}
+
+/// The static (model-independent) part of one directional check.
+#[derive(Debug)]
+struct CheckStatics {
+    rel: RelId,
+    dep: Dep,
+    plan: CheckPlan,
+    /// Universal-side object variables, with their models (pin points
+    /// for re-enumeration).
+    uni_pins: Vec<(DomIdx, VarId)>,
+    /// Witness-side object variables, with their models.
+    wit_pins: Vec<(DomIdx, VarId)>,
+    /// Universal-side object variables the `where` clause reads.
+    where_uni_vars: Vec<VarId>,
+    /// Per-model universal footprint (source patterns + `when`).
+    uni_fp: Vec<Footprint>,
+    /// Per-model witness footprint (target pattern + `where`).
+    wit_fp: Vec<Footprint>,
+    /// Per-model footprint of everything reachable through calls.
+    call_fp: Vec<Footprint>,
+}
+
+/// One universal binding with its witness state: the heart of the
+/// incremental representation. `witness_objs` is the witness's read-set
+/// at object granularity — the objects the existential side bound.
+#[derive(Clone, Debug)]
+struct MatchEntry {
+    binding: Binding,
+    witnessed: bool,
+    witness_objs: Vec<(DomIdx, ObjId)>,
+}
+
+/// One directional check: shared statics plus the live match state.
+#[derive(Clone, Debug)]
+struct CachedCheck {
+    statics: Arc<CheckStatics>,
+    matches: Vec<MatchEntry>,
+}
+
+/// An incremental checkonly engine: binds a transformation to an
+/// *owned* model tuple and keeps the [`CheckReport`] up to date across
+/// [`mmt_dist::EditOp`]s in time proportional to the edit, not the
+/// tuple. See the [module docs](self) for the invalidation model and a
+/// worked example.
+///
+/// Cloning a `DeltaChecker` is O(tuple) and shares the compiled check
+/// statics — the enforcement search clones one checker per explored
+/// state and applies a single edit to each clone.
+#[derive(Clone, Debug)]
+pub struct DeltaChecker<'h> {
+    hir: &'h Hir,
+    opts: CheckOptions,
+    models: Vec<Model>,
+    indexes: Vec<ModelIndex>,
+    checks: Vec<CachedCheck>,
+    eval_stats: EvalStats,
+    delta_stats: DeltaStats,
+}
+
+impl<'h> DeltaChecker<'h> {
+    /// Binds `models` (cloned; the checker owns its tuple) and runs the
+    /// initial full evaluation.
+    pub fn new(hir: &'h Hir, models: &[Model]) -> Result<DeltaChecker<'h>, DeltaError> {
+        DeltaChecker::with_options(hir, models, CheckOptions::default())
+    }
+
+    /// As [`DeltaChecker::new`] with explicit options.
+    /// [`CheckOptions::max_violations`] caps the counterexamples
+    /// *reported*, not the match state — the checker always tracks every
+    /// universal binding.
+    pub fn with_options(
+        hir: &'h Hir,
+        models: &[Model],
+        opts: CheckOptions,
+    ) -> Result<DeltaChecker<'h>, DeltaError> {
+        if models.len() != hir.arity() {
+            return Err(CheckError::ModelCountMismatch {
+                expected: hir.arity(),
+                got: models.len(),
+            }
+            .into());
+        }
+        for (i, (m, p)) in models.iter().zip(&hir.models).enumerate() {
+            if m.metamodel().name != p.meta.name {
+                return Err(CheckError::MetamodelMismatch {
+                    position: i,
+                    expected: p.meta.name,
+                    got: m.metamodel().name,
+                }
+                .into());
+            }
+        }
+        let models: Vec<Model> = models.to_vec();
+        let indexes: Vec<ModelIndex> = models.iter().map(ModelIndex::build).collect();
+        let arity = hir.arity();
+        let mut checks = Vec::new();
+        let ctx = EvalCtx::new(hir, &models, &indexes, opts.memoize);
+        for (rid, rel) in hir.top_relations() {
+            for &dep in rel.deps.deps() {
+                let statics = Arc::new(compile_check(hir, rid, dep, arity)?);
+                let matches = full_eval(&ctx, rel, &statics)?;
+                checks.push(CachedCheck { statics, matches });
+            }
+        }
+        let eval_stats = ctx.stats();
+        Ok(DeltaChecker {
+            hir,
+            opts,
+            models,
+            indexes,
+            checks,
+            eval_stats,
+            delta_stats: DeltaStats::default(),
+        })
+    }
+
+    /// The owned model tuple, in model-space order.
+    pub fn models(&self) -> &[Model] {
+        &self.models
+    }
+
+    /// The transformation this checker is bound to.
+    pub fn hir(&self) -> &'h Hir {
+        self.hir
+    }
+
+    /// Applies one edit to the model at `model` and re-establishes the
+    /// match state of every check whose read-set the edit intersects.
+    ///
+    /// No-op edits (setting an attribute to its current value, adding a
+    /// present link, removing an absent one) return `Ok` without
+    /// touching any state. On a [`DeltaError::Model`] the tuple is
+    /// unchanged; on a [`DeltaError::Eval`] the checker is poisoned and
+    /// must be rebuilt.
+    pub fn apply(&mut self, model: DomIdx, op: &EditOp) -> Result<(), DeltaError> {
+        let m = model.index();
+        assert!(m < self.models.len(), "model index out of range");
+        let mut affected: Vec<ObjId> = Vec::new();
+        let mut scrubbed: Vec<RefId> = Vec::new();
+        let mut extent_class: Option<ClassId> = None;
+        match *op {
+            EditOp::AddObj { id, class } => {
+                self.models[m].add_at(id, class)?;
+                self.indexes[m].add_obj(&self.models[m], id);
+                affected.push(id);
+                extent_class = Some(class);
+            }
+            EditOp::DelObj { id, .. } => {
+                let class = self.models[m].class_of(id)?;
+                extent_class = Some(class);
+                affected.push(id);
+                // The delete will scrub incoming links: record which
+                // references (for footprint tests) and which sources
+                // (their link slots change) are rewired.
+                let mm = &self.models[m];
+                let meta = mm.metamodel();
+                for (oid, obj) in mm.objects() {
+                    if oid == id {
+                        continue;
+                    }
+                    for (slot, &r) in meta.class(obj.class).all_refs.iter().enumerate() {
+                        if obj.refs[slot].contains(&id) {
+                            if !scrubbed.contains(&r) {
+                                scrubbed.push(r);
+                            }
+                            if !affected.contains(&oid) {
+                                affected.push(oid);
+                            }
+                        }
+                    }
+                }
+                self.indexes[m].remove_obj(&self.models[m], id);
+                self.models[m].delete(id)?;
+            }
+            EditOp::SetAttr {
+                id, attr, value, ..
+            } => {
+                let old = self.models[m].attr(id, attr)?;
+                if old == value {
+                    return Ok(());
+                }
+                self.models[m].set_attr(id, attr, value)?;
+                self.indexes[m].update_attr(id, attr, old, value);
+                affected.push(id);
+            }
+            EditOp::AddLink { src, r, dst } => {
+                if !self.models[m].add_link(src, r, dst)? {
+                    return Ok(());
+                }
+                affected.push(src);
+            }
+            EditOp::DelLink { src, r, dst } => {
+                if !self.models[m].remove_link(src, r, dst)? {
+                    return Ok(());
+                }
+                affected.push(src);
+            }
+        }
+        self.delta_stats.edits += 1;
+        self.update_checks(model, op, extent_class, &affected, &scrubbed)
+    }
+
+    /// Applies a whole edit script to the model at `model`
+    /// ([`DeltaChecker::apply`] per op, in script order).
+    pub fn apply_delta(&mut self, model: DomIdx, delta: &Delta) -> Result<(), DeltaError> {
+        for op in delta.ops() {
+            self.apply(model, op)?;
+        }
+        Ok(())
+    }
+
+    fn update_checks(
+        &mut self,
+        model: DomIdx,
+        op: &EditOp,
+        extent_class: Option<ClassId>,
+        affected: &[ObjId],
+        scrubbed: &[RefId],
+    ) -> Result<(), DeltaError> {
+        let m = model.index();
+        let ctx = EvalCtx::new(self.hir, &self.models, &self.indexes, self.opts.memoize);
+        let meta = self.models[m].metamodel();
+        let live = &self.models[m];
+        for check in &mut self.checks {
+            let st = &check.statics;
+            let hits_call = st.call_fp[m].hits(meta, op, extent_class, scrubbed);
+            let hits_uni = st.uni_fp[m].hits(meta, op, extent_class, scrubbed);
+            let hits_wit = st.wit_fp[m].hits(meta, op, extent_class, scrubbed);
+            if !(hits_call || hits_uni || hits_wit) {
+                self.delta_stats.checks_skipped += 1;
+                continue;
+            }
+            let rel = self.hir.relation(st.rel);
+            if hits_call {
+                check.matches = full_eval(&ctx, rel, st)?;
+                self.delta_stats.full_reevals += 1;
+                continue;
+            }
+            if hits_uni {
+                universal_update(&ctx, rel, st, &mut check.matches, model, affected, live)?;
+            }
+            if hits_wit {
+                witness_update(&ctx, rel, st, &mut check.matches, model, affected, op, live)?;
+            }
+            self.delta_stats.partial_updates += 1;
+        }
+        accumulate(&mut self.eval_stats, ctx.stats());
+        Ok(())
+    }
+
+    /// True iff every directional check currently holds.
+    pub fn consistent(&self) -> bool {
+        self.checks
+            .iter()
+            .all(|c| c.matches.iter().all(|e| e.witnessed))
+    }
+
+    /// The current [`CheckReport`], assembled from the cached match
+    /// state (no evaluation happens here). Violations are capped at
+    /// [`CheckOptions::max_violations`] per check; `stats` are
+    /// cumulative over the initial evaluation and every update.
+    pub fn report(&self) -> CheckReport {
+        let mut checks = Vec::with_capacity(self.checks.len());
+        for c in &self.checks {
+            let rel = self.hir.relation(c.statics.rel);
+            let violations: Vec<ViolationBinding> = c
+                .matches
+                .iter()
+                .filter(|e| !e.witnessed)
+                .take(self.opts.max_violations)
+                .map(|e| render(rel, &e.binding))
+                .collect();
+            checks.push(DirectionalOutcome {
+                relation: c.statics.rel,
+                relation_name: rel.name,
+                dep: c.statics.dep,
+                holds: c.matches.iter().all(|e| e.witnessed),
+                violations,
+            });
+        }
+        CheckReport {
+            checks,
+            stats: self.eval_stats,
+        }
+    }
+
+    /// Visits up to `cap` violating universal bindings per directional
+    /// check, in cached order (the enforcement search derives its repair
+    /// candidates from these).
+    pub fn for_each_violation(&self, cap: usize, mut f: impl FnMut(RelId, Dep, &Binding)) {
+        for c in &self.checks {
+            for e in c.matches.iter().filter(|e| !e.witnessed).take(cap) {
+                f(c.statics.rel, c.statics.dep, &e.binding);
+            }
+        }
+    }
+
+    /// Cumulative incremental-update statistics.
+    pub fn delta_stats(&self) -> DeltaStats {
+        self.delta_stats
+    }
+}
+
+fn accumulate(into: &mut EvalStats, extra: EvalStats) {
+    into.universal_bindings += extra.universal_bindings;
+    into.existential_probes += extra.existential_probes;
+    into.witness_hits += extra.witness_hits;
+    into.call_hits += extra.call_hits;
+}
+
+fn render(rel: &HirRelation, binding: &Binding) -> ViolationBinding {
+    let vars = binding
+        .iter()
+        .enumerate()
+        .filter_map(|(i, slot)| slot.map(|s| (rel.vars[i].name, s.to_string())))
+        .collect();
+    ViolationBinding { vars }
+}
+
+fn var_model(rel: &HirRelation, v: VarId) -> Option<DomIdx> {
+    match rel.vars[v.index()].ty {
+        VarTy::Obj { model, .. } => Some(model),
+        VarTy::Prim(_) => None,
+    }
+}
+
+/// Does `binding` bind one of `affected` (in `model`) through an object
+/// variable?
+fn binding_touches(
+    rel: &HirRelation,
+    binding: &Binding,
+    model: DomIdx,
+    affected: &[ObjId],
+) -> bool {
+    binding.iter().enumerate().any(|(i, slot)| match slot {
+        Some(Slot::Obj(o)) => {
+            affected.contains(o) && var_model(rel, VarId(i as u32)) == Some(model)
+        }
+        _ => false,
+    })
+}
+
+fn harvest_constraints(rel: &HirRelation, cs: &[Constraint], fps: &mut [Footprint]) {
+    for c in cs {
+        match *c {
+            Constraint::Obj { model, class, .. } => fps[model.index()].add_class(class),
+            Constraint::AttrEq { obj, attr, .. } => {
+                if let Some(m) = var_model(rel, obj) {
+                    fps[m.index()].add_attr(attr);
+                }
+            }
+            Constraint::RefContains { obj, r, .. } => {
+                if let Some(m) = var_model(rel, obj) {
+                    fps[m.index()].add_ref(r);
+                }
+            }
+        }
+    }
+}
+
+/// Harvests the attribute navigations of `e` into `fps` and everything
+/// reachable through relation calls into `call_fps`.
+fn harvest_expr(
+    hir: &Hir,
+    rel: &HirRelation,
+    e: &HirExpr,
+    fps: &mut [Footprint],
+    call_fps: &mut [Footprint],
+    visited: &mut Vec<RelId>,
+) {
+    match e {
+        HirExpr::Nav(v, attr) => {
+            if let Some(m) = var_model(rel, *v) {
+                fps[m.index()].add_attr(*attr);
+            }
+        }
+        HirExpr::Cmp(_, a, b) | HirExpr::And(a, b) | HirExpr::Or(a, b) | HirExpr::Implies(a, b) => {
+            harvest_expr(hir, rel, a, fps, call_fps, visited);
+            harvest_expr(hir, rel, b, fps, call_fps, visited);
+        }
+        HirExpr::Not(a) => harvest_expr(hir, rel, a, fps, call_fps, visited),
+        HirExpr::Call(rid, _) => harvest_call(hir, *rid, call_fps, visited),
+        HirExpr::Lit(_) | HirExpr::Var(_) => {}
+    }
+}
+
+/// Conservatively harvests everything a callee (transitively) reads.
+fn harvest_call(hir: &Hir, rid: RelId, call_fps: &mut [Footprint], visited: &mut Vec<RelId>) {
+    if visited.contains(&rid) {
+        return;
+    }
+    visited.push(rid);
+    let callee = hir.relation(rid);
+    for d in &callee.domains {
+        harvest_constraints(callee, &d.constraints, call_fps);
+    }
+    for e in [&callee.when, &callee.where_].into_iter().flatten() {
+        harvest_callee_expr(hir, callee, e, call_fps, visited);
+        // Free object variables may be enumerated over their extents.
+        let mut fv = Vec::new();
+        e.free_vars(&mut fv);
+        for v in fv {
+            if let VarTy::Obj { model, class } = callee.vars[v.index()].ty {
+                call_fps[model.index()].add_class(class);
+            }
+        }
+    }
+}
+
+/// As [`harvest_expr`], but inside a callee everything lands in the
+/// call footprint.
+fn harvest_callee_expr(
+    hir: &Hir,
+    rel: &HirRelation,
+    e: &HirExpr,
+    call_fps: &mut [Footprint],
+    visited: &mut Vec<RelId>,
+) {
+    match e {
+        HirExpr::Nav(v, attr) => {
+            if let Some(m) = var_model(rel, *v) {
+                call_fps[m.index()].add_attr(*attr);
+            }
+        }
+        HirExpr::Cmp(_, a, b) | HirExpr::And(a, b) | HirExpr::Or(a, b) | HirExpr::Implies(a, b) => {
+            harvest_callee_expr(hir, rel, a, call_fps, visited);
+            harvest_callee_expr(hir, rel, b, call_fps, visited);
+        }
+        HirExpr::Not(a) => harvest_callee_expr(hir, rel, a, call_fps, visited),
+        HirExpr::Call(rid, _) => harvest_call(hir, *rid, call_fps, visited),
+        HirExpr::Lit(_) | HirExpr::Var(_) => {}
+    }
+}
+
+fn compile_check(hir: &Hir, rid: RelId, dep: Dep, arity: usize) -> Result<CheckStatics, EvalError> {
+    let rel = hir.relation(rid);
+    let empty: Binding = vec![None; rel.vars.len()];
+    let plan = plan_check(rel, dep, &empty)?;
+    let mut uni_fp = vec![Footprint::default(); arity];
+    let mut wit_fp = vec![Footprint::default(); arity];
+    let mut call_fp = vec![Footprint::default(); arity];
+    harvest_constraints(rel, &plan.src_constraints, &mut uni_fp);
+    harvest_constraints(rel, &plan.tgt_constraints, &mut wit_fp);
+    let mut visited = Vec::new();
+    if let Some(w) = &rel.when {
+        harvest_expr(hir, rel, w, &mut uni_fp, &mut call_fp, &mut visited);
+    }
+    if let Some(w) = &rel.where_ {
+        harvest_expr(hir, rel, w, &mut wit_fp, &mut call_fp, &mut visited);
+    }
+    let pins = |cs: &[Constraint]| {
+        let mut out: Vec<(DomIdx, VarId)> = Vec::new();
+        for c in cs {
+            if let Constraint::Obj { var, model, .. } = *c {
+                if !out.contains(&(model, var)) {
+                    out.push((model, var));
+                }
+            }
+        }
+        out
+    };
+    let uni_pins = pins(&plan.src_constraints);
+    let wit_pins = pins(&plan.tgt_constraints);
+    let where_uni_vars = {
+        let mut fv = Vec::new();
+        if let Some(w) = &rel.where_ {
+            w.free_vars(&mut fv);
+        }
+        fv.sort_unstable();
+        fv.dedup();
+        fv.retain(|v| plan.src_vars.contains(v) && var_model(rel, *v).is_some());
+        fv
+    };
+    Ok(CheckStatics {
+        rel: rid,
+        dep,
+        plan,
+        uni_pins,
+        wit_pins,
+        where_uni_vars,
+        uni_fp,
+        wit_fp,
+        call_fp,
+    })
+}
+
+/// Full (from-scratch) evaluation of one check: enumerate every
+/// universal binding and probe its witness, memoized on the shared
+/// variables.
+fn full_eval(
+    ctx: &EvalCtx<'_>,
+    rel: &HirRelation,
+    st: &CheckStatics,
+) -> Result<Vec<MatchEntry>, EvalError> {
+    let mut matches: Vec<MatchEntry> = Vec::new();
+    let mut memo: HashMap<Vec<Slot>, (bool, Vec<(DomIdx, ObjId)>)> = HashMap::new();
+    let mut binding: Binding = vec![None; rel.vars.len()];
+    let shared = &st.plan.shared;
+    let memoize = ctx.memoize;
+    ctx.solve(
+        rel,
+        &st.plan.src_constraints,
+        &mut binding,
+        &mut |ctx, b| {
+            if let Some(when) = &rel.when {
+                if !ctx.eval_bool(rel, when, b, st.plan.dir)? {
+                    return Ok(false);
+                }
+            }
+            let key: Vec<Slot> = shared
+                .iter()
+                .map(|v| b[v.index()].expect("shared var bound"))
+                .collect();
+            let (witnessed, witness_objs) = if memoize {
+                if let Some(hit) = memo.get(&key) {
+                    hit.clone()
+                } else {
+                    let r = probe_recording(ctx, rel, st, b)?;
+                    memo.insert(key, r.clone());
+                    r
+                }
+            } else {
+                probe_recording(ctx, rel, st, b)?
+            };
+            matches.push(MatchEntry {
+                binding: b.clone(),
+                witnessed,
+                witness_objs,
+            });
+            Ok(false)
+        },
+    )?;
+    Ok(matches)
+}
+
+/// Existential probe that records which objects the witness bound.
+fn probe_recording(
+    ctx: &EvalCtx<'_>,
+    rel: &HirRelation,
+    st: &CheckStatics,
+    binding: &mut Binding,
+) -> Result<(bool, Vec<(DomIdx, ObjId)>), EvalError> {
+    let pre: Vec<bool> = binding.iter().map(Option::is_some).collect();
+    let mut out: Option<Vec<(DomIdx, ObjId)>> = None;
+    ctx.solve(rel, &st.plan.tgt_constraints, binding, &mut |ctx, b| {
+        if let Some(w) = &rel.where_ {
+            if !ctx.eval_bool(rel, w, b, st.plan.dir)? {
+                return Ok(false);
+            }
+        }
+        let objs = b
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| !pre[*i] && s.is_some())
+            .filter_map(|(i, s)| match s.unwrap() {
+                Slot::Obj(o) => var_model(rel, VarId(i as u32)).map(|m| (m, o)),
+                Slot::Val(_) => None,
+            })
+            .collect();
+        out = Some(objs);
+        Ok(true) // stop at the first witness
+    })?;
+    Ok(match out {
+        Some(objs) => (true, objs),
+        None => (false, Vec::new()),
+    })
+}
+
+/// Universal-side partial update: drop the matches binding an affected
+/// object, then re-enumerate the join with each affected object pinned.
+fn universal_update(
+    ctx: &EvalCtx<'_>,
+    rel: &HirRelation,
+    st: &CheckStatics,
+    matches: &mut Vec<MatchEntry>,
+    model: DomIdx,
+    affected: &[ObjId],
+    live: &Model,
+) -> Result<(), EvalError> {
+    matches.retain(|e| !binding_touches(rel, &e.binding, model, affected));
+    for &(pm, var) in &st.uni_pins {
+        if pm != model {
+            continue;
+        }
+        for &o in affected {
+            if !live.contains(o) {
+                continue; // deleted objects bind nothing
+            }
+            let mut binding: Binding = vec![None; rel.vars.len()];
+            binding[var.index()] = Some(Slot::Obj(o));
+            ctx.solve(
+                rel,
+                &st.plan.src_constraints,
+                &mut binding,
+                &mut |ctx, b| {
+                    if let Some(when) = &rel.when {
+                        if !ctx.eval_bool(rel, when, b, st.plan.dir)? {
+                            return Ok(false);
+                        }
+                    }
+                    if matches.iter().any(|e| e.binding == *b) {
+                        return Ok(false); // found through another pin already
+                    }
+                    let (witnessed, witness_objs) = probe_recording(ctx, rel, st, b)?;
+                    matches.push(MatchEntry {
+                        binding: b.clone(),
+                        witnessed,
+                        witness_objs,
+                    });
+                    Ok(false)
+                },
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Witness-side partial update: re-probe the matches whose witness (or
+/// `where` clause) read an affected object; for violations, probe for a
+/// *new* witness with each affected object pinned — unless the edit is
+/// purely destructive, in which case no new witness can exist.
+#[allow(clippy::too_many_arguments)]
+fn witness_update(
+    ctx: &EvalCtx<'_>,
+    rel: &HirRelation,
+    st: &CheckStatics,
+    matches: &mut Vec<MatchEntry>,
+    model: DomIdx,
+    affected: &[ObjId],
+    op: &EditOp,
+    live: &Model,
+) -> Result<(), EvalError> {
+    let destructive = op.is_destructive_only();
+    for e in matches.iter_mut() {
+        let where_hit = st.where_uni_vars.iter().any(|&v| {
+            var_model(rel, v) == Some(model)
+                && matches!(e.binding[v.index()], Some(Slot::Obj(o)) if affected.contains(&o))
+        });
+        if e.witnessed {
+            let hit = where_hit
+                || e.witness_objs
+                    .iter()
+                    .any(|&(mm, o)| mm == model && affected.contains(&o));
+            if hit {
+                let mut b = e.binding.clone();
+                let (w, objs) = probe_recording(ctx, rel, st, &mut b)?;
+                e.witnessed = w;
+                e.witness_objs = objs;
+            }
+        } else if where_hit {
+            let mut b = e.binding.clone();
+            let (w, objs) = probe_recording(ctx, rel, st, &mut b)?;
+            e.witnessed = w;
+            e.witness_objs = objs;
+        } else if !destructive {
+            'pins: for &(pm, var) in &st.wit_pins {
+                if pm != model {
+                    continue;
+                }
+                for &o in affected {
+                    if !live.contains(o) {
+                        continue;
+                    }
+                    let mut b = e.binding.clone();
+                    b[var.index()] = Some(Slot::Obj(o));
+                    let (w, mut objs) = probe_recording(ctx, rel, st, &mut b)?;
+                    if w {
+                        objs.push((model, o)); // the pinned object is read too
+                        e.witnessed = true;
+                        e.witness_objs = objs;
+                        break 'pins;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Checker;
+    use mmt_model::text::{parse_metamodel, parse_model};
+    use mmt_model::{Metamodel, Sym, Value};
+    use mmt_qvtr::parse_and_resolve;
+    use std::sync::Arc;
+
+    fn metamodels() -> (Arc<Metamodel>, Arc<Metamodel>) {
+        let cf = parse_metamodel("metamodel CF { class Feature { attr name: Str; } }").unwrap();
+        let fm = parse_metamodel(
+            "metamodel FM { class Feature { attr name: Str; attr mandatory: Bool; } }",
+        )
+        .unwrap();
+        (cf, fm)
+    }
+
+    const MF_EXT: &str = r#"
+transformation F(cf1 : CF, cf2 : CF, fm : FM) {
+  top relation MF {
+    n : Str;
+    domain cf1 s1 : Feature { name = n };
+    domain cf2 s2 : Feature { name = n };
+    domain fm  f  : Feature { name = n, mandatory = true };
+    depend cf1 cf2 -> fm;
+    depend fm -> cf1 cf2;
+  }
+  top relation OF {
+    m : Str;
+    domain cf1 t1 : Feature { name = m };
+    domain cf2 t2 : Feature { name = m };
+    domain fm  g  : Feature { name = m };
+    depend cf1 | cf2 -> fm;
+  }
+}
+"#;
+
+    fn cf_model(cf: &Arc<Metamodel>, name: &str, feats: &[&str]) -> Model {
+        let mut body = String::new();
+        for (i, f) in feats.iter().enumerate() {
+            body.push_str(&format!("f{i} = Feature {{ name = \"{f}\" }}\n"));
+        }
+        parse_model(&format!("model {name} : CF {{ {body} }}"), cf).unwrap()
+    }
+
+    fn fm_model(fm: &Arc<Metamodel>, feats: &[(&str, bool)]) -> Model {
+        let mut body = String::new();
+        for (i, (f, m)) in feats.iter().enumerate() {
+            body.push_str(&format!(
+                "f{i} = Feature {{ name = \"{f}\", mandatory = {m} }}\n"
+            ));
+        }
+        parse_model(&format!("model fm : FM {{ {body} }}"), fm).unwrap()
+    }
+
+    /// Asserts the incremental checker and a from-scratch [`Checker`]
+    /// agree on the current models: same per-check verdicts and the same
+    /// violation multiset (compared order-insensitively).
+    fn assert_agrees(checker: &DeltaChecker<'_>, ctx: &str) {
+        let opts = CheckOptions {
+            memoize: true,
+            max_violations: usize::MAX,
+        };
+        let scratch = Checker::with_options(checker.hir(), checker.models(), opts)
+            .unwrap()
+            .check()
+            .unwrap();
+        let inc = checker.report();
+        assert_eq!(inc.checks.len(), scratch.checks.len(), "{ctx}");
+        for (a, b) in inc.checks.iter().zip(&scratch.checks) {
+            assert_eq!(a.relation, b.relation, "{ctx}");
+            assert_eq!(a.dep, b.dep, "{ctx}");
+            assert_eq!(
+                a.holds, b.holds,
+                "{ctx}: {} {} disagree\nincremental:\n{inc}\nscratch:\n{scratch}",
+                a.relation_name, a.dep
+            );
+            let mut va: Vec<String> = a.violations.iter().map(|v| v.to_string()).collect();
+            let mut vb: Vec<String> = b.violations.iter().map(|v| v.to_string()).collect();
+            va.sort();
+            vb.sort();
+            assert_eq!(va, vb, "{ctx}: {} {}", a.relation_name, a.dep);
+        }
+        assert_eq!(inc.consistent(), scratch.consistent(), "{ctx}");
+    }
+
+    fn delta_checker<'h>(hir: &'h Hir, models: &[Model]) -> DeltaChecker<'h> {
+        DeltaChecker::with_options(
+            hir,
+            models,
+            CheckOptions {
+                memoize: true,
+                max_violations: usize::MAX,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn initial_state_matches_scratch_checker() {
+        let (cf, fm) = metamodels();
+        let hir = parse_and_resolve(MF_EXT, &[cf.clone(), fm.clone()]).unwrap();
+        let models = [
+            cf_model(&cf, "cf1", &["engine"]),
+            cf_model(&cf, "cf2", &["engine", "gps"]),
+            fm_model(&fm, &[("engine", true), ("radio", false)]),
+        ];
+        let checker = delta_checker(&hir, &models);
+        assert_agrees(&checker, "initial");
+    }
+
+    #[test]
+    fn attribute_edits_track_scratch_checker() {
+        let (cf, fm) = metamodels();
+        let hir = parse_and_resolve(MF_EXT, &[cf.clone(), fm.clone()]).unwrap();
+        let models = [
+            cf_model(&cf, "cf1", &["engine", "gps"]),
+            cf_model(&cf, "cf2", &["engine"]),
+            fm_model(&fm, &[("engine", true), ("gps", false)]),
+        ];
+        let mut checker = delta_checker(&hir, &models);
+        let feature_fm = fm.class_named("Feature").unwrap();
+        let mand = fm.attr_of(feature_fm, Sym::new("mandatory")).unwrap();
+        let name_fm = fm.attr_of(feature_fm, Sym::new("name")).unwrap();
+        let feature_cf = cf.class_named("Feature").unwrap();
+        let name_cf = cf.attr_of(feature_cf, Sym::new("name")).unwrap();
+        // Flip gps to mandatory in FM (witness side of CF→FM, universal
+        // side of FM→CF), then rename in cf1, then rename back.
+        let edits: Vec<(DomIdx, EditOp)> = vec![
+            (
+                DomIdx(2),
+                EditOp::SetAttr {
+                    id: ObjId(1),
+                    attr: mand,
+                    value: Value::Bool(true),
+                    old: Value::Bool(false),
+                },
+            ),
+            (
+                DomIdx(0),
+                EditOp::SetAttr {
+                    id: ObjId(0),
+                    attr: name_cf,
+                    value: Value::str("motor"),
+                    old: Value::str("engine"),
+                },
+            ),
+            (
+                DomIdx(2),
+                EditOp::SetAttr {
+                    id: ObjId(0),
+                    attr: name_fm,
+                    value: Value::str("motor"),
+                    old: Value::str("engine"),
+                },
+            ),
+            (
+                DomIdx(0),
+                EditOp::SetAttr {
+                    id: ObjId(0),
+                    attr: name_cf,
+                    value: Value::str("engine"),
+                    old: Value::str("motor"),
+                },
+            ),
+        ];
+        for (i, (m, op)) in edits.into_iter().enumerate() {
+            checker.apply(m, &op).unwrap();
+            assert_agrees(&checker, &format!("after edit {i}"));
+        }
+        // The untouched-check counter moved: some edits must have skipped
+        // checks entirely.
+        assert!(checker.delta_stats().checks_skipped > 0);
+    }
+
+    #[test]
+    fn object_edits_track_scratch_checker() {
+        let (cf, fm) = metamodels();
+        let hir = parse_and_resolve(MF_EXT, &[cf.clone(), fm.clone()]).unwrap();
+        let models = [
+            cf_model(&cf, "cf1", &["engine"]),
+            cf_model(&cf, "cf2", &["engine"]),
+            fm_model(&fm, &[("engine", true)]),
+        ];
+        let mut checker = delta_checker(&hir, &models);
+        let feature_fm = fm.class_named("Feature").unwrap();
+        let name_fm = fm.attr_of(feature_fm, Sym::new("name")).unwrap();
+        let mand = fm.attr_of(feature_fm, Sym::new("mandatory")).unwrap();
+        // Add a fresh mandatory FM feature (the §3 injection) ...
+        let fresh = ObjId(checker.models()[2].id_bound() as u32);
+        checker
+            .apply(
+                DomIdx(2),
+                &EditOp::AddObj {
+                    id: fresh,
+                    class: feature_fm,
+                },
+            )
+            .unwrap();
+        assert_agrees(&checker, "after add");
+        checker
+            .apply(
+                DomIdx(2),
+                &EditOp::SetAttr {
+                    id: fresh,
+                    attr: name_fm,
+                    value: Value::str("brakes"),
+                    old: Value::str(""),
+                },
+            )
+            .unwrap();
+        assert_agrees(&checker, "after name");
+        checker
+            .apply(
+                DomIdx(2),
+                &EditOp::SetAttr {
+                    id: fresh,
+                    attr: mand,
+                    value: Value::Bool(true),
+                    old: Value::Bool(false),
+                },
+            )
+            .unwrap();
+        assert_agrees(&checker, "after mandatory");
+        assert!(!checker.consistent());
+        // ... then delete it again: consistency is restored.
+        checker
+            .apply(
+                DomIdx(2),
+                &EditOp::DelObj {
+                    id: fresh,
+                    class: feature_fm,
+                },
+            )
+            .unwrap();
+        assert_agrees(&checker, "after delete");
+        assert!(checker.consistent());
+    }
+
+    #[test]
+    fn link_edits_track_scratch_checker() {
+        // Containment joins: UML classes/attributes vs RDB tables/columns.
+        let uml = parse_metamodel(
+            "metamodel UML { class Class { attr name: Str; ref attrs: Attribute [0..*] containment; } class Attribute { attr name: Str; } }",
+        )
+        .unwrap();
+        let rdb = parse_metamodel(
+            "metamodel RDB { class Table { attr name: Str; ref cols: Column [0..*] containment; } class Column { attr name: Str; } }",
+        )
+        .unwrap();
+        let src = r#"
+transformation C2T(uml : UML, rdb : RDB) {
+  top relation AttrToCol {
+    cn, an : Str;
+    domain uml c : Class { name = cn, attrs = a : Attribute { name = an } };
+    domain rdb t : Table { name = cn, cols = col : Column { name = an } };
+  }
+}
+"#;
+        let hir = parse_and_resolve(src, &[uml.clone(), rdb.clone()]).unwrap();
+        let m_uml = parse_model(
+            r#"model u : UML {
+                a1 = Attribute { name = "id" }
+                c1 = Class { name = "Person", attrs = [a1] }
+            }"#,
+            &uml,
+        )
+        .unwrap();
+        let m_rdb = parse_model(
+            r#"model r : RDB {
+                col1 = Column { name = "id" }
+                t1 = Table { name = "Person" }
+            }"#,
+            &rdb,
+        )
+        .unwrap();
+        let table = rdb.class_named("Table").unwrap();
+        let cols = rdb.ref_of(table, Sym::new("cols")).unwrap();
+        let mut checker = delta_checker(&hir, &[m_uml, m_rdb]);
+        assert_agrees(&checker, "initial (missing link)");
+        assert!(!checker.consistent());
+        // Adding the Table→Column link repairs the uml→rdb direction.
+        checker
+            .apply(
+                DomIdx(1),
+                &EditOp::AddLink {
+                    src: ObjId(1),
+                    r: cols,
+                    dst: ObjId(0),
+                },
+            )
+            .unwrap();
+        assert_agrees(&checker, "after add link");
+        assert!(checker.consistent());
+        // Removing it breaks the check again.
+        checker
+            .apply(
+                DomIdx(1),
+                &EditOp::DelLink {
+                    src: ObjId(1),
+                    r: cols,
+                    dst: ObjId(0),
+                },
+            )
+            .unwrap();
+        assert_agrees(&checker, "after del link");
+        assert!(!checker.consistent());
+        // Re-add, then delete the column: the scrub invalidates the
+        // witness through the incoming-link read.
+        checker
+            .apply(
+                DomIdx(1),
+                &EditOp::AddLink {
+                    src: ObjId(1),
+                    r: cols,
+                    dst: ObjId(0),
+                },
+            )
+            .unwrap();
+        let column = rdb.class_named("Column").unwrap();
+        checker
+            .apply(
+                DomIdx(1),
+                &EditOp::DelObj {
+                    id: ObjId(0),
+                    class: column,
+                },
+            )
+            .unwrap();
+        assert_agrees(&checker, "after del column");
+        assert!(!checker.consistent());
+    }
+
+    #[test]
+    fn call_reachable_edits_fall_back_to_full_reeval() {
+        let (cf, fm) = metamodels();
+        let src = r#"
+transformation F(cf1 : CF, cf2 : CF, fm : FM) {
+  relation SameName {
+    m : Str;
+    domain cf1 a : Feature { name = m };
+    domain fm  b : Feature { name = m };
+    depend cf1 -> fm;
+  }
+  top relation R {
+    n : Str;
+    domain cf1 s : Feature { name = n };
+    domain fm  f : Feature { name = n };
+    where { SameName(s, f) }
+    depend cf1 -> fm;
+  }
+}
+"#;
+        let hir = parse_and_resolve(src, &[cf.clone(), fm.clone()]).unwrap();
+        let models = [
+            cf_model(&cf, "cf1", &["engine"]),
+            cf_model(&cf, "cf2", &[]),
+            fm_model(&fm, &[("engine", true)]),
+        ];
+        let mut checker = delta_checker(&hir, &models);
+        assert_agrees(&checker, "initial");
+        let feature_fm = fm.class_named("Feature").unwrap();
+        let name_fm = fm.attr_of(feature_fm, Sym::new("name")).unwrap();
+        checker
+            .apply(
+                DomIdx(2),
+                &EditOp::SetAttr {
+                    id: ObjId(0),
+                    attr: name_fm,
+                    value: Value::str("motor"),
+                    old: Value::str("engine"),
+                },
+            )
+            .unwrap();
+        assert_agrees(&checker, "after rename under call");
+        assert!(checker.delta_stats().full_reevals > 0);
+    }
+
+    #[test]
+    fn noop_edits_touch_nothing() {
+        let (cf, fm) = metamodels();
+        let hir = parse_and_resolve(MF_EXT, &[cf.clone(), fm.clone()]).unwrap();
+        let models = [
+            cf_model(&cf, "cf1", &["engine"]),
+            cf_model(&cf, "cf2", &["engine"]),
+            fm_model(&fm, &[("engine", true)]),
+        ];
+        let mut checker = delta_checker(&hir, &models);
+        let feature_fm = fm.class_named("Feature").unwrap();
+        let mand = fm.attr_of(feature_fm, Sym::new("mandatory")).unwrap();
+        checker
+            .apply(
+                DomIdx(2),
+                &EditOp::SetAttr {
+                    id: ObjId(0),
+                    attr: mand,
+                    value: Value::Bool(true),
+                    old: Value::Bool(true),
+                },
+            )
+            .unwrap();
+        assert_eq!(checker.delta_stats().edits, 0);
+        assert_agrees(&checker, "after noop");
+    }
+
+    #[test]
+    fn binding_errors_surface_at_construction() {
+        let (cf, fm) = metamodels();
+        let hir = parse_and_resolve(MF_EXT, &[cf.clone(), fm.clone()]).unwrap();
+        let short = [cf_model(&cf, "cf1", &[])];
+        assert!(matches!(
+            DeltaChecker::new(&hir, &short),
+            Err(DeltaError::Check(CheckError::ModelCountMismatch { .. }))
+        ));
+        let wrong = [
+            cf_model(&cf, "cf1", &[]),
+            fm_model(&fm, &[]),
+            fm_model(&fm, &[]),
+        ];
+        assert!(matches!(
+            DeltaChecker::new(&hir, &wrong),
+            Err(DeltaError::Check(CheckError::MetamodelMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn bad_edit_leaves_tuple_unchanged() {
+        let (cf, fm) = metamodels();
+        let hir = parse_and_resolve(MF_EXT, &[cf.clone(), fm.clone()]).unwrap();
+        let models = [
+            cf_model(&cf, "cf1", &["engine"]),
+            cf_model(&cf, "cf2", &["engine"]),
+            fm_model(&fm, &[("engine", true)]),
+        ];
+        let mut checker = delta_checker(&hir, &models);
+        let feature_fm = fm.class_named("Feature").unwrap();
+        let err = checker.apply(
+            DomIdx(2),
+            &EditOp::DelObj {
+                id: ObjId(99),
+                class: feature_fm,
+            },
+        );
+        assert!(matches!(err, Err(DeltaError::Model(_))));
+        assert!(checker.models()[2].graph_eq(&models[2]));
+        assert_agrees(&checker, "after failed edit");
+    }
+}

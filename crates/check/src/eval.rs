@@ -111,9 +111,140 @@ pub struct EvalStats {
 
 /// The current direction a check runs in (for projecting calls).
 #[derive(Clone, Copy, Debug)]
-struct Direction {
-    sources: DomSet,
-    target: Option<DomIdx>,
+pub(crate) struct Direction {
+    pub(crate) sources: DomSet,
+    pub(crate) target: Option<DomIdx>,
+}
+
+/// The compiled form of one directional check `R_{S→T}`: the universal
+/// and existential constraint sets, the variables each side binds, and
+/// the witness-memo key. Assembled by [`plan_check`]; consumed by
+/// [`EvalCtx::check_dep_with`] and by the incremental
+/// [`DeltaChecker`](crate::DeltaChecker).
+#[derive(Clone, Debug)]
+pub(crate) struct CheckPlan {
+    /// Universal-side constraints (all source domains + when-only vars).
+    pub(crate) src_constraints: Vec<Constraint>,
+    /// Existential-side constraints (target domain + where-only vars).
+    pub(crate) tgt_constraints: Vec<Constraint>,
+    /// Variables bound by the universal side.
+    pub(crate) src_vars: Vec<VarId>,
+    /// Universal-side variables the existential side reads (the witness
+    /// memo key).
+    pub(crate) shared: Vec<VarId>,
+    /// The projected direction (for relation calls).
+    pub(crate) dir: Direction,
+}
+
+/// Assembles the [`CheckPlan`] for `rel_{dep}` given the pre-bound
+/// variables in `binding` (all-`None` for a top-level check; domain
+/// roots bound for a relation invocation).
+pub(crate) fn plan_check(
+    rel: &HirRelation,
+    dep: Dep,
+    binding: &Binding,
+) -> Result<CheckPlan, EvalError> {
+    let tgt_domain = rel
+        .domain_for_model(dep.target)
+        .ok_or(EvalError::NoTargetDomain {
+            relation: rel.name,
+            dep,
+        })?;
+    // Universal side: patterns of every domain in S.
+    let mut src_constraints: Vec<Constraint> = Vec::new();
+    for d in &rel.domains {
+        if dep.sources.contains(d.model) {
+            src_constraints.extend_from_slice(&d.constraints);
+        }
+    }
+    // `when` variables not bound by the source patterns are enumerated
+    // over their class extents (they are universally quantified).
+    let mut src_vars: Vec<VarId> = Vec::new();
+    for c in &src_constraints {
+        collect_constraint_vars(c, &mut src_vars);
+    }
+    if let Some(when) = &rel.when {
+        let mut wv = Vec::new();
+        when.free_vars(&mut wv);
+        for v in wv {
+            if !src_vars.contains(&v) && binding[v.index()].is_none() {
+                match rel.vars[v.index()].ty {
+                    VarTy::Obj { model, class } => {
+                        src_constraints.push(Constraint::Obj {
+                            var: v,
+                            model,
+                            class,
+                        });
+                        src_vars.push(v);
+                    }
+                    VarTy::Prim(_) => {
+                        return Err(EvalError::UnboundVar {
+                            relation: rel.name,
+                            var: rel.vars[v.index()].name,
+                        })
+                    }
+                }
+            }
+        }
+    }
+    // Existential side: the T pattern plus `where`-only variables.
+    let mut tgt_constraints: Vec<Constraint> = tgt_domain.constraints.clone();
+    let mut tgt_vars: Vec<VarId> = Vec::new();
+    for c in &tgt_constraints {
+        collect_constraint_vars(c, &mut tgt_vars);
+    }
+    if let Some(wher) = &rel.where_ {
+        let mut wv = Vec::new();
+        wher.free_vars(&mut wv);
+        for v in wv {
+            if !src_vars.contains(&v) && !tgt_vars.contains(&v) && binding[v.index()].is_none() {
+                match rel.vars[v.index()].ty {
+                    VarTy::Obj { model, class } => {
+                        tgt_constraints.push(Constraint::Obj {
+                            var: v,
+                            model,
+                            class,
+                        });
+                        tgt_vars.push(v);
+                    }
+                    VarTy::Prim(_) => {
+                        return Err(EvalError::UnboundVar {
+                            relation: rel.name,
+                            var: rel.vars[v.index()].name,
+                        })
+                    }
+                }
+            }
+        }
+    }
+    // Witness memo key: universal-side variables the target side reads.
+    let shared: Vec<VarId> = {
+        let mut reads = tgt_vars.clone();
+        if let Some(w) = &rel.where_ {
+            w.free_vars(&mut reads);
+        }
+        reads.sort_unstable();
+        reads.dedup();
+        let mut pre_bound: Vec<VarId> = binding
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|_| VarId(i as u32)))
+            .collect();
+        pre_bound.extend(src_vars.iter().copied());
+        reads.retain(|v| pre_bound.contains(v));
+        reads
+    };
+    let dir = Direction {
+        sources: dep.sources,
+        target: Some(dep.target),
+    };
+    Ok(CheckPlan {
+        src_constraints,
+        tgt_constraints,
+        src_vars,
+        shared,
+        dir,
+    })
 }
 
 type CallKey = (RelId, u64, u8, Vec<Slot>);
@@ -159,7 +290,7 @@ impl<'a> EvalCtx<'a> {
         *self.stats.borrow()
     }
 
-    fn model_of(&self, rel: &HirRelation, var: VarId) -> DomIdx {
+    pub(crate) fn model_of(&self, rel: &HirRelation, var: VarId) -> DomIdx {
         match rel.vars[var.index()].ty {
             VarTy::Obj { model, .. } => model,
             VarTy::Prim(_) => unreachable!("object variable expected"),
@@ -191,104 +322,17 @@ impl<'a> EvalCtx<'a> {
         on_violation: &mut dyn FnMut(&HirRelation, &Binding) -> bool,
     ) -> Result<bool, EvalError> {
         let rel = self.hir.relation(rel_id);
-        let tgt_domain = rel
-            .domain_for_model(dep.target)
-            .ok_or(EvalError::NoTargetDomain {
-                relation: rel.name,
-                dep,
-            })?;
-        // Universal side: patterns of every domain in S.
-        let mut src_constraints: Vec<Constraint> = Vec::new();
-        for d in &rel.domains {
-            if dep.sources.contains(d.model) {
-                src_constraints.extend_from_slice(&d.constraints);
-            }
-        }
-        // `when` variables not bound by the source patterns are enumerated
-        // over their class extents (they are universally quantified).
-        let mut src_vars: Vec<VarId> = Vec::new();
-        for c in &src_constraints {
-            collect_constraint_vars(c, &mut src_vars);
-        }
-        if let Some(when) = &rel.when {
-            let mut wv = Vec::new();
-            when.free_vars(&mut wv);
-            for v in wv {
-                if !src_vars.contains(&v) && binding[v.index()].is_none() {
-                    match rel.vars[v.index()].ty {
-                        VarTy::Obj { model, class } => {
-                            src_constraints.push(Constraint::Obj {
-                                var: v,
-                                model,
-                                class,
-                            });
-                            src_vars.push(v);
-                        }
-                        VarTy::Prim(_) => {
-                            return Err(EvalError::UnboundVar {
-                                relation: rel.name,
-                                var: rel.vars[v.index()].name,
-                            })
-                        }
-                    }
-                }
-            }
-        }
-        // Existential side: the T pattern plus `where`-only variables.
-        let mut tgt_constraints: Vec<Constraint> = tgt_domain.constraints.clone();
-        let mut tgt_vars: Vec<VarId> = Vec::new();
-        for c in &tgt_constraints {
-            collect_constraint_vars(c, &mut tgt_vars);
-        }
-        if let Some(wher) = &rel.where_ {
-            let mut wv = Vec::new();
-            wher.free_vars(&mut wv);
-            for v in wv {
-                if !src_vars.contains(&v) && !tgt_vars.contains(&v) && binding[v.index()].is_none()
-                {
-                    match rel.vars[v.index()].ty {
-                        VarTy::Obj { model, class } => {
-                            tgt_constraints.push(Constraint::Obj {
-                                var: v,
-                                model,
-                                class,
-                            });
-                            tgt_vars.push(v);
-                        }
-                        VarTy::Prim(_) => {
-                            return Err(EvalError::UnboundVar {
-                                relation: rel.name,
-                                var: rel.vars[v.index()].name,
-                            })
-                        }
-                    }
-                }
-            }
-        }
-        // Witness memo key: universal-side variables the target side reads.
-        let shared: Vec<VarId> = {
-            let mut reads = tgt_vars.clone();
-            if let Some(w) = &rel.where_ {
-                w.free_vars(&mut reads);
-            }
-            reads.sort_unstable();
-            reads.dedup();
-            let mut pre_bound: Vec<VarId> = binding
-                .iter()
-                .enumerate()
-                .filter_map(|(i, s)| s.map(|_| VarId(i as u32)))
-                .collect();
-            pre_bound.extend(src_vars.iter().copied());
-            reads.retain(|v| pre_bound.contains(v));
-            reads
-        };
-        let dir = Direction {
-            sources: dep.sources,
-            target: Some(dep.target),
-        };
+        let plan = plan_check(rel, dep, &binding)?;
         let mut witness_memo: HashMap<Vec<Slot>, bool> = HashMap::new();
         let mut holds = true;
         let rel_ref = rel;
+        let CheckPlan {
+            src_constraints,
+            tgt_constraints,
+            shared,
+            dir,
+            ..
+        } = plan;
         self.solve(rel, &src_constraints, &mut binding, &mut |ctx, b| {
             ctx.stats.borrow_mut().universal_bindings += 1;
             // `when` filter.
@@ -326,7 +370,7 @@ impl<'a> EvalCtx<'a> {
 
     /// Existential probe: does some extension of `binding` satisfy the
     /// target constraints and the `where` clause?
-    fn probe_witness(
+    pub(crate) fn probe_witness(
         &self,
         rel: &HirRelation,
         tgt_constraints: &[Constraint],
@@ -350,7 +394,7 @@ impl<'a> EvalCtx<'a> {
     /// Backtracking join over `constraints`, extending `binding`. Calls
     /// `on_solution` for every complete extension; the callback returns
     /// `Ok(true)` to stop enumeration. Restores `binding` on exit.
-    fn solve(
+    pub(crate) fn solve(
         &self,
         rel: &HirRelation,
         constraints: &[Constraint],
@@ -621,7 +665,7 @@ impl<'a> EvalCtx<'a> {
     }
 
     /// Evaluates a boolean expression under `binding` and direction `dir`.
-    fn eval_bool(
+    pub(crate) fn eval_bool(
         &self,
         rel: &HirRelation,
         e: &HirExpr,

@@ -4,12 +4,20 @@
 //! subtype instances) and a secondary hash index on `(attribute, value)`
 //! pairs, which turns `v : Class { name = "engine" }` lookups into O(1)
 //! probes instead of extent scans.
+//!
+//! The index also supports **point updates** (`add_obj` / `remove_obj` /
+//! `update_attr`), so an incremental consumer
+//! ([`DeltaChecker`](crate::DeltaChecker)) can track a model across an
+//! edit script without the O(model) rebuild. Point updates keep every
+//! bucket in the exact order a fresh [`ModelIndex::build`] would produce
+//! (ids ascending), so incremental and from-scratch evaluation enumerate
+//! candidates identically.
 
 use mmt_model::{AttrId, ClassId, Model, ObjId, Value};
 use std::collections::HashMap;
 
 /// Query indexes for one model.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ModelIndex {
     /// `extent[class]` = ids of live objects whose class conforms to
     /// `class`, ascending.
@@ -58,6 +66,75 @@ impl ModelIndex {
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
+
+    /// Point update: registers the object at `id` (call *after* it was
+    /// added to `model`). O(classes + attrs) instead of an O(model)
+    /// rebuild.
+    pub fn add_obj(&mut self, model: &Model, id: ObjId) {
+        let obj = model.get(id).expect("added object is live");
+        let meta = model.metamodel();
+        for (sup, extent) in self.extents.iter_mut().enumerate() {
+            if meta.conforms(obj.class, ClassId(sup as u32)) {
+                insert_sorted(extent, id);
+            }
+        }
+        let class = meta.class(obj.class);
+        for (slot, &attr) in class.all_attrs.iter().enumerate() {
+            insert_sorted(
+                self.attr_index.entry((attr, obj.attrs[slot])).or_default(),
+                id,
+            );
+        }
+    }
+
+    /// Point update: unregisters the object at `id` (call *before*
+    /// deleting it from `model` — the entry's attribute values are read
+    /// from the live object).
+    pub fn remove_obj(&mut self, model: &Model, id: ObjId) {
+        let obj = model.get(id).expect("object is live until deleted");
+        let meta = model.metamodel();
+        for (sup, extent) in self.extents.iter_mut().enumerate() {
+            if meta.conforms(obj.class, ClassId(sup as u32)) {
+                remove_sorted(extent, id);
+            }
+        }
+        let class = meta.class(obj.class);
+        for (slot, &attr) in class.all_attrs.iter().enumerate() {
+            if let Some(bucket) = self.attr_index.get_mut(&(attr, obj.attrs[slot])) {
+                remove_sorted(bucket, id);
+                if bucket.is_empty() {
+                    self.attr_index.remove(&(attr, obj.attrs[slot]));
+                }
+            }
+        }
+    }
+
+    /// Point update: re-keys one attribute slot of `id` from `old` to
+    /// `new` (extents are untouched). No-op when the values are equal.
+    pub fn update_attr(&mut self, id: ObjId, attr: AttrId, old: Value, new: Value) {
+        if old == new {
+            return;
+        }
+        if let Some(bucket) = self.attr_index.get_mut(&(attr, old)) {
+            remove_sorted(bucket, id);
+            if bucket.is_empty() {
+                self.attr_index.remove(&(attr, old));
+            }
+        }
+        insert_sorted(self.attr_index.entry((attr, new)).or_default(), id);
+    }
+}
+
+fn insert_sorted(v: &mut Vec<ObjId>, id: ObjId) {
+    if let Err(pos) = v.binary_search(&id) {
+        v.insert(pos, id);
+    }
+}
+
+fn remove_sorted(v: &mut Vec<ObjId>, id: ObjId) {
+    if let Ok(pos) = v.binary_search(&id) {
+        v.remove(pos);
+    }
 }
 
 #[cfg(test)]
@@ -88,5 +165,54 @@ mod tests {
         let name_attr = mm.attr_of(named, mmt_model::Sym::new("name")).unwrap();
         assert_eq!(idx.by_attr(name_attr, Value::str("x")).len(), 2);
         assert_eq!(idx.by_attr(name_attr, Value::str("zz")).len(), 0);
+    }
+
+    /// Point updates observe exactly what a fresh build would.
+    #[test]
+    fn point_updates_match_rebuild() {
+        let mm = parse_metamodel(
+            "metamodel X { abstract class Named { attr name: Str; } class A extends Named { } class B extends Named { } }",
+        )
+        .unwrap();
+        let mut m = parse_model(
+            r#"model m : X {
+                a1 = A { name = "x" }
+                a2 = A { name = "y" }
+                b1 = B { name = "x" }
+            }"#,
+            &mm,
+        )
+        .unwrap();
+        let mut idx = ModelIndex::build(&m);
+        let named = mm.class_named("Named").unwrap();
+        let a = mm.class_named("A").unwrap();
+        let name_attr = mm.attr_of(named, mmt_model::Sym::new("name")).unwrap();
+
+        // Add an object.
+        let fresh = m.add(a).unwrap();
+        m.set_attr(fresh, name_attr, Value::str("x")).unwrap();
+        // add_obj reads the live slots, so indexing after the set is
+        // equivalent to add_obj + update_attr.
+        idx.add_obj(&m, fresh);
+        // Rename a2: y -> x.
+        let a2 = ObjId(1);
+        idx.update_attr(a2, name_attr, Value::str("y"), Value::str("x"));
+        m.set_attr(a2, name_attr, Value::str("x")).unwrap();
+        // Delete b1.
+        let b1 = ObjId(2);
+        idx.remove_obj(&m, b1);
+        m.delete(b1).unwrap();
+
+        let rebuilt = ModelIndex::build(&m);
+        for class in [named, a] {
+            assert_eq!(idx.extent(class), rebuilt.extent(class));
+        }
+        for val in ["x", "y", "zz"] {
+            assert_eq!(
+                idx.by_attr(name_attr, Value::str(val)),
+                rebuilt.by_attr(name_attr, Value::str(val)),
+                "value {val}"
+            );
+        }
     }
 }

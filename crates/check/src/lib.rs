@@ -37,9 +37,11 @@
 
 #![deny(missing_docs)]
 
+pub mod delta;
 pub mod eval;
 pub mod index;
 
+pub use delta::{DeltaChecker, DeltaError, DeltaStats};
 pub use eval::{Binding, EvalCtx, EvalError, EvalStats, Slot};
 pub use index::ModelIndex;
 

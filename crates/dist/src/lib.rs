@@ -70,9 +70,11 @@
 //! [`TupleCost::weighted`] (e.g. `weighted(vec![1, 100])`) makes the
 //! second model two orders of magnitude more expensive, steering every
 //! least-change repair away from it whenever the cheap models can
-//! absorb the change. The enforcement engines resize a default tuple
-//! to the arity of the model tuple at hand, so `uniform(0)` is a valid
-//! "fill in later" placeholder.
+//! absorb the change. [`TupleCost::auto`] — the engines' default — is
+//! uniform at whatever arity the tuple at hand has; explicit weightings
+//! are arity-checked on entry ([`TupleCost::resolved`]), so a weight
+//! vector built for the wrong tuple is an error, never a silently
+//! mispriced repair.
 
 #![deny(missing_docs)]
 
@@ -129,6 +131,68 @@ pub enum EditOp {
         /// Link target.
         dst: ObjId,
     },
+}
+
+impl EditOp {
+    /// The object whose slots this edit writes.
+    ///
+    /// For link edits that is the *source* object — link sets are stored
+    /// on the source side, so `AddLink`/`DelLink` leave the target
+    /// object's slots untouched. Incremental consumers (the
+    /// `DeltaChecker` in `mmt-check`) use this as the seed of the edit's
+    /// write-set.
+    pub fn primary_obj(&self) -> ObjId {
+        match *self {
+            EditOp::AddObj { id, .. } | EditOp::DelObj { id, .. } | EditOp::SetAttr { id, .. } => {
+                id
+            }
+            EditOp::AddLink { src, .. } | EditOp::DelLink { src, .. } => src,
+        }
+    }
+
+    /// The class whose extent this edit grows or shrinks (`AddObj` /
+    /// `DelObj` only).
+    ///
+    /// A check whose read-set contains a superclass of this class must be
+    /// re-evaluated; attribute and link edits never change extents.
+    pub fn touched_class(&self) -> Option<ClassId> {
+        match *self {
+            EditOp::AddObj { class, .. } | EditOp::DelObj { class, .. } => Some(class),
+            _ => None,
+        }
+    }
+
+    /// The attribute slot this edit overwrites (`SetAttr` only).
+    pub fn touched_attr(&self) -> Option<AttrId> {
+        match *self {
+            EditOp::SetAttr { attr, .. } => Some(attr),
+            _ => None,
+        }
+    }
+
+    /// The reference this edit rewires (`AddLink` / `DelLink` only).
+    ///
+    /// Note that `DelObj` *also* rewires references — deletion scrubs
+    /// every incoming link — but which references those are depends on
+    /// the model state, not the op; consumers must consult the pre-edit
+    /// model (see `DeltaChecker::apply` in `mmt-check`).
+    pub fn touched_ref(&self) -> Option<RefId> {
+        match *self {
+            EditOp::AddLink { r, .. } | EditOp::DelLink { r, .. } => Some(r),
+            _ => None,
+        }
+    }
+
+    /// True when this edit can only *remove* structure (objects or
+    /// links), never add any: `DelObj` and `DelLink`.
+    ///
+    /// Under the positive pattern language (templates read attributes,
+    /// extents and links without negation) a purely-destructive edit can
+    /// never create a new match or witness, which lets incremental
+    /// checkers skip the "did a new witness appear?" probe.
+    pub fn is_destructive_only(&self) -> bool {
+        matches!(self, EditOp::DelObj { .. } | EditOp::DelLink { .. })
+    }
 }
 
 impl fmt::Display for EditOp {
@@ -197,46 +261,114 @@ impl CostModel {
 ///
 /// The weighted tuple distance is `Σᵢ wᵢ · dᵢ` where `dᵢ` is the
 /// single-model edit distance of the `i`-th component.
+///
+/// A weighting is either **auto** ([`TupleCost::auto`]) — uniform `wᵢ = 1`
+/// at whatever arity the tuple at hand has — or **explicit**
+/// ([`TupleCost::uniform`] / [`TupleCost::weighted`]) with a fixed arity.
+/// Explicit weightings are arity-checked: the engines reject a mismatch
+/// via [`TupleCost::resolved`] instead of silently padding with 1s, and
+/// [`TupleCost::weight`] panics on an out-of-range index, so a weight
+/// vector built for the wrong tuple can never silently misprice a repair.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TupleCost {
-    weights: Vec<u64>,
+    /// `None` = auto (uniform at any arity).
+    weights: Option<Vec<u64>>,
 }
 
+/// An explicit [`TupleCost`] was applied to a tuple of a different arity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TupleArityError {
+    /// The tuple's arity.
+    pub expected: usize,
+    /// The weighting's arity.
+    pub got: usize,
+}
+
+impl fmt::Display for TupleArityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tuple cost has {} weights but the model tuple has arity {}",
+            self.got, self.expected
+        )
+    }
+}
+
+impl std::error::Error for TupleArityError {}
+
 impl TupleCost {
+    /// Uniform weights at whatever arity the model tuple at hand has —
+    /// the default of the enforcement engines. Use this instead of the
+    /// historical `uniform(0)` "resized per call" placeholder.
+    pub fn auto() -> TupleCost {
+        TupleCost { weights: None }
+    }
+
     /// Uniform weights (`wᵢ = 1`) over an `n`-tuple: plain §3 least
-    /// change. `uniform(0)` is a placeholder the engines resize to the
-    /// actual arity.
+    /// change, arity-checked against the tuple it is applied to.
     pub fn uniform(n: usize) -> TupleCost {
         TupleCost {
-            weights: vec![1; n],
+            weights: Some(vec![1; n]),
         }
     }
 
     /// Explicit per-model weights, in model-space order.
     pub fn weighted(weights: Vec<u64>) -> TupleCost {
-        TupleCost { weights }
+        TupleCost {
+            weights: Some(weights),
+        }
+    }
+
+    /// True for the [`TupleCost::auto`] weighting.
+    pub fn is_auto(&self) -> bool {
+        self.weights.is_none()
+    }
+
+    /// The arity an explicit weighting was built for (`None` for auto).
+    pub fn arity(&self) -> Option<usize> {
+        self.weights.as_ref().map(Vec::len)
+    }
+
+    /// Resolves this weighting against a tuple of arity `n`: auto becomes
+    /// `uniform(n)`; an explicit weighting must match `n` exactly.
+    pub fn resolved(&self, n: usize) -> Result<TupleCost, TupleArityError> {
+        match &self.weights {
+            None => Ok(TupleCost::uniform(n)),
+            Some(w) if w.len() == n => Ok(self.clone()),
+            Some(w) => Err(TupleArityError {
+                expected: n,
+                got: w.len(),
+            }),
+        }
     }
 
     /// The weight multiplier of the model at `idx`.
     ///
-    /// Out-of-range indexes weigh 1, so a partially-specified tuple
-    /// degrades to uniform rather than panicking mid-repair.
+    /// # Panics
+    ///
+    /// Panics when the weighting is explicit and `idx` is out of range —
+    /// resolve the weighting against the tuple's arity first
+    /// ([`TupleCost::resolved`]); the engines do this on entry.
     pub fn weight(&self, idx: usize) -> u64 {
-        self.weights.get(idx).copied().unwrap_or(1)
-    }
-
-    /// Tuple arity this weighting was built for.
-    pub fn len(&self) -> usize {
-        self.weights.len()
-    }
-
-    /// True when no weights are attached (the `uniform(0)` placeholder).
-    pub fn is_empty(&self) -> bool {
-        self.weights.is_empty()
+        match &self.weights {
+            None => 1,
+            Some(w) => match w.get(idx) {
+                Some(&x) => x,
+                None => panic!(
+                    "tuple cost of arity {} indexed at {idx}; resolve against the tuple first",
+                    w.len()
+                ),
+            },
+        }
     }
 
     /// The weighted total over per-model distances, in model-space
     /// order: `Σᵢ wᵢ · dᵢ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the weighting is explicit and shorter than
+    /// `per_model` (see [`TupleCost::weight`]).
     pub fn total(&self, per_model: &[u64]) -> u64 {
         per_model
             .iter()
@@ -423,6 +555,23 @@ impl Delta {
     pub fn cost(&self, cost: &CostModel) -> u64 {
         self.ops.iter().map(|op| cost.of(op)).sum()
     }
+
+    /// The distinct objects whose slots this script writes, ascending
+    /// (the union of [`EditOp::primary_obj`] over the ops, plus link
+    /// targets). The coarse write-set incremental checkers intersect
+    /// against their per-check read-sets.
+    pub fn touched_objs(&self) -> Vec<ObjId> {
+        let mut out: Vec<ObjId> = Vec::with_capacity(self.ops.len());
+        for op in &self.ops {
+            out.push(op.primary_obj());
+            if let EditOp::AddLink { dst, .. } | EditOp::DelLink { dst, .. } = *op {
+                out.push(dst);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
 }
 
 impl fmt::Display for Delta {
@@ -443,6 +592,12 @@ impl fmt::Display for Delta {
 /// The weighted distance between two model tuples: per-component
 /// [`Delta::between`] costs combined under `tuple`. Errors when any
 /// component pair disagrees on its metamodel.
+///
+/// # Panics
+///
+/// Panics when `tuple` is explicit and its arity differs from the
+/// tuples' — pass [`TupleCost::auto`] (or a weighting of the right
+/// arity) rather than relying on padding.
 pub fn tuple_distance(
     old: &[Model],
     new: &[Model],
@@ -450,6 +605,9 @@ pub fn tuple_distance(
     tuple: &TupleCost,
 ) -> Result<u64, ModelError> {
     debug_assert_eq!(old.len(), new.len());
+    let tuple = tuple
+        .resolved(old.len())
+        .expect("tuple cost arity matches the model tuple");
     let mut total = 0;
     for (i, (o, n)) in old.iter().zip(new).enumerate() {
         total += tuple.weight(i) * Delta::between(o, n)?.cost(cost);
@@ -723,26 +881,90 @@ mod tests {
     #[test]
     fn tuple_cost_uniform_and_weighted() {
         let u = TupleCost::uniform(3);
-        assert_eq!(u.len(), 3);
-        assert!(!u.is_empty());
+        assert_eq!(u.arity(), Some(3));
+        assert!(!u.is_auto());
         for i in 0..3 {
             assert_eq!(u.weight(i), 1);
         }
         // The asymmetric weighting `ground` relies on: model 1 is 100×
         // as expensive as model 0.
         let w = TupleCost::weighted(vec![1, 100]);
-        assert_eq!(w.len(), 2);
+        assert_eq!(w.arity(), Some(2));
         assert_eq!(w.weight(0), 1);
         assert_eq!(w.weight(1), 100);
-        // Out-of-range degrades to uniform.
-        assert_eq!(w.weight(7), 1);
-        // Placeholder tuple.
-        let p = TupleCost::uniform(0);
-        assert!(p.is_empty());
-        assert_eq!(p.len(), 0);
         // Weighted totals.
         assert_eq!(w.total(&[3, 2]), 3 + 200);
         assert_eq!(u.total(&[1, 1, 1]), 3);
+    }
+
+    #[test]
+    fn tuple_cost_auto_resolves_to_any_arity() {
+        let a = TupleCost::auto();
+        assert!(a.is_auto());
+        assert_eq!(a.arity(), None);
+        assert_eq!(a.weight(7), 1); // auto is uniform everywhere
+        for n in [0, 1, 3] {
+            let r = a.resolved(n).unwrap();
+            assert_eq!(r, TupleCost::uniform(n));
+        }
+        // Explicit weightings resolve only at their own arity.
+        let w = TupleCost::weighted(vec![1, 100]);
+        assert_eq!(w.resolved(2).unwrap(), w);
+        assert_eq!(
+            w.resolved(3).unwrap_err(),
+            TupleArityError {
+                expected: 3,
+                got: 2
+            }
+        );
+        assert!(w.resolved(3).unwrap_err().to_string().contains("arity 3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "resolve against the tuple first")]
+    fn tuple_cost_out_of_range_weight_panics() {
+        TupleCost::weighted(vec![1, 100]).weight(7);
+    }
+
+    #[test]
+    fn edit_op_read_set_helpers() {
+        let id = ObjId(3);
+        let class = ClassId(1);
+        let attr = AttrId(2);
+        let r = RefId(0);
+        let add = EditOp::AddObj { id, class };
+        let del = EditOp::DelObj { id, class };
+        let set = EditOp::SetAttr {
+            id,
+            attr,
+            value: Value::Bool(true),
+            old: Value::Bool(false),
+        };
+        let link = EditOp::AddLink {
+            src: ObjId(1),
+            r,
+            dst: id,
+        };
+        let unlink = EditOp::DelLink {
+            src: ObjId(1),
+            r,
+            dst: id,
+        };
+        assert_eq!(add.touched_class(), Some(class));
+        assert_eq!(add.touched_attr(), None);
+        assert_eq!(set.touched_attr(), Some(attr));
+        assert_eq!(set.touched_class(), None);
+        assert_eq!(link.touched_ref(), Some(r));
+        assert_eq!(link.primary_obj(), ObjId(1));
+        assert_eq!(set.primary_obj(), id);
+        assert!(del.is_destructive_only());
+        assert!(unlink.is_destructive_only());
+        assert!(!add.is_destructive_only() && !set.is_destructive_only());
+        let mut d = Delta::new();
+        d.push(set);
+        d.push(link);
+        d.push(del);
+        assert_eq!(d.touched_objs(), vec![ObjId(1), id]);
     }
 
     #[test]

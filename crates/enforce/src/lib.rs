@@ -18,6 +18,40 @@
 //!
 //! Both return the minimal cost, the repaired tuple, and per-model edit
 //! scripts. They are differentially tested against each other.
+//!
+//! ```
+//! use mmt_model::text::{parse_metamodel, parse_model};
+//! use mmt_qvtr::parse_and_resolve;
+//! use mmt_deps::{DomIdx, DomSet};
+//! use mmt_enforce::{RepairEngine, SearchEngine};
+//!
+//! let cf = parse_metamodel("metamodel CF { class Feature { attr name: Str; } }").unwrap();
+//! let fm = parse_metamodel(
+//!     "metamodel FM { class Feature { attr name: Str; attr mandatory: Bool; } }").unwrap();
+//! let hir = parse_and_resolve(r#"
+//! transformation F(cf1 : CF, fm : FM) {
+//!   top relation Sel {
+//!     n : Str;
+//!     domain cf1 s : Feature { name = n };
+//!     domain fm  f : Feature { name = n };
+//!     depend cf1 -> fm;
+//!     depend fm -> cf1;
+//!   }
+//! }"#, &[cf.clone(), fm.clone()]).unwrap();
+//! // The configuration selects `engine`; the feature model doesn't know it.
+//! let m_cf = parse_model(r#"model cf1 : CF { f = Feature { name = "engine" } }"#, &cf).unwrap();
+//! let m_fm = parse_model(r#"model fm : FM { }"#, &fm).unwrap();
+//!
+//! // Repair shape →F_FM: only the feature model may change.
+//! let out = SearchEngine::default()
+//!     .repair(&hir, &[m_cf, m_fm], DomSet::single(DomIdx(1)))
+//!     .unwrap()
+//!     .expect("repairable");
+//! // Least change: create the feature and name it (2 ops).
+//! assert_eq!(out.cost, 2);
+//! assert_eq!(out.deltas[1].len(), 2);
+//! assert!(out.deltas[0].is_empty()); // cf1 untouched
+//! ```
 
 #![deny(missing_docs)]
 
@@ -32,21 +66,65 @@ use mmt_qvtr::Hir;
 use std::fmt;
 
 /// Options shared by the repair engines.
+///
+/// Every field trades completeness or repair quality against time; the
+/// per-field docs spell the trade-off out. The defaults are tuned for
+/// the paper-scale workloads exercised by `mmt-bench`.
 #[derive(Clone, Debug)]
 pub struct RepairOptions {
-    /// Per-operation costs.
+    /// Per-operation costs (the §3 graph-edit distance). Raising one
+    /// op's price steers repairs away from that op kind; it does not
+    /// change engine speed, but a coarse price scale deepens the search
+    /// frontier / the SAT cost counter before `max_cost` bites.
     pub cost: CostModel,
     /// Per-model weight multipliers (§3's weighted tuple distance).
+    /// [`TupleCost::auto`] (the default) is uniform at the tuple's
+    /// arity; an explicit weighting must match the arity exactly or the
+    /// engines return [`RepairError::Tuple`]. Strongly asymmetric
+    /// weights make the search frontier deeper (cheap models absorb
+    /// many edits before an expensive one is considered), so pair them
+    /// with a proportionally larger `max_cost`.
     pub tuple: TupleCost,
-    /// Maximum total cost to consider before giving up.
+    /// Maximum total weighted cost to consider before giving up.
+    /// The hard bound on both engines' runtime: search explores
+    /// O(branching^depth) states and the SAT engine relaxes its cost
+    /// counter `k = 0, 1, 2, …` up to this bound. Too small → repairable
+    /// tuples report `None`; too large → worst-case blow-up on
+    /// unrepairable inputs.
     pub max_cost: u64,
-    /// Fresh string symbols available to repairs.
+    /// Fresh string symbols available to repairs (values not occurring
+    /// in any model or pattern literal). Each fresh string multiplies
+    /// the attribute-candidate pool (search) and the string universe
+    /// (SAT grounding); 1 suffices unless a repair must invent several
+    /// distinct new names.
     pub fresh_strings: usize,
-    /// Search engine: cap on explored states.
+    /// Search engine: cap on explored states — the safety net against
+    /// exponential frontiers. When hit, the engine errors with
+    /// [`RepairError::SearchBudgetExhausted`] rather than silently
+    /// reporting unrepairable.
     pub max_states: u64,
-    /// Search engine: counterexamples consumed per directional check.
+    /// Search engine: counterexamples consumed per directional check
+    /// when deriving repair candidates. Higher values widen the
+    /// branching factor (more candidate edits per state, more heap
+    /// pressure) but can find repairs that need to fix a *specific*
+    /// violation first; lower values keep expansion cheap but may
+    /// detour through longer edit sequences.
     pub violations_per_check: usize,
-    /// SAT engine: universe slack (fresh objects per class).
+    /// Search engine: use the incremental
+    /// [`DeltaChecker`](mmt_check::DeltaChecker) oracle (default
+    /// `true`). Each search state then carries its parent's checker
+    /// state plus one applied edit, making the per-state oracle cost
+    /// proportional to the edit instead of the model tuple — ≥5× faster
+    /// on the paper-scale enforce benches. `false` restores the PR 1
+    /// from-scratch oracle (every state re-checks everything): slower,
+    /// but useful for ablation measurements and as a differential
+    /// reference.
+    pub incremental_oracle: bool,
+    /// SAT engine: universe slack (fresh objects per class). Grounding
+    /// size — and thus CNF size and solve time — grows roughly linearly
+    /// in the slack per quantifier nest; repairs that must *create*
+    /// more than this many objects in one class are invisible to the
+    /// SAT engine.
     pub slack_objs: usize,
 }
 
@@ -54,11 +132,12 @@ impl Default for RepairOptions {
     fn default() -> Self {
         RepairOptions {
             cost: CostModel::default(),
-            tuple: TupleCost::uniform(0), // resized per call
+            tuple: TupleCost::auto(),
             max_cost: 16,
             fresh_strings: 1,
             max_states: 200_000,
             violations_per_check: 4,
+            incremental_oracle: true,
             slack_objs: 2,
         }
     }
@@ -93,6 +172,8 @@ pub enum RepairError {
     },
     /// The target set is empty.
     NoTargets,
+    /// An explicit tuple weighting does not match the tuple's arity.
+    Tuple(mmt_dist::TupleArityError),
 }
 
 impl fmt::Display for RepairError {
@@ -106,6 +187,7 @@ impl fmt::Display for RepairError {
                 write!(f, "search exhausted its budget of {states} states")
             }
             RepairError::NoTargets => f.write_str("repair shape selects no models"),
+            RepairError::Tuple(e) => write!(f, "{e}"),
         }
     }
 }
@@ -137,6 +219,20 @@ impl From<ModelError> for RepairError {
 }
 
 /// A least-change repair engine.
+///
+/// Both engines implement this trait, so callers can switch (or
+/// differentially compare) them behind one interface:
+///
+/// ```
+/// use mmt_enforce::{RepairEngine, SatEngine, SearchEngine};
+///
+/// let engines: Vec<Box<dyn RepairEngine>> = vec![
+///     Box::new(SearchEngine::default()),
+///     Box::new(SatEngine::default()),
+/// ];
+/// let names: Vec<&str> = engines.iter().map(|e| e.name()).collect();
+/// assert_eq!(names, ["search", "sat"]);
+/// ```
 pub trait RepairEngine {
     /// Engine name (for reports and benches).
     fn name(&self) -> &'static str;
@@ -152,7 +248,45 @@ pub trait RepairEngine {
     ) -> Result<Option<RepairOutcome>, RepairError>;
 }
 
-/// The uniform-cost search engine (§3 run natively).
+/// The uniform-cost search engine (§3 run natively): explores edit
+/// sequences in order of increasing weighted distance, with an
+/// incremental [`mmt_check::DeltaChecker`] as the per-state consistency
+/// oracle (see [`RepairOptions::incremental_oracle`]).
+///
+/// ```
+/// use mmt_model::text::{parse_metamodel, parse_model};
+/// use mmt_qvtr::parse_and_resolve;
+/// use mmt_deps::{DomIdx, DomSet};
+/// use mmt_dist::TupleCost;
+/// use mmt_enforce::{RepairEngine, RepairOptions, SearchEngine};
+///
+/// let cf = parse_metamodel("metamodel CF { class Feature { attr name: Str; } }").unwrap();
+/// let fm = parse_metamodel(
+///     "metamodel FM { class Feature { attr name: Str; attr mandatory: Bool; } }").unwrap();
+/// let hir = parse_and_resolve(r#"
+/// transformation F(cf1 : CF, fm : FM) {
+///   top relation Sel {
+///     n : Str;
+///     domain cf1 s : Feature { name = n };
+///     domain fm  f : Feature { name = n };
+///     depend cf1 -> fm;
+///     depend fm -> cf1;
+///   }
+/// }"#, &[cf.clone(), fm.clone()]).unwrap();
+/// let m_cf = parse_model(r#"model cf1 : CF { f = Feature { name = "gps" } }"#, &cf).unwrap();
+/// let m_fm = parse_model(r#"model fm : FM { f = Feature { name = "radio" } }"#, &fm).unwrap();
+///
+/// // Make the feature model 100× as expensive as the configuration:
+/// // the least-change repair rewrites cf1 instead of fm.
+/// let engine = SearchEngine::new(RepairOptions {
+///     tuple: TupleCost::weighted(vec![1, 100]),
+///     ..RepairOptions::default()
+/// });
+/// let both = DomSet::single(DomIdx(0)).with(DomIdx(1));
+/// let out = engine.repair(&hir, &[m_cf, m_fm.clone()], both).unwrap().unwrap();
+/// assert!(out.deltas[1].is_empty(), "fm untouched:\n{}", out.deltas[1]);
+/// assert!(out.models[1].graph_eq(&m_fm));
+/// ```
 #[derive(Clone, Debug, Default)]
 pub struct SearchEngine {
     /// Engine options.
@@ -181,14 +315,50 @@ impl RepairEngine for SearchEngine {
             return Err(RepairError::NoTargets);
         }
         let mut opts = self.opts.clone();
-        if opts.tuple.len() != models.len() {
-            opts.tuple = TupleCost::uniform(models.len());
-        }
+        opts.tuple = opts
+            .tuple
+            .resolved(models.len())
+            .map_err(RepairError::Tuple)?;
         search::repair_search(hir, models, targets, &opts)
     }
 }
 
-/// The SAT-based engine (ground → minimal-cost solve).
+/// The SAT-based engine: bounded grounding to CNF with a sequential
+/// cost counter, relaxed `k = 0, 1, 2, …` until satisfiable — the
+/// Alloy/Kodkod/PMax-SAT realization the paper's Echo tool uses. Unlike
+/// [`SearchEngine`] it is complete within its universe bounds
+/// ([`RepairOptions::slack_objs`] fresh objects per class,
+/// [`RepairOptions::fresh_strings`] fresh strings).
+///
+/// ```
+/// use mmt_model::text::{parse_metamodel, parse_model};
+/// use mmt_qvtr::parse_and_resolve;
+/// use mmt_deps::{DomIdx, DomSet};
+/// use mmt_enforce::{RepairEngine, SatEngine};
+///
+/// let cf = parse_metamodel("metamodel CF { class Feature { attr name: Str; } }").unwrap();
+/// let fm = parse_metamodel(
+///     "metamodel FM { class Feature { attr name: Str; attr mandatory: Bool; } }").unwrap();
+/// let hir = parse_and_resolve(r#"
+/// transformation F(cf1 : CF, fm : FM) {
+///   top relation Sel {
+///     n : Str;
+///     domain cf1 s : Feature { name = n };
+///     domain fm  f : Feature { name = n, mandatory = true };
+///     depend cf1 -> fm;
+///   }
+/// }"#, &[cf.clone(), fm.clone()]).unwrap();
+/// let m_cf = parse_model(r#"model cf1 : CF { f = Feature { name = "engine" } }"#, &cf).unwrap();
+/// let m_fm = parse_model(
+///     r#"model fm : FM { f = Feature { name = "engine", mandatory = false } }"#, &fm).unwrap();
+///
+/// // Minimal repair towards FM: flip one `mandatory` bit.
+/// let out = SatEngine::default()
+///     .repair(&hir, &[m_cf, m_fm], DomSet::single(DomIdx(1)))
+///     .unwrap()
+///     .expect("repairable");
+/// assert_eq!(out.cost, 1);
+/// ```
 #[derive(Clone, Debug, Default)]
 pub struct SatEngine {
     /// Engine options.
@@ -216,10 +386,11 @@ impl RepairEngine for SatEngine {
         if targets.is_empty() {
             return Err(RepairError::NoTargets);
         }
-        let mut tuple = self.opts.tuple.clone();
-        if tuple.len() != models.len() {
-            tuple = TupleCost::uniform(models.len());
-        }
+        let tuple = self
+            .opts
+            .tuple
+            .resolved(models.len())
+            .map_err(RepairError::Tuple)?;
         let gopts = GroundOptions {
             scope: Scope {
                 slack_objs: self.opts.slack_objs,

@@ -12,13 +12,35 @@
 //! adapt a witness on the target side, or destroy the universal match on
 //! a source side — rather than enumerating every conceivable edit. This
 //! keeps the branching factor proportional to the number of violations.
-//! The SAT engine ([`crate::sat_engine`]) is the complete reference.
+//! The SAT engine ([`crate::SatEngine`]) is the complete reference.
+//!
+//! ## The incremental oracle
+//!
+//! With [`RepairOptions::incremental_oracle`] (the default), every
+//! search state carries a [`mmt_check::DeltaChecker`] — its parent's
+//! checker state plus the one edit that produced it — so the per-state
+//! consistency oracle costs O(edit) instead of re-running every
+//! directional check against the whole tuple. Two further consequences
+//! of the incremental design:
+//!
+//! * **lazy materialization** — a pushed-but-unpopped state is just
+//!   `(parent, edit, cost, fingerprint)`; models are only cloned when a
+//!   state is actually popped for expansion;
+//! * **incremental fingerprints** — the duplicate-state filter uses a
+//!   commutative (per-object sum) hash, so a candidate's fingerprint is
+//!   computed from its parent's in O(touched objects) — one model scan
+//!   for `DelObj`, whose scrub touches every incoming link — without
+//!   applying the edit.
+//!
+//! The legacy from-scratch oracle is kept behind
+//! `incremental_oracle: false` for ablation benchmarks
+//! (`enforce_search_incremental`) and differential testing.
 
 use crate::{RepairError, RepairOptions, RepairOutcome};
-use mmt_check::{Binding, EvalCtx, ModelIndex, Slot};
+use mmt_check::{Binding, CheckOptions, DeltaChecker, DeltaError, EvalCtx, ModelIndex, Slot};
 use mmt_deps::{Dep, DomIdx, DomSet};
 use mmt_dist::{Delta, EditOp};
-use mmt_model::{AttrType, Model, ObjId, Sym, Value};
+use mmt_model::{AttrType, Model, ObjId, Object, Sym, Value};
 use mmt_qvtr::{Atom, Constraint, Hir, HirExpr, HirRelation, VarTy};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
@@ -31,8 +53,167 @@ struct Candidate {
     op: EditOp,
 }
 
-/// Uniform-cost search for a least-change repair.
+/// Uniform-cost search for a least-change repair. Dispatches on
+/// [`RepairOptions::incremental_oracle`].
 pub fn repair_search(
+    hir: &Hir,
+    originals: &[Model],
+    targets: DomSet,
+    opts: &RepairOptions,
+) -> Result<Option<RepairOutcome>, RepairError> {
+    if opts.incremental_oracle {
+        repair_search_incremental(hir, originals, targets, opts)
+    } else {
+        repair_search_scratch(hir, originals, targets, opts)
+    }
+}
+
+fn delta_repair_err(e: DeltaError) -> RepairError {
+    match e {
+        DeltaError::Check(e) => RepairError::Check(e),
+        DeltaError::Eval(e) => RepairError::Eval(e),
+        DeltaError::Model(e) => RepairError::Model(e),
+    }
+}
+
+/// A not-yet-materialized search state: its parent in the node arena,
+/// the one edit that distinguishes it, and the incrementally computed
+/// duplicate-filter fingerprint.
+struct PendingState {
+    parent: Option<usize>,
+    cand: Option<Candidate>,
+    fp: u64,
+}
+
+/// Incremental-oracle search: states carry their parent's
+/// [`DeltaChecker`] plus one applied edit.
+fn repair_search_incremental(
+    hir: &Hir,
+    originals: &[Model],
+    targets: DomSet,
+    opts: &RepairOptions,
+) -> Result<Option<RepairOutcome>, RepairError> {
+    let value_pool = collect_value_pool(originals, hir, opts.fresh_strings);
+    let check_opts = CheckOptions {
+        memoize: true,
+        max_violations: opts.violations_per_check,
+    };
+    let mut root_checker =
+        Some(DeltaChecker::with_options(hir, originals, check_opts).map_err(delta_repair_err)?);
+    let root_fp = fingerprint(originals, targets);
+    // Materialized (popped) states, kept alive as clone sources.
+    let mut nodes: Vec<DeltaChecker<'_>> = Vec::new();
+    let mut pending: Vec<PendingState> = vec![PendingState {
+        parent: None,
+        cand: None,
+        fp: root_fp,
+    }];
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    heap.push(Reverse((0, 0)));
+    let mut seen: HashSet<u64> = HashSet::new();
+    seen.insert(root_fp);
+    let mut expanded: u64 = 0;
+    while let Some(Reverse((cost, idx))) = heap.pop() {
+        let fp = pending[idx].fp;
+        // Materialize: clone the parent's checker state, apply the edit.
+        let mut checker = match pending[idx].parent {
+            None => root_checker.take().expect("root is popped exactly once"),
+            Some(p) => nodes[p].clone(),
+        };
+        if let Some(cand) = &pending[idx].cand {
+            match checker.apply(cand.model, &cand.op) {
+                Ok(()) => {}
+                Err(DeltaError::Model(_)) => continue, // stale candidate
+                Err(e) => return Err(delta_repair_err(e)),
+            }
+        }
+        expanded += 1;
+        if expanded > opts.max_states {
+            return Err(RepairError::SearchBudgetExhausted {
+                states: opts.max_states,
+            });
+        }
+        // Oracle: the cached (incrementally maintained) violations.
+        let mut violations: Vec<Violation> = Vec::new();
+        checker.for_each_violation(opts.violations_per_check, |rel, dep, binding| {
+            violations.push(Violation {
+                rel,
+                dep,
+                binding: binding.clone(),
+            });
+        });
+        // Structural unrepairability: a violated check none of whose
+        // participating models is editable can never be fixed by this
+        // shape — the paper's "not all update directions are able to
+        // restore consistency".
+        for v in &violations {
+            if participating_models(hir.relation(v.rel), v.dep)
+                .intersect(targets)
+                .is_empty()
+            {
+                return Ok(None);
+            }
+        }
+        if violations.is_empty() {
+            let models = checker.models().to_vec();
+            let mut deltas = Vec::with_capacity(models.len());
+            for (o, n) in originals.iter().zip(&models) {
+                deltas.push(Delta::between(o, n)?);
+            }
+            return Ok(Some(RepairOutcome {
+                cost,
+                models,
+                deltas,
+            }));
+        }
+        if cost >= opts.max_cost {
+            continue;
+        }
+        // Generate repair-guided candidates from every violation.
+        let mut candidates: Vec<Candidate> = Vec::new();
+        for v in &violations {
+            derive_candidates(
+                hir,
+                checker.models(),
+                targets,
+                v,
+                &value_pool,
+                &mut candidates,
+            );
+        }
+        let mut dedup: HashSet<Candidate> = HashSet::with_capacity(candidates.len());
+        nodes.push(checker);
+        let node_idx = nodes.len() - 1;
+        let models = nodes[node_idx].models();
+        for cand in candidates {
+            if !dedup.insert(cand) {
+                continue;
+            }
+            let step = op_cost(&cand.op, opts) * opts.tuple.weight(cand.model.index());
+            if cost + step > opts.max_cost {
+                continue;
+            }
+            // O(touched) child fingerprint — no clone, no edit replay.
+            let Some(child_fp) = fingerprint_apply(models, fp, &cand) else {
+                continue; // stale candidate
+            };
+            if seen.insert(child_fp) {
+                pending.push(PendingState {
+                    parent: Some(node_idx),
+                    cand: Some(cand),
+                    fp: child_fp,
+                });
+                heap.push(Reverse((cost + step, pending.len() - 1)));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// From-scratch-oracle search (the PR 1 baseline, kept for ablation and
+/// differential testing): every state stores a full model tuple and
+/// re-checks every directional check.
+fn repair_search_scratch(
     hir: &Hir,
     originals: &[Model],
     targets: DomSet,
@@ -56,11 +237,6 @@ pub fn repair_search(
         }
         // Oracle: collect violations (with Slot-level bindings).
         let violations = collect_violations(hir, &models, opts)?;
-        // Structural unrepairability: a violated check none of whose
-        // participating models (dependency sources, target, and the
-        // models of when/where variables) is editable can never be fixed
-        // by this shape — the paper's "not all update directions are able
-        // to restore consistency".
         for v in &violations {
             if participating_models(hir.relation(v.rel), v.dep)
                 .intersect(targets)
@@ -88,9 +264,11 @@ pub fn repair_search(
         for v in &violations {
             derive_candidates(hir, &models, targets, v, &value_pool, &mut candidates);
         }
-        candidates.sort_by_key(|c| (c.model.0, format!("{:?}", c.op)));
-        candidates.dedup();
+        let mut dedup: HashSet<Candidate> = HashSet::with_capacity(candidates.len());
         for cand in candidates {
+            if !dedup.insert(cand) {
+                continue;
+            }
             let step = op_cost(&cand.op, opts) * opts.tuple.weight(cand.model.index());
             if cost + step > opts.max_cost {
                 continue;
@@ -487,23 +665,218 @@ fn participating_models(rel: &HirRelation, dep: Dep) -> DomSet {
     set
 }
 
-/// Order-insensitive structural fingerprint of the mutable models.
-fn fingerprint(models: &[Model], targets: DomSet) -> u64 {
+/// Hash of one object's full state, tagged with its model position.
+fn obj_fp(t: DomIdx, id: ObjId, obj: &Object) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
+    t.0.hash(&mut h);
+    id.hash(&mut h);
+    obj.class.hash(&mut h);
+    obj.attrs.hash(&mut h);
+    obj.refs.hash(&mut h);
+    h.finish()
+}
+
+/// Order-insensitive structural fingerprint of the mutable models: the
+/// wrapping sum of per-object hashes. Commutativity is what makes
+/// [`fingerprint_apply`] possible — an edit's effect on the fingerprint
+/// is the difference of the touched objects' hashes.
+fn fingerprint(models: &[Model], targets: DomSet) -> u64 {
+    let mut fp: u64 = 0x9e37_79b9_7f4a_7c15;
     for t in targets.iter() {
         let m = &models[t.index()];
-        t.0.hash(&mut h);
         for (id, obj) in m.objects() {
-            id.hash(&mut h);
-            obj.class.hash(&mut h);
-            obj.attrs.hash(&mut h);
-            obj.refs.hash(&mut h);
+            fp = fp.wrapping_add(obj_fp(t, id, obj));
         }
     }
-    h.finish()
+    fp
+}
+
+/// The fingerprint of the state reached by applying `cand` to `models`
+/// (which fingerprint to `fp`), computed without cloning or mutating
+/// anything — O(touched objects) for every op except `DelObj`, whose
+/// arm scans the model once for incoming links (deletion scrubs them). Returns `None` when the candidate is
+/// stale (its object vanished, the link already exists, …) — exactly
+/// the cases where [`apply_candidate`] would fail or no-op.
+fn fingerprint_apply(models: &[Model], fp: u64, cand: &Candidate) -> Option<u64> {
+    let t = cand.model;
+    let m = &models[t.index()];
+    let meta = m.metamodel();
+    match cand.op {
+        EditOp::AddObj { id, class } => {
+            if m.contains(id) || meta.class(class).is_abstract {
+                return None;
+            }
+            let fresh = Object {
+                class,
+                attrs: meta.default_attrs(class),
+                refs: vec![Vec::new(); meta.class(class).all_refs.len()].into_boxed_slice(),
+            };
+            Some(fp.wrapping_add(obj_fp(t, id, &fresh)))
+        }
+        EditOp::DelObj { id, .. } => {
+            let obj = m.get(id)?;
+            let mut fp = fp.wrapping_sub(obj_fp(t, id, obj));
+            // Deletion scrubs incoming links: survivors pointing at `id`
+            // change too.
+            for (oid, o) in m.objects() {
+                if oid == id || !o.refs.iter().any(|s| s.contains(&id)) {
+                    continue;
+                }
+                let mut o2 = o.clone();
+                for s in o2.refs.iter_mut() {
+                    s.retain(|&d| d != id);
+                }
+                fp = fp
+                    .wrapping_sub(obj_fp(t, oid, o))
+                    .wrapping_add(obj_fp(t, oid, &o2));
+            }
+            Some(fp)
+        }
+        EditOp::SetAttr {
+            id, attr, value, ..
+        } => {
+            let obj = m.get(id)?;
+            let slot = meta.attr_slot(obj.class, attr)?;
+            if obj.attrs[slot] == value {
+                return None; // no-op
+            }
+            let mut o2 = obj.clone();
+            o2.attrs[slot] = value;
+            Some(
+                fp.wrapping_sub(obj_fp(t, id, obj))
+                    .wrapping_add(obj_fp(t, id, &o2)),
+            )
+        }
+        EditOp::AddLink { src, r, dst } => {
+            let obj = m.get(src)?;
+            if !m.contains(dst) {
+                return None;
+            }
+            let slot = meta.ref_slot(obj.class, r)?;
+            let pos = match obj.refs[slot].binary_search(&dst) {
+                Ok(_) => return None, // already linked
+                Err(pos) => pos,
+            };
+            let mut o2 = obj.clone();
+            o2.refs[slot].insert(pos, dst);
+            Some(
+                fp.wrapping_sub(obj_fp(t, src, obj))
+                    .wrapping_add(obj_fp(t, src, &o2)),
+            )
+        }
+        EditOp::DelLink { src, r, dst } => {
+            let obj = m.get(src)?;
+            let slot = meta.ref_slot(obj.class, r)?;
+            let pos = obj.refs[slot].binary_search(&dst).ok()?;
+            let mut o2 = obj.clone();
+            o2.refs[slot].remove(pos);
+            Some(
+                fp.wrapping_sub(obj_fp(t, src, obj))
+                    .wrapping_add(obj_fp(t, src, &o2)),
+            )
+        }
+    }
 }
 
 /// Exposed for differential tests: the same fingerprint the search uses.
 pub fn state_fingerprint(models: &[Model], targets: DomSet) -> u64 {
     fingerprint(models, targets)
+}
+
+#[cfg(test)]
+mod fp_tests {
+    use super::*;
+    use mmt_model::text::{parse_metamodel, parse_model};
+    use mmt_model::Sym;
+
+    /// `fingerprint_apply` agrees with applying the edit and
+    /// re-fingerprinting from scratch, for every op kind.
+    #[test]
+    fn incremental_fingerprint_matches_recompute() {
+        let mm = parse_metamodel(
+            "metamodel X { class Node { attr name: Str; ref next: Node [0..*]; } }",
+        )
+        .unwrap();
+        let m = parse_model(
+            r#"model m : X {
+                a = Node { name = "a", next = [b] }
+                b = Node { name = "b" }
+                c = Node { name = "c", next = [a, b] }
+            }"#,
+            &mm,
+        )
+        .unwrap();
+        let node = mm.class_named("Node").unwrap();
+        let name = mm.attr_of(node, Sym::new("name")).unwrap();
+        let next = mm.ref_of(node, Sym::new("next")).unwrap();
+        let targets = DomSet::from_iter([DomIdx(0)]);
+        let ops = [
+            EditOp::AddObj {
+                id: ObjId(3),
+                class: node,
+            },
+            EditOp::DelObj {
+                id: ObjId(1),
+                class: node,
+            },
+            EditOp::SetAttr {
+                id: ObjId(0),
+                attr: name,
+                value: Value::str("z"),
+                old: Value::str("a"),
+            },
+            EditOp::AddLink {
+                src: ObjId(1),
+                r: next,
+                dst: ObjId(2),
+            },
+            EditOp::DelLink {
+                src: ObjId(2),
+                r: next,
+                dst: ObjId(0),
+            },
+        ];
+        for op in ops {
+            let models = [m.clone()];
+            let fp = fingerprint(&models, targets);
+            let cand = Candidate {
+                model: DomIdx(0),
+                op,
+            };
+            let predicted = fingerprint_apply(&models, fp, &cand).expect("op applies");
+            let mut edited = m.clone();
+            apply_candidate(&mut edited, &op).unwrap();
+            let actual = fingerprint(&[edited], targets);
+            assert_eq!(predicted, actual, "{op}");
+        }
+        // Stale candidates are detected without mutation.
+        let models = [m.clone()];
+        let fp = fingerprint(&models, targets);
+        for stale in [
+            EditOp::DelObj {
+                id: ObjId(9),
+                class: node,
+            },
+            EditOp::AddLink {
+                src: ObjId(0),
+                r: next,
+                dst: ObjId(1), // already linked
+            },
+            EditOp::DelLink {
+                src: ObjId(1),
+                r: next,
+                dst: ObjId(0), // not linked
+            },
+        ] {
+            assert!(fingerprint_apply(
+                &models,
+                fp,
+                &Candidate {
+                    model: DomIdx(0),
+                    op: stale
+                }
+            )
+            .is_none());
+        }
+    }
 }

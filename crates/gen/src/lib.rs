@@ -9,8 +9,9 @@
 #![deny(missing_docs)]
 
 use mmt_deps::{Dep, DepSet, DomIdx, DomSet};
+use mmt_dist::EditOp;
 use mmt_model::text::parse_metamodel;
-use mmt_model::{Metamodel, Model, Value};
+use mmt_model::{AttrType, ClassId, Metamodel, Model, ObjId, Value};
 use mmt_qvtr::{parse_and_resolve, Hir};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -269,6 +270,110 @@ pub fn inject(w: &mut FeatureWorkload, injection: Injection) -> String {
     }
 }
 
+/// Generates a seeded random edit script of `n_edits` atomic
+/// [`EditOp`]s, valid when applied to `model` in order.
+///
+/// Works against any metamodel: object creation/deletion, attribute
+/// overwrites (values drawn from the model's own strings plus a few
+/// fresh ones), and — when the metamodel declares references — link
+/// insertion/removal. The script is kept coherent by replaying it on a
+/// scratch copy as it is generated, so deletions never dangle and ids
+/// match the evolving model. Some generated ops are deliberate no-ops
+/// (re-setting an attribute to its current value, re-adding a present
+/// link): incremental checkers must tolerate those, so the differential
+/// tests want them in the mix.
+pub fn random_edits(model: &Model, n_edits: usize, seed: u64) -> Vec<EditOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scratch = model.clone();
+    let meta = Arc::clone(scratch.metamodel());
+    let concrete: Vec<ClassId> = (0..meta.class_count() as u32)
+        .map(ClassId)
+        .filter(|&c| !meta.class(c).is_abstract)
+        .collect();
+    // Value pools per attribute type.
+    let mut strings: Vec<Value> = Vec::new();
+    for (_, obj) in model.objects() {
+        for (slot, &attr) in meta.class(obj.class).all_attrs.iter().enumerate() {
+            if meta.attr(attr).ty == AttrType::Str && !strings.contains(&obj.attrs[slot]) {
+                strings.push(obj.attrs[slot]);
+            }
+        }
+    }
+    for i in 0..3 {
+        let v = Value::str(&format!("$edit{i}"));
+        if !strings.contains(&v) {
+            strings.push(v);
+        }
+    }
+    if concrete.is_empty() {
+        return Vec::new(); // all-abstract metamodel: no edit is expressible
+    }
+    let has_refs = concrete.iter().any(|&c| !meta.class(c).all_refs.is_empty());
+    let mut ops = Vec::with_capacity(n_edits);
+    let mut guard = 0usize;
+    while ops.len() < n_edits && guard < n_edits * 50 {
+        guard += 1;
+        let live: Vec<ObjId> = scratch.objects().map(|(id, _)| id).collect();
+        let roll = rng.gen_range(0..100usize);
+        if roll < 15 || live.is_empty() {
+            // Create an object.
+            let class = concrete[rng.gen_range(0..concrete.len())];
+            let id = scratch.add(class).expect("concrete class");
+            ops.push(EditOp::AddObj { id, class });
+        } else if roll < 27 {
+            // Delete an object.
+            let id = live[rng.gen_range(0..live.len())];
+            let class = scratch.class_of(id).expect("live");
+            scratch.delete(id).expect("live");
+            ops.push(EditOp::DelObj { id, class });
+        } else if roll < 75 || !has_refs {
+            // Overwrite an attribute.
+            let id = live[rng.gen_range(0..live.len())];
+            let class = scratch.class_of(id).expect("live");
+            let attrs = &meta.class(class).all_attrs;
+            if attrs.is_empty() {
+                continue;
+            }
+            let attr = attrs[rng.gen_range(0..attrs.len())];
+            let value = match meta.attr(attr).ty {
+                AttrType::Str => strings[rng.gen_range(0..strings.len())],
+                AttrType::Int => Value::Int(rng.gen_range(0..6) as i64),
+                AttrType::Bool => Value::Bool(rng.gen_bool(0.5)),
+            };
+            let old = scratch.attr(id, attr).expect("declared attr");
+            scratch.set_attr(id, attr, value).expect("typed value");
+            ops.push(EditOp::SetAttr {
+                id,
+                attr,
+                value,
+                old,
+            });
+        } else {
+            // Rewire a link.
+            let id = live[rng.gen_range(0..live.len())];
+            let class = scratch.class_of(id).expect("live");
+            let refs = &meta.class(class).all_refs;
+            if refs.is_empty() {
+                continue;
+            }
+            let r = refs[rng.gen_range(0..refs.len())];
+            let dsts: Vec<ObjId> = scratch.objects_of(meta.reference(r).target).collect();
+            if dsts.is_empty() {
+                continue;
+            }
+            let dst = dsts[rng.gen_range(0..dsts.len())];
+            if rng.gen_bool(0.5) && scratch.has_link(id, r, dst) {
+                scratch.remove_link(id, r, dst).expect("typed link");
+                ops.push(EditOp::DelLink { src: id, r, dst });
+            } else {
+                scratch.add_link(id, r, dst).expect("typed link");
+                ops.push(EditOp::AddLink { src: id, r, dst });
+            }
+        }
+    }
+    ops
+}
+
 /// A random dependency set over `arity` domains (for entailment benches).
 pub fn random_depset(arity: usize, n_deps: usize, seed: u64) -> DepSet {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -347,6 +452,62 @@ mod tests {
             let src = transformation_source(k);
             assert_eq!(src.matches("domain cf").count(), 2 * k);
         }
+    }
+
+    #[test]
+    fn random_edit_scripts_replay_cleanly() {
+        use mmt_dist::Delta;
+        for seed in [1u64, 9, 23] {
+            let w = feature_workload(FeatureSpec {
+                n_features: 5,
+                k_configs: 2,
+                mandatory_ratio: 0.4,
+                select_prob: 0.4,
+                seed,
+            });
+            for target in 0..w.models.len() {
+                let ops = random_edits(&w.models[target], 10, seed * 7 + target as u64);
+                assert_eq!(ops.len(), 10);
+                // Deterministic.
+                assert_eq!(
+                    ops,
+                    random_edits(&w.models[target], 10, seed * 7 + target as u64)
+                );
+                // Valid when replayed in order.
+                let mut d = Delta::new();
+                for op in ops {
+                    d.push(op);
+                }
+                let mut replay = w.models[target].clone();
+                d.apply(&mut replay).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn random_edit_scripts_cover_links_when_the_metamodel_has_them() {
+        let mm = mmt_model::text::parse_metamodel(
+            "metamodel X { class Node { attr name: Str; ref next: Node [0..*]; } }",
+        )
+        .unwrap();
+        let m = mmt_model::text::parse_model(
+            r#"model m : X {
+                a = Node { name = "a", next = [b] }
+                b = Node { name = "b" }
+            }"#,
+            &mm,
+        )
+        .unwrap();
+        let ops = random_edits(&m, 40, 3);
+        assert!(ops
+            .iter()
+            .any(|op| matches!(op, EditOp::AddLink { .. } | EditOp::DelLink { .. })));
+        let mut d = mmt_dist::Delta::new();
+        for op in ops {
+            d.push(op);
+        }
+        let mut replay = m.clone();
+        d.apply(&mut replay).unwrap();
     }
 
     #[test]

@@ -67,7 +67,7 @@ impl Default for GroundOptions {
         GroundOptions {
             scope: Scope::default(),
             cost: CostModel::default(),
-            tuple: TupleCost::uniform(0), // resized on build
+            tuple: TupleCost::auto(),
             max_cost: 16,
             max_instantiations: 2_000_000,
         }
@@ -115,6 +115,8 @@ pub enum GroundError {
         /// Got.
         got: usize,
     },
+    /// An explicit tuple weighting does not match the tuple's arity.
+    Tuple(mmt_dist::TupleArityError),
 }
 
 impl fmt::Display for GroundError {
@@ -133,6 +135,7 @@ impl fmt::Display for GroundError {
             GroundError::ModelCountMismatch { expected, got } => {
                 write!(f, "expected {expected} models, got {got}")
             }
+            GroundError::Tuple(e) => write!(f, "{e}"),
         }
     }
 }
@@ -194,9 +197,10 @@ impl<'a> GroundProblem<'a> {
                 got: models.len(),
             });
         }
-        if opts.tuple.len() != models.len() {
-            opts.tuple = TupleCost::uniform(models.len());
-        }
+        opts.tuple = opts
+            .tuple
+            .resolved(models.len())
+            .map_err(GroundError::Tuple)?;
         let mut g = Grounder {
             hir,
             models,

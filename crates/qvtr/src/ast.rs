@@ -1,6 +1,6 @@
 //! Unresolved abstract syntax tree, as produced by the parser.
 //!
-//! Names are plain strings with spans; [`crate::resolve`] turns this into
+//! Names are plain strings with spans; [`mod@crate::resolve`] turns this into
 //! the typed [`crate::hir`] representation against concrete metamodels.
 
 use crate::lexer::Span;

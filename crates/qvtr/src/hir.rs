@@ -1,6 +1,6 @@
 //! Resolved, typed representation of a transformation (HIR).
 //!
-//! Produced by [`crate::resolve`] from the parsed AST plus the concrete
+//! Produced by [`mod@crate::resolve`] from the parsed AST plus the concrete
 //! metamodels. All names are resolved to ids: classes/attributes/references
 //! to metamodel ids, variables to [`VarId`]s, relations to [`RelId`]s, and
 //! model parameters to [`DomIdx`]s in the transformation's *model space*.

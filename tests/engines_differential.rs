@@ -156,3 +156,106 @@ fn reported_deltas_replay() {
         }
     }
 }
+
+/// Search and SAT agree on minimal *weighted* tuple distances — PR 1
+/// only differentially tested the uniform case. Also cross-checks the
+/// reported cost against an independent `tuple_distance` recomputation
+/// over the returned deltas, and runs the search engine under both
+/// oracles (incremental and from-scratch).
+#[test]
+fn engines_agree_under_weighted_tuple_costs() {
+    let injections = [
+        Injection::NewMandatoryInFm,
+        Injection::RenameInConfig { config: 0 },
+        Injection::SelectEverywhere,
+        Injection::SelectUnknown { config: 1 },
+    ];
+    let weights = vec![1u64, 3, 7];
+    for seed in 0..4u64 {
+        for (i, &injection) in injections.iter().enumerate() {
+            let mut w = feature_workload(FeatureSpec {
+                n_features: 3,
+                k_configs: 2,
+                mandatory_ratio: 0.5,
+                select_prob: 0.3,
+                seed: seed * 17 + i as u64,
+            });
+            let t = Transformation::from_hir(w.hir.clone());
+            inject(&mut w, injection);
+            let opts = RepairOptions {
+                tuple: TupleCost::weighted(weights.clone()),
+                max_cost: 40,
+                ..RepairOptions::default()
+            };
+            let scratch_opts = RepairOptions {
+                incremental_oracle: false,
+                ..opts.clone()
+            };
+            let shape = Shape::all(3);
+            let inc = t
+                .enforce_with(&w.models, shape, EngineKind::Search, opts.clone())
+                .expect("incremental search runs");
+            let scr = t
+                .enforce_with(&w.models, shape, EngineKind::Search, scratch_opts)
+                .expect("scratch search runs");
+            let sat = t
+                .enforce_with(&w.models, shape, EngineKind::Sat, opts.clone())
+                .expect("sat runs");
+            let costs: Vec<Option<u64>> = [&inc, &scr, &sat]
+                .iter()
+                .map(|o| o.as_ref().map(|x| x.cost))
+                .collect();
+            assert_eq!(
+                costs[0], costs[1],
+                "seed={seed} {injection:?}: oracles disagree"
+            );
+            assert_eq!(
+                costs[0], costs[2],
+                "seed={seed} {injection:?}: search vs sat disagree"
+            );
+            for out in [&inc, &scr, &sat].into_iter().flatten() {
+                assert!(
+                    t.check(&out.models).unwrap().consistent(),
+                    "seed={seed} {injection:?}"
+                );
+                // The reported weighted cost is the weighted tuple
+                // distance from the *injected* tuple (the repair input).
+                let recomputed = mmtf::dist::tuple_distance(
+                    &w.models,
+                    &out.models,
+                    &CostModel::default(),
+                    &TupleCost::weighted(weights.clone()),
+                )
+                .unwrap();
+                assert_eq!(out.cost, recomputed, "seed={seed} {injection:?}");
+            }
+        }
+    }
+}
+
+/// An explicit tuple weighting of the wrong arity is an error on both
+/// engines, not a silently mispriced repair.
+#[test]
+fn mismatched_tuple_arity_is_rejected() {
+    let w = feature_workload(FeatureSpec {
+        n_features: 3,
+        k_configs: 2,
+        mandatory_ratio: 0.5,
+        select_prob: 0.3,
+        seed: 1,
+    });
+    let t = Transformation::from_hir(w.hir.clone());
+    let opts = RepairOptions {
+        tuple: TupleCost::weighted(vec![1, 100]), // arity 2 for a 3-tuple
+        ..RepairOptions::default()
+    };
+    for engine in [EngineKind::Search, EngineKind::Sat] {
+        let err = t
+            .enforce_with(&w.models, Shape::all(3), engine, opts.clone())
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("arity"),
+            "{engine:?}: unexpected error {err}"
+        );
+    }
+}

@@ -142,8 +142,19 @@ impl Bencher {
 
 /// Calibrates an iteration count (~25 ms per sample), then reports the
 /// median/min/max of per-sample mean ns across `samples` samples.
+///
+/// Setting `MMT_BENCH_SMOKE=1` switches to smoke mode: ~1 ms samples and
+/// 2 samples per benchmark. The numbers are too noisy to compare, but
+/// every bench body still executes end to end — CI uses this to catch
+/// regressions (panics, hangs, unwraps) in the bench paths cheaply.
 fn run_bench(label: &str, samples: usize, mut run: impl FnMut(&mut Bencher)) {
-    const TARGET_SAMPLE: Duration = Duration::from_millis(25);
+    let smoke = std::env::var_os("MMT_BENCH_SMOKE").is_some_and(|v| v != "0" && !v.is_empty());
+    let target_sample = if smoke {
+        Duration::from_millis(1)
+    } else {
+        Duration::from_millis(25)
+    };
+    let samples = if smoke { 2 } else { samples };
     // Calibrate: grow iters until one sample takes long enough.
     let mut iters: u64 = 1;
     loop {
@@ -152,12 +163,12 @@ fn run_bench(label: &str, samples: usize, mut run: impl FnMut(&mut Bencher)) {
             elapsed: Duration::ZERO,
         };
         run(&mut b);
-        if b.elapsed >= TARGET_SAMPLE || iters >= 1 << 24 {
+        if b.elapsed >= target_sample || iters >= 1 << 24 {
             break;
         }
         // Aim straight for the target using the observed rate.
         let per_iter = (b.elapsed.as_nanos() / iters as u128).max(1);
-        let needed = (TARGET_SAMPLE.as_nanos() / per_iter).max(iters as u128 * 2);
+        let needed = (target_sample.as_nanos() / per_iter).max(iters as u128 * 2);
         iters = needed.min(1 << 24) as u64;
     }
     let mut per_iter_ns: Vec<f64> = (0..samples)

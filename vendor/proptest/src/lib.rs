@@ -204,7 +204,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// An inclusive length range for [`vec`], as in proptest's `SizeRange`.
+    /// An inclusive length range for [`fn@vec`], as in proptest's `SizeRange`.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         min: usize,
