@@ -241,6 +241,12 @@ struct CachedCheck {
 /// Cloning a `DeltaChecker` is O(tuple) and shares the compiled check
 /// statics — the enforcement search clones one checker per explored
 /// state and applies a single edit to each clone.
+///
+/// `DeltaChecker` is `Send + Sync`: it owns its tuple, the compiled
+/// statics are immutable behind [`Arc`], and the evaluation stack has no
+/// interior mutability. The enforcement search's parallel frontier
+/// shares a node arena of checkers across worker threads and clones from
+/// it concurrently.
 #[derive(Clone, Debug)]
 pub struct DeltaChecker<'h> {
     hir: &'h Hir,
@@ -289,11 +295,11 @@ impl<'h> DeltaChecker<'h> {
         let indexes: Vec<ModelIndex> = models.iter().map(ModelIndex::build).collect();
         let arity = hir.arity();
         let mut checks = Vec::new();
-        let ctx = EvalCtx::new(hir, &models, &indexes, opts.memoize);
+        let mut ctx = EvalCtx::new(hir, &models, &indexes, opts.memoize);
         for (rid, rel) in hir.top_relations() {
             for &dep in rel.deps.deps() {
                 let statics = Arc::new(compile_check(hir, rid, dep, arity)?);
-                let matches = full_eval(&ctx, rel, &statics)?;
+                let matches = full_eval(&mut ctx, rel, &statics)?;
                 checks.push(CachedCheck { statics, matches });
             }
         }
@@ -413,7 +419,7 @@ impl<'h> DeltaChecker<'h> {
         scrubbed: &[RefId],
     ) -> Result<(), DeltaError> {
         let m = model.index();
-        let ctx = EvalCtx::new(self.hir, &self.models, &self.indexes, self.opts.memoize);
+        let mut ctx = EvalCtx::new(self.hir, &self.models, &self.indexes, self.opts.memoize);
         let meta = self.models[m].metamodel();
         let live = &self.models[m];
         for check in &mut self.checks {
@@ -427,15 +433,24 @@ impl<'h> DeltaChecker<'h> {
             }
             let rel = self.hir.relation(st.rel);
             if hits_call {
-                check.matches = full_eval(&ctx, rel, st)?;
+                check.matches = full_eval(&mut ctx, rel, st)?;
                 self.delta_stats.full_reevals += 1;
                 continue;
             }
             if hits_uni {
-                universal_update(&ctx, rel, st, &mut check.matches, model, affected, live)?;
+                universal_update(&mut ctx, rel, st, &mut check.matches, model, affected, live)?;
             }
             if hits_wit {
-                witness_update(&ctx, rel, st, &mut check.matches, model, affected, op, live)?;
+                witness_update(
+                    &mut ctx,
+                    rel,
+                    st,
+                    &mut check.matches,
+                    model,
+                    affected,
+                    op,
+                    live,
+                )?;
             }
             self.delta_stats.partial_updates += 1;
         }
@@ -683,7 +698,7 @@ fn compile_check(hir: &Hir, rid: RelId, dep: Dep, arity: usize) -> Result<CheckS
 /// universal binding and probe its witness, memoized on the shared
 /// variables.
 fn full_eval(
-    ctx: &EvalCtx<'_>,
+    ctx: &mut EvalCtx<'_>,
     rel: &HirRelation,
     st: &CheckStatics,
 ) -> Result<Vec<MatchEntry>, EvalError> {
@@ -730,7 +745,7 @@ fn full_eval(
 
 /// Existential probe that records which objects the witness bound.
 fn probe_recording(
-    ctx: &EvalCtx<'_>,
+    ctx: &mut EvalCtx<'_>,
     rel: &HirRelation,
     st: &CheckStatics,
     binding: &mut Binding,
@@ -764,7 +779,7 @@ fn probe_recording(
 /// Universal-side partial update: drop the matches binding an affected
 /// object, then re-enumerate the join with each affected object pinned.
 fn universal_update(
-    ctx: &EvalCtx<'_>,
+    ctx: &mut EvalCtx<'_>,
     rel: &HirRelation,
     st: &CheckStatics,
     matches: &mut Vec<MatchEntry>,
@@ -816,7 +831,7 @@ fn universal_update(
 /// purely destructive, in which case no new witness can exist.
 #[allow(clippy::too_many_arguments)]
 fn witness_update(
-    ctx: &EvalCtx<'_>,
+    ctx: &mut EvalCtx<'_>,
     rel: &HirRelation,
     st: &CheckStatics,
     matches: &mut Vec<MatchEntry>,

@@ -19,7 +19,6 @@ use crate::index::ModelIndex;
 use mmt_deps::{Dep, DomIdx, DomSet};
 use mmt_model::{Model, ObjId, Sym, Value};
 use mmt_qvtr::{Atom, CmpOp, Constraint, Hir, HirExpr, HirRelation, RelId, VarId, VarTy};
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -250,6 +249,13 @@ pub(crate) fn plan_check(
 type CallKey = (RelId, u64, u8, Vec<Slot>);
 
 /// Shared evaluation context over one model tuple.
+///
+/// The mutable evaluation state (call memo, statistics, recursion depth)
+/// lives in plain fields behind `&mut self` — there is no interior
+/// mutability, so `EvalCtx` is `Send + Sync` and a `&EvalCtx` can be
+/// shared across threads (each thread evaluating through its own
+/// context). The enforcement search relies on this to expand frontier
+/// states on worker threads.
 pub struct EvalCtx<'a> {
     /// The transformation.
     pub hir: &'a Hir,
@@ -259,9 +265,9 @@ pub struct EvalCtx<'a> {
     pub indexes: &'a [ModelIndex],
     /// Whether to memoize existential probes and calls (ablation toggle).
     pub memoize: bool,
-    call_memo: RefCell<HashMap<CallKey, bool>>,
-    stats: RefCell<EvalStats>,
-    depth: RefCell<u32>,
+    call_memo: HashMap<CallKey, bool>,
+    stats: EvalStats,
+    depth: u32,
 }
 
 const MAX_CALL_DEPTH: u32 = 64;
@@ -279,15 +285,15 @@ impl<'a> EvalCtx<'a> {
             models,
             indexes,
             memoize,
-            call_memo: RefCell::new(HashMap::new()),
-            stats: RefCell::new(EvalStats::default()),
-            depth: RefCell::new(0),
+            call_memo: HashMap::new(),
+            stats: EvalStats::default(),
+            depth: 0,
         }
     }
 
     /// Snapshot of the statistics so far.
     pub fn stats(&self) -> EvalStats {
-        *self.stats.borrow()
+        self.stats
     }
 
     pub(crate) fn model_of(&self, rel: &HirRelation, var: VarId) -> DomIdx {
@@ -302,7 +308,7 @@ impl<'a> EvalCtx<'a> {
     /// appetite — return `false` from the callback to stop early).
     /// Returns `Ok(true)` iff the check holds.
     pub fn check_dep(
-        &self,
+        &mut self,
         rel_id: RelId,
         dep: Dep,
         on_violation: &mut dyn FnMut(&HirRelation, &Binding) -> bool,
@@ -315,13 +321,14 @@ impl<'a> EvalCtx<'a> {
     /// As [`EvalCtx::check_dep`] but with some variables pre-bound (used
     /// for relation invocations, where the domain roots are fixed).
     fn check_dep_with(
-        &self,
+        &mut self,
         rel_id: RelId,
         dep: Dep,
         mut binding: Binding,
         on_violation: &mut dyn FnMut(&HirRelation, &Binding) -> bool,
     ) -> Result<bool, EvalError> {
-        let rel = self.hir.relation(rel_id);
+        let hir = self.hir;
+        let rel = hir.relation(rel_id);
         let plan = plan_check(rel, dep, &binding)?;
         let mut witness_memo: HashMap<Vec<Slot>, bool> = HashMap::new();
         let mut holds = true;
@@ -334,7 +341,7 @@ impl<'a> EvalCtx<'a> {
             ..
         } = plan;
         self.solve(rel, &src_constraints, &mut binding, &mut |ctx, b| {
-            ctx.stats.borrow_mut().universal_bindings += 1;
+            ctx.stats.universal_bindings += 1;
             // `when` filter.
             if let Some(when) = &rel_ref.when {
                 if !ctx.eval_bool(rel_ref, when, b, dir)? {
@@ -348,7 +355,7 @@ impl<'a> EvalCtx<'a> {
                 .collect();
             let witnessed = if ctx.memoize {
                 if let Some(&w) = witness_memo.get(&key) {
-                    ctx.stats.borrow_mut().witness_hits += 1;
+                    ctx.stats.witness_hits += 1;
                     w
                 } else {
                     let w = ctx.probe_witness(rel_ref, &tgt_constraints, b, dir)?;
@@ -371,13 +378,13 @@ impl<'a> EvalCtx<'a> {
     /// Existential probe: does some extension of `binding` satisfy the
     /// target constraints and the `where` clause?
     pub(crate) fn probe_witness(
-        &self,
+        &mut self,
         rel: &HirRelation,
         tgt_constraints: &[Constraint],
         binding: &mut Binding,
         dir: Direction,
     ) -> Result<bool, EvalError> {
-        self.stats.borrow_mut().existential_probes += 1;
+        self.stats.existential_probes += 1;
         let mut found = false;
         self.solve(rel, tgt_constraints, binding, &mut |ctx, b| {
             if let Some(wher) = &rel.where_ {
@@ -395,11 +402,11 @@ impl<'a> EvalCtx<'a> {
     /// `on_solution` for every complete extension; the callback returns
     /// `Ok(true)` to stop enumeration. Restores `binding` on exit.
     pub(crate) fn solve(
-        &self,
+        &mut self,
         rel: &HirRelation,
         constraints: &[Constraint],
         binding: &mut Binding,
-        on_solution: &mut dyn FnMut(&Self, &mut Binding) -> Result<bool, EvalError>,
+        on_solution: &mut dyn FnMut(&mut Self, &mut Binding) -> Result<bool, EvalError>,
     ) -> Result<bool, EvalError> {
         if constraints.len() > 64 {
             return Err(EvalError::TooManyConstraints { relation: rel.name });
@@ -408,12 +415,12 @@ impl<'a> EvalCtx<'a> {
     }
 
     fn solve_rec(
-        &self,
+        &mut self,
         rel: &HirRelation,
         constraints: &[Constraint],
         done: u64,
         binding: &mut Binding,
-        on_solution: &mut dyn FnMut(&Self, &mut Binding) -> Result<bool, EvalError>,
+        on_solution: &mut dyn FnMut(&mut Self, &mut Binding) -> Result<bool, EvalError>,
     ) -> Result<bool, EvalError> {
         let mut done = done;
         let mut trail: Vec<VarId> = Vec::new();
@@ -666,7 +673,7 @@ impl<'a> EvalCtx<'a> {
 
     /// Evaluates a boolean expression under `binding` and direction `dir`.
     pub(crate) fn eval_bool(
-        &self,
+        &mut self,
         rel: &HirRelation,
         e: &HirExpr,
         binding: &Binding,
@@ -756,14 +763,15 @@ impl<'a> EvalCtx<'a> {
     /// must be satisfiable at the given roots) — only reachable from
     /// `when` (the resolver rejects it in `where`).
     fn eval_call(
-        &self,
+        &mut self,
         caller: &HirRelation,
         rid: RelId,
         args: &[VarId],
         binding: &Binding,
         dir: Direction,
     ) -> Result<bool, EvalError> {
-        let callee = self.hir.relation(rid);
+        let hir = self.hir;
+        let callee = hir.relation(rid);
         let callee_models = callee.domain_models();
         let proj_sources = dir.sources.intersect(callee_models);
         let proj_target = dir.target.filter(|&t| callee_models.contains(t));
@@ -782,60 +790,55 @@ impl<'a> EvalCtx<'a> {
             roots,
         );
         if self.memoize {
-            if let Some(&r) = self.call_memo.borrow().get(&key) {
-                self.stats.borrow_mut().call_hits += 1;
+            if let Some(&r) = self.call_memo.get(&key) {
+                self.stats.call_hits += 1;
                 return Ok(r);
             }
         }
-        {
-            let mut d = self.depth.borrow_mut();
-            if *d >= MAX_CALL_DEPTH {
-                return Err(EvalError::RecursionLimit);
-            }
-            *d += 1;
+        if self.depth >= MAX_CALL_DEPTH {
+            return Err(EvalError::RecursionLimit);
         }
+        self.depth += 1;
         let _caller = caller;
-        let result = (|| -> Result<bool, EvalError> {
-            match proj_target {
-                Some(t) => {
-                    let dep = Dep::new(proj_sources.without(t), t).expect("t not in sources");
-                    self.check_dep_with(rid, dep, cbinding, &mut |_, _| false)
-                }
-                None => {
-                    // Closed predicate: every domain pattern must extend,
-                    // and when ∧ where must hold.
-                    let mut all: Vec<Constraint> = Vec::new();
-                    for d in &callee.domains {
-                        all.extend_from_slice(&d.constraints);
-                    }
-                    let inner_dir = Direction {
-                        sources: callee_models,
-                        target: None,
-                    };
-                    let mut found = false;
-                    let mut b = cbinding;
-                    self.solve(callee, &all, &mut b, &mut |ctx, bb| {
-                        if let Some(w) = &callee.when {
-                            if !ctx.eval_bool(callee, w, bb, inner_dir)? {
-                                return Ok(false);
-                            }
-                        }
-                        if let Some(w) = &callee.where_ {
-                            if !ctx.eval_bool(callee, w, bb, inner_dir)? {
-                                return Ok(false);
-                            }
-                        }
-                        found = true;
-                        Ok(true)
-                    })?;
-                    Ok(found)
-                }
+        let result = match proj_target {
+            Some(t) => {
+                let dep = Dep::new(proj_sources.without(t), t).expect("t not in sources");
+                self.check_dep_with(rid, dep, cbinding, &mut |_, _| false)
             }
-        })();
-        *self.depth.borrow_mut() -= 1;
+            None => {
+                // Closed predicate: every domain pattern must extend,
+                // and when ∧ where must hold.
+                let mut all: Vec<Constraint> = Vec::new();
+                for d in &callee.domains {
+                    all.extend_from_slice(&d.constraints);
+                }
+                let inner_dir = Direction {
+                    sources: callee_models,
+                    target: None,
+                };
+                let mut found = false;
+                let mut b = cbinding;
+                let solved = self.solve(callee, &all, &mut b, &mut |ctx, bb| {
+                    if let Some(w) = &callee.when {
+                        if !ctx.eval_bool(callee, w, bb, inner_dir)? {
+                            return Ok(false);
+                        }
+                    }
+                    if let Some(w) = &callee.where_ {
+                        if !ctx.eval_bool(callee, w, bb, inner_dir)? {
+                            return Ok(false);
+                        }
+                    }
+                    found = true;
+                    Ok(true)
+                });
+                solved.map(|_| found)
+            }
+        };
+        self.depth -= 1;
         let r = result?;
         if self.memoize {
-            self.call_memo.borrow_mut().insert(key, r);
+            self.call_memo.insert(key, r);
         }
         Ok(r)
     }

@@ -193,6 +193,11 @@ impl fmt::Display for CheckReport {
 }
 
 /// Binds a transformation to a model tuple and runs checkonly evaluation.
+///
+/// `Checker` is `Send + Sync` (no interior mutability anywhere in the
+/// evaluation stack): one checker can serve concurrent [`Checker::check`]
+/// calls from multiple threads, each running through its own
+/// [`EvalCtx`].
 #[derive(Debug)]
 pub struct Checker<'a> {
     hir: &'a Hir,
@@ -239,7 +244,7 @@ impl<'a> Checker<'a> {
 
     /// Runs every directional check of every top relation.
     pub fn check(&self) -> Result<CheckReport, EvalError> {
-        let ctx = EvalCtx::new(self.hir, self.models, &self.indexes, self.opts.memoize);
+        let mut ctx = EvalCtx::new(self.hir, self.models, &self.indexes, self.opts.memoize);
         let mut checks = Vec::new();
         for (rid, rel) in self.hir.top_relations() {
             for &dep in rel.deps.deps() {
@@ -334,6 +339,40 @@ transformation F(cf1 : CF, cf2 : CF, fm : FM) {
             ));
         }
         parse_model(&format!("model fm : FM {{ {body} }}"), fm).unwrap()
+    }
+
+    /// The whole checking stack is free of interior mutability: checkers
+    /// (and the eval context itself) can cross and be shared between
+    /// threads. The enforcement search's parallel frontier relies on
+    /// `DeltaChecker: Send + Sync`.
+    #[test]
+    fn checkers_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Checker<'static>>();
+        assert_send_sync::<crate::DeltaChecker<'static>>();
+        assert_send_sync::<crate::EvalCtx<'static>>();
+        assert_send_sync::<CheckReport>();
+    }
+
+    /// A shared `Checker` really is usable from concurrent threads.
+    #[test]
+    fn shared_checker_checks_concurrently() {
+        let (cf, fm) = metamodels();
+        let hir = parse_and_resolve(MF_EXT, &[cf.clone(), fm.clone()]).unwrap();
+        let models = [
+            cf_model(&cf, "cf1", &["engine"]),
+            cf_model(&cf, "cf2", &["engine"]),
+            fm_model(&fm, &[("engine", true)]),
+        ];
+        let checker = Checker::new(&hir, &models).unwrap();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| checker.check().unwrap().consistent()))
+                .collect();
+            for h in handles {
+                assert!(h.join().unwrap());
+            }
+        });
     }
 
     #[test]

@@ -4,10 +4,11 @@
 //! ```text
 //! mmt check   -t F.qvtr -M CF.mm FM.mm -m cf1.model cf2.model fm.model
 //! mmt enforce -t F.qvtr -M CF.mm FM.mm -m ... --targets cf1,cf2 [--engine sat]
+//! mmt repair  -t F.qvtr -M CF.mm FM.mm --batch reqs/ --targets cf1,cf2 --jobs 4
 //! mmt deps    -t F.qvtr -M CF.mm FM.mm
 //! ```
 
-use mmt_core::{EngineKind, Shape, Transformation};
+use mmt_core::{EngineKind, RepairRequest, Shape, Transformation};
 use mmt_dist::TupleCost;
 use mmt_enforce::RepairOptions;
 use mmt_model::text::{parse_metamodel, parse_model, print_model};
@@ -33,11 +34,20 @@ USAGE:
   mmt check   -t <spec.qvtr> -M <mm>... -m <model>...
   mmt enforce -t <spec.qvtr> -M <mm>... -m <model>... --targets <names>
               [--engine sat|search] [--max-cost <n>] [--weights <w,...>]
-              [--out <dir>]
+              [--jobs <n>] [--out <dir>]
+  mmt repair  -t <spec.qvtr> -M <mm>... --targets <names>
+              (--batch <dir> | -m <model>...)
+              [--engine sat|search] [--jobs <n>] [--max-cost <n>]
+              [--weights <w,...>] [--out <dir>]
   mmt deps    -t <spec.qvtr> -M <mm>...
 
 Models are bound to the transformation's parameters in order.
 `--targets` takes comma-separated model parameter names (the repair shape).
+`mmt repair --batch <dir>` treats every subdirectory of <dir> as one
+independent request holding a `<param>.model` file per transformation
+parameter; requests are repaired concurrently across `--jobs` workers
+(results are identical for every job count). With `--out <dir>`, the
+repaired tuple of request `req` is written to `<dir>/<req>/`.
 "#;
 
 struct Parsed {
@@ -49,6 +59,8 @@ struct Parsed {
     max_cost: u64,
     weights: Option<Vec<u64>>,
     out: Option<String>,
+    jobs: usize,
+    batch: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Parsed, String> {
@@ -61,6 +73,8 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
         max_cost: 16,
         weights: None,
         out: None,
+        jobs: 1,
+        batch: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -115,6 +129,21 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
                 i += 1;
                 p.out = Some(args.get(i).ok_or("missing value for --out")?.clone());
             }
+            "--jobs" | "-j" => {
+                i += 1;
+                p.jobs = args
+                    .get(i)
+                    .ok_or("missing value for --jobs")?
+                    .parse()
+                    .map_err(|e| format!("bad --jobs: {e}"))?;
+                if p.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--batch" => {
+                i += 1;
+                p.batch = Some(args.get(i).ok_or("missing value for --batch")?.clone());
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
         i += 1;
@@ -154,6 +183,52 @@ fn load(p: &Parsed) -> Result<(Transformation, Vec<Model>), String> {
     Ok((t, models))
 }
 
+/// The repair shape named by `--targets`.
+fn parse_shape(t: &Transformation, p: &Parsed) -> Result<Shape, String> {
+    let target_names = p.targets.as_ref().ok_or("missing --targets")?;
+    let mut indices = Vec::new();
+    for name in target_names.split(',') {
+        let idx = t
+            .hir()
+            .model_named(name.trim())
+            .ok_or_else(|| format!("unknown model parameter `{name}`"))?;
+        indices.push(idx.index());
+    }
+    Ok(Shape::of(&indices))
+}
+
+/// Engine options from the shared flags (`--max-cost`, `--weights`,
+/// `--jobs`).
+fn repair_options(t: &Transformation, p: &Parsed) -> Result<RepairOptions, String> {
+    let mut opts = RepairOptions {
+        max_cost: p.max_cost,
+        jobs: p.jobs,
+        ..RepairOptions::default()
+    };
+    if let Some(ws) = &p.weights {
+        if ws.len() != t.arity() {
+            return Err(format!(
+                "--weights needs {} values, got {}",
+                t.arity(),
+                ws.len()
+            ));
+        }
+        opts.tuple = TupleCost::weighted(ws.clone());
+    }
+    Ok(opts)
+}
+
+/// Writes one repaired tuple as `<dir>/<param>.model` files.
+fn write_models(dir: &Path, t: &Transformation, models: &[Model]) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    for (param, model) in t.hir().models.iter().zip(models) {
+        let path = dir.join(format!("{}.model", param.name));
+        std::fs::write(&path, print_model(model)).map_err(|e| e.to_string())?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(cmd) = args.first() else {
         println!("{USAGE}");
@@ -180,30 +255,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         "enforce" => {
             let (t, models) = load(&p)?;
-            let target_names = p.targets.as_ref().ok_or("missing --targets")?;
-            let mut indices = Vec::new();
-            for name in target_names.split(',') {
-                let idx = t
-                    .hir()
-                    .model_named(name.trim())
-                    .ok_or_else(|| format!("unknown model parameter `{name}`"))?;
-                indices.push(idx.index());
-            }
-            let shape = Shape::of(&indices);
-            let mut opts = RepairOptions {
-                max_cost: p.max_cost,
-                ..RepairOptions::default()
-            };
-            if let Some(ws) = &p.weights {
-                if ws.len() != t.arity() {
-                    return Err(format!(
-                        "--weights needs {} values, got {}",
-                        t.arity(),
-                        ws.len()
-                    ));
-                }
-                opts.tuple = TupleCost::weighted(ws.clone());
-            }
+            let shape = parse_shape(&t, &p)?;
+            let opts = repair_options(&t, &p)?;
             match t
                 .enforce_with(&models, shape, p.engine, opts)
                 .map_err(|e| e.to_string())?
@@ -220,16 +273,92 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                         }
                     }
                     if let Some(dir) = &p.out {
-                        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-                        for (param, model) in t.hir().models.iter().zip(&out.models) {
-                            let path = Path::new(dir).join(format!("{}.model", param.name));
-                            std::fs::write(&path, print_model(model)).map_err(|e| e.to_string())?;
-                            println!("wrote {}", path.display());
-                        }
+                        write_models(Path::new(dir), &t, &out.models)?;
                     }
                     Ok(ExitCode::SUCCESS)
                 }
             }
+        }
+        "repair" => {
+            let Some(batch_dir) = p.batch.clone() else {
+                // Without --batch, `repair` is a single-request enforce.
+                return run(&{
+                    let mut forwarded = args.to_vec();
+                    forwarded[0] = "enforce".into();
+                    forwarded
+                });
+            };
+            let (t, extra) = load(&p)?;
+            if !extra.is_empty() {
+                return Err("-m and --batch are mutually exclusive".into());
+            }
+            let shape = parse_shape(&t, &p)?;
+            let opts = repair_options(&t, &p)?;
+            // Every subdirectory of the batch dir is one request holding
+            // a `<param>.model` file per transformation parameter.
+            let mut names: Vec<String> = std::fs::read_dir(&batch_dir)
+                .map_err(|e| format!("{batch_dir}: {e}"))?
+                .filter_map(|entry| {
+                    let entry = entry.ok()?;
+                    entry
+                        .file_type()
+                        .ok()?
+                        .is_dir()
+                        .then(|| entry.file_name().to_string_lossy().into_owned())
+                })
+                .collect();
+            names.sort();
+            if names.is_empty() {
+                return Err(format!("{batch_dir}: no request subdirectories"));
+            }
+            let mut requests = Vec::with_capacity(names.len());
+            for name in &names {
+                let mut models = Vec::with_capacity(t.arity());
+                for param in &t.hir().models {
+                    let path = Path::new(&batch_dir)
+                        .join(name)
+                        .join(format!("{}.model", param.name));
+                    let src = read(&path.to_string_lossy())?;
+                    let m = parse_model(&src, &param.meta)
+                        .map_err(|e| format!("{}: {e}", path.display()))?;
+                    models.push(m);
+                }
+                requests.push(RepairRequest {
+                    models,
+                    targets: shape.targets(),
+                });
+            }
+            println!(
+                "repairing {} requests with {} worker(s) [{} engine]",
+                requests.len(),
+                p.jobs,
+                match p.engine {
+                    EngineKind::Sat => "sat",
+                    EngineKind::Search => "search",
+                }
+            );
+            let outcomes = t.enforce_batch(&requests, p.engine, opts);
+            let mut all_repaired = true;
+            for (name, outcome) in names.iter().zip(&outcomes) {
+                match outcome {
+                    Err(e) => return Err(format!("{name}: {e}")),
+                    Ok(None) => {
+                        println!("{name}: no repair within the given shape and cost bound");
+                        all_repaired = false;
+                    }
+                    Ok(Some(out)) => {
+                        println!("{name}: repaired at distance {}", out.cost);
+                        if let Some(dir) = &p.out {
+                            write_models(&Path::new(dir).join(name), &t, &out.models)?;
+                        }
+                    }
+                }
+            }
+            Ok(if all_repaired {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            })
         }
         "deps" => {
             let spec_path = p.spec.as_ref().ok_or("missing -t <spec.qvtr>")?;

@@ -80,6 +80,110 @@ fn enforce_with_impossible_shape_exits_one() {
     assert!(stdout.contains("no repair"));
 }
 
+/// `mmt repair --batch <dir> --jobs N`: every subdirectory is one
+/// request; results are per-request and written under `--out/<request>/`.
+#[test]
+fn repair_batch_fans_requests_across_workers() {
+    let base = std::env::temp_dir().join(format!("mmt-cli-batch-{}", std::process::id()));
+    let batch = base.join("requests");
+    let outdir = base.join("out");
+    for req in ["r1", "r2", "r3"] {
+        let dir = batch.join(req);
+        std::fs::create_dir_all(&dir).unwrap();
+        for model in ["cf1.model", "cf2.model", "fm.model"] {
+            std::fs::copy(
+                repo_file(&format!("examples/data/{model}")),
+                dir.join(model),
+            )
+            .unwrap();
+        }
+    }
+    let args = vec![
+        "repair".to_string(),
+        "-t".into(),
+        repo_file("examples/data/F.qvtr"),
+        "-M".into(),
+        repo_file("examples/data/CF.mm"),
+        repo_file("examples/data/FM.mm"),
+        "--batch".into(),
+        batch.to_string_lossy().into_owned(),
+        "--targets".into(),
+        "cf1,cf2".into(),
+        "--jobs".into(),
+        "2".into(),
+        "--out".into(),
+        outdir.to_string_lossy().into_owned(),
+    ];
+    let argrefs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (stdout, stderr, code) = mmt(&argrefs);
+    assert_eq!(code, Some(0), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(
+        stdout.contains("repairing 3 requests with 2 worker(s)"),
+        "{stdout}"
+    );
+    for req in ["r1", "r2", "r3"] {
+        assert!(
+            stdout.contains(&format!("{req}: repaired at distance 4")),
+            "{stdout}"
+        );
+        let written = std::fs::read_to_string(outdir.join(req).join("cf2.model")).unwrap();
+        assert!(written.contains("brakes"));
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Without `--batch`, `mmt repair` is a single-request enforce (and
+/// accepts `--jobs` for the parallel search frontier).
+#[test]
+fn repair_without_batch_is_single_request_enforce() {
+    let mut args = vec!["repair".to_string()];
+    args.extend(data_args());
+    args.push("--targets".into());
+    args.push("cf1,cf2".into());
+    args.push("--engine".into());
+    args.push("search".into());
+    args.push("--jobs".into());
+    args.push("2".into());
+    let argrefs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (stdout, stderr, code) = mmt(&argrefs);
+    assert_eq!(code, Some(0), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("repaired at distance 4"), "{stdout}");
+}
+
+/// An unrepairable request in a batch yields exit code 1 but still
+/// reports every request.
+#[test]
+fn repair_batch_reports_unrepairable_requests() {
+    let base = std::env::temp_dir().join(format!("mmt-cli-batch-un-{}", std::process::id()));
+    let batch = base.join("requests");
+    let dir = batch.join("only");
+    std::fs::create_dir_all(&dir).unwrap();
+    for model in ["cf1.model", "cf2.model", "fm.model"] {
+        std::fs::copy(
+            repo_file(&format!("examples/data/{model}")),
+            dir.join(model),
+        )
+        .unwrap();
+    }
+    let args = vec![
+        "repair".to_string(),
+        "-t".into(),
+        repo_file("examples/data/F.qvtr"),
+        "-M".into(),
+        repo_file("examples/data/CF.mm"),
+        repo_file("examples/data/FM.mm"),
+        "--batch".into(),
+        batch.to_string_lossy().into_owned(),
+        "--targets".into(),
+        "cf1".into(),
+    ];
+    let argrefs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (stdout, _, code) = mmt(&argrefs);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("only: no repair"), "{stdout}");
+    std::fs::remove_dir_all(&base).ok();
+}
+
 #[test]
 fn deps_prints_dependency_sets() {
     let args = vec![

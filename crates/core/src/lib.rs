@@ -25,6 +25,7 @@
 
 use mmt_check::{CheckError, CheckOptions, CheckReport, Checker, EvalError};
 use mmt_deps::{DepSet, DomIdx, DomSet};
+pub use mmt_enforce::RepairRequest;
 use mmt_enforce::{
     RepairEngine, RepairError, RepairOptions, RepairOutcome, SatEngine, SearchEngine,
 };
@@ -237,6 +238,24 @@ impl Transformation {
         Ok(outcome)
     }
 
+    /// Runs §3 enforcement over a batch of independent model tuples,
+    /// fanning the requests across [`RepairOptions::jobs`] worker
+    /// threads ([`mmt_enforce::RepairEngine::repair_batch`]). Slot `i`
+    /// of the result is exactly what [`Transformation::enforce_with`]
+    /// would return for request `i` — the worker pool changes wall-clock
+    /// time, never outcomes.
+    pub fn enforce_batch(
+        &self,
+        requests: &[RepairRequest],
+        engine: EngineKind,
+        opts: RepairOptions,
+    ) -> Vec<Result<Option<RepairOutcome>, RepairError>> {
+        match engine {
+            EngineKind::Search => SearchEngine::new(opts).repair_batch(&self.hir, requests),
+            EngineKind::Sat => SatEngine::new(opts).repair_batch(&self.hir, requests),
+        }
+    }
+
     /// A copy of this transformation with every relation's dependency set
     /// replaced by the *standard semantics* over its domain models
     /// (`{dom R ∖ Mᵢ → Mᵢ}`). Used for the §2.1 expressiveness comparison
@@ -342,6 +361,46 @@ mod tests {
         }
         assert!(!t.check(&w.models).unwrap().consistent());
         assert!(std_t.check(&w.models).unwrap().consistent());
+    }
+
+    #[test]
+    fn enforce_batch_matches_per_request_enforce() {
+        let t = paper_transformation(2);
+        let requests: Vec<RepairRequest> = (0..6u64)
+            .map(|seed| {
+                let mut w = feature_workload(FeatureSpec {
+                    n_features: 4,
+                    seed,
+                    ..FeatureSpec::default()
+                });
+                inject(&mut w, Injection::NewMandatoryInFm);
+                RepairRequest {
+                    models: w.models,
+                    targets: Shape::of(&[0, 1]).targets(),
+                }
+            })
+            .collect();
+        for engine in [EngineKind::Search, EngineKind::Sat] {
+            for jobs in [1usize, 3] {
+                let opts = RepairOptions {
+                    jobs,
+                    ..RepairOptions::default()
+                };
+                let batch = t.enforce_batch(&requests, engine, opts.clone());
+                assert_eq!(batch.len(), requests.len());
+                for (i, (req, out)) in requests.iter().zip(&batch).enumerate() {
+                    let single = t
+                        .enforce_with(&req.models, Shape(req.targets), engine, opts.clone())
+                        .unwrap();
+                    let out = out.as_ref().unwrap();
+                    assert_eq!(
+                        out.as_ref().map(|o| o.cost),
+                        single.as_ref().map(|o| o.cost),
+                        "{engine:?} jobs={jobs} request {i}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

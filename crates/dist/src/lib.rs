@@ -363,18 +363,20 @@ impl TupleCost {
     }
 
     /// The weighted total over per-model distances, in model-space
-    /// order: `Σᵢ wᵢ · dᵢ`.
+    /// order: `Σᵢ wᵢ · dᵢ`. Saturates at [`u64::MAX`] instead of
+    /// wrapping — a silently wrapped total would make an enormous
+    /// distance look small, inverting every least-change comparison
+    /// built on it. (The repair engines go further and treat an
+    /// overflowing step as an explicit error.)
     ///
     /// # Panics
     ///
     /// Panics when the weighting is explicit and shorter than
     /// `per_model` (see [`TupleCost::weight`]).
     pub fn total(&self, per_model: &[u64]) -> u64 {
-        per_model
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| self.weight(i) * d)
-            .sum()
+        per_model.iter().enumerate().fold(0u64, |acc, (i, &d)| {
+            acc.saturating_add(self.weight(i).saturating_mul(d))
+        })
     }
 }
 
@@ -590,8 +592,9 @@ impl fmt::Display for Delta {
 }
 
 /// The weighted distance between two model tuples: per-component
-/// [`Delta::between`] costs combined under `tuple`. Errors when any
-/// component pair disagrees on its metamodel.
+/// [`Delta::between`] costs combined under `tuple`. Saturates at
+/// [`u64::MAX`] (see [`TupleCost::total`]). Errors when any component
+/// pair disagrees on its metamodel.
 ///
 /// # Panics
 ///
@@ -608,9 +611,13 @@ pub fn tuple_distance(
     let tuple = tuple
         .resolved(old.len())
         .expect("tuple cost arity matches the model tuple");
-    let mut total = 0;
+    let mut total: u64 = 0;
     for (i, (o, n)) in old.iter().zip(new).enumerate() {
-        total += tuple.weight(i) * Delta::between(o, n)?.cost(cost);
+        total = total.saturating_add(
+            tuple
+                .weight(i)
+                .saturating_mul(Delta::between(o, n)?.cost(cost)),
+        );
     }
     Ok(total)
 }
@@ -924,6 +931,21 @@ mod tests {
     #[should_panic(expected = "resolve against the tuple first")]
     fn tuple_cost_out_of_range_weight_panics() {
         TupleCost::weighted(vec![1, 100]).weight(7);
+    }
+
+    /// ISSUE 3 bugfix regression: near-`u64::MAX` weights must saturate,
+    /// not wrap. `4 × (u64::MAX/4 + 1)` is exactly `2^64`, which the
+    /// historical wrapping sum turned into **0** — a maximally expensive
+    /// tuple priced as free.
+    #[test]
+    fn weighted_total_saturates_instead_of_wrapping() {
+        let heavy = TupleCost::weighted(vec![u64::MAX / 4 + 1]);
+        assert_eq!(heavy.total(&[4]), u64::MAX);
+        // A huge component plus a small one stays saturated.
+        let w = TupleCost::weighted(vec![u64::MAX / 4 + 1, 1]);
+        assert_eq!(w.total(&[4, 3]), u64::MAX);
+        // Ordinary magnitudes are untouched.
+        assert_eq!(w.total(&[0, 3]), 3);
     }
 
     #[test]

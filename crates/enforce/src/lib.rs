@@ -126,6 +126,14 @@ pub struct RepairOptions {
     /// more than this many objects in one class are invisible to the
     /// SAT engine.
     pub slack_objs: usize,
+    /// Worker threads (default 1 = fully sequential). Two things
+    /// parallelize under `jobs > 1`: the search engine's frontier (safe
+    /// batches of states expanded concurrently, merged in deterministic
+    /// order — see `mmt_enforce::search`) and
+    /// [`RepairEngine::repair_batch`]'s fan-out over independent
+    /// requests. Parallelism only changes wall-clock time: results are
+    /// bit-identical for every value of `jobs`.
+    pub jobs: usize,
 }
 
 impl Default for RepairOptions {
@@ -139,6 +147,7 @@ impl Default for RepairOptions {
             violations_per_check: 4,
             incremental_oracle: true,
             slack_objs: 2,
+            jobs: 1,
         }
     }
 }
@@ -174,6 +183,11 @@ pub enum RepairError {
     NoTargets,
     /// An explicit tuple weighting does not match the tuple's arity.
     Tuple(mmt_dist::TupleArityError),
+    /// A weighted cost sum exceeded `u64` (op prices × tuple weights too
+    /// large). Surfaced instead of silently wrapping, which would make
+    /// expensive edits look spuriously cheap and break the least-change
+    /// guarantee.
+    CostOverflow,
 }
 
 impl fmt::Display for RepairError {
@@ -188,6 +202,9 @@ impl fmt::Display for RepairError {
             }
             RepairError::NoTargets => f.write_str("repair shape selects no models"),
             RepairError::Tuple(e) => write!(f, "{e}"),
+            RepairError::CostOverflow => {
+                f.write_str("weighted repair cost overflows u64 (op prices × tuple weights)")
+            }
         }
     }
 }
@@ -218,6 +235,17 @@ impl From<ModelError> for RepairError {
     }
 }
 
+/// One request in a [`RepairEngine::repair_batch`] call: a model tuple
+/// plus the repair shape to apply to it. Requests are independent — they
+/// share the transformation but nothing else.
+#[derive(Clone, Debug)]
+pub struct RepairRequest {
+    /// The model tuple to repair, in model-space order.
+    pub models: Vec<Model>,
+    /// The models the repair may rewrite.
+    pub targets: DomSet,
+}
+
 /// A least-change repair engine.
 ///
 /// Both engines implement this trait, so callers can switch (or
@@ -233,9 +261,20 @@ impl From<ModelError> for RepairError {
 /// let names: Vec<&str> = engines.iter().map(|e| e.name()).collect();
 /// assert_eq!(names, ["search", "sat"]);
 /// ```
-pub trait RepairEngine {
+///
+/// Engines are `Sync`, so one engine value can serve concurrent repair
+/// calls — [`RepairEngine::repair_batch`] relies on this to fan a batch
+/// of requests across a worker pool.
+pub trait RepairEngine: Sync {
     /// Engine name (for reports and benches).
     fn name(&self) -> &'static str;
+
+    /// Worker threads [`RepairEngine::repair_batch`] fans requests
+    /// across (engines expose their [`RepairOptions::jobs`] here).
+    /// Defaults to 1: sequential.
+    fn jobs(&self) -> usize {
+        1
+    }
 
     /// Repairs `models` so that every directional check of `hir` holds,
     /// changing only the models in `targets`. Returns `None` when no
@@ -246,6 +285,97 @@ pub trait RepairEngine {
         models: &[Model],
         targets: DomSet,
     ) -> Result<Option<RepairOutcome>, RepairError>;
+
+    /// Repairs a batch of independent requests, fanning them across
+    /// [`RepairEngine::jobs`] worker threads. Results come back in
+    /// request order and each slot is exactly what [`RepairEngine::repair`]
+    /// would have returned for that request — the worker pool changes
+    /// wall-clock time, never outcomes.
+    ///
+    /// ```
+    /// use mmt_deps::{DomIdx, DomSet};
+    /// use mmt_enforce::{RepairEngine, RepairOptions, RepairRequest, SearchEngine};
+    /// use mmt_model::text::{parse_metamodel, parse_model};
+    /// use mmt_qvtr::parse_and_resolve;
+    ///
+    /// let cf = parse_metamodel("metamodel CF { class Feature { attr name: Str; } }").unwrap();
+    /// let fm = parse_metamodel(
+    ///     "metamodel FM { class Feature { attr name: Str; attr mandatory: Bool; } }").unwrap();
+    /// let hir = parse_and_resolve(r#"
+    /// transformation F(cf1 : CF, fm : FM) {
+    ///   top relation Sel {
+    ///     n : Str;
+    ///     domain cf1 s : Feature { name = n };
+    ///     domain fm  f : Feature { name = n };
+    ///     depend cf1 -> fm;
+    ///     depend fm -> cf1;
+    ///   }
+    /// }"#, &[cf.clone(), fm.clone()]).unwrap();
+    /// let m_fm = parse_model(r#"model fm : FM { }"#, &fm).unwrap();
+    /// // Two independent sync requests against the same specification.
+    /// let requests: Vec<RepairRequest> = ["engine", "gps"].iter().map(|name| {
+    ///     let src = format!(r#"model cf1 : CF {{ f = Feature {{ name = "{name}" }} }}"#);
+    ///     RepairRequest {
+    ///         models: vec![parse_model(&src, &cf).unwrap(), m_fm.clone()],
+    ///         targets: DomSet::single(DomIdx(1)),
+    ///     }
+    /// }).collect();
+    /// let engine = SearchEngine::new(RepairOptions { jobs: 2, ..Default::default() });
+    /// let outcomes = engine.repair_batch(&hir, &requests);
+    /// assert_eq!(outcomes.len(), 2);
+    /// for out in outcomes {
+    ///     assert_eq!(out.unwrap().expect("repairable").cost, 2);
+    /// }
+    /// ```
+    fn repair_batch(
+        &self,
+        hir: &Hir,
+        requests: &[RepairRequest],
+    ) -> Vec<Result<Option<RepairOutcome>, RepairError>> {
+        pooled_map(requests, self.jobs(), |_, r| {
+            self.repair(hir, &r.models, r.targets)
+        })
+    }
+}
+
+/// The deterministic worker pool shared by [`RepairEngine::repair_batch`]
+/// and the search engine's parallel frontier: maps `f` over `items` on
+/// up to `jobs` threads draining an atomic cursor. Each result slot is
+/// written exactly once, so output order is item order by construction —
+/// thread scheduling never leaks into the results. `jobs <= 1` (or a
+/// single item) runs inline without spawning.
+pub(crate) fn pooled_map<T: Sync, R: Send>(
+    items: &[T],
+    jobs: usize,
+    f: impl Fn(usize, &T) -> R + Sync,
+) -> Vec<R> {
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<R>>> =
+        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *slots[i].lock().expect("result slot") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot")
+                .expect("every slot is filled")
+        })
+        .collect()
 }
 
 /// The uniform-cost search engine (§3 run natively): explores edit
@@ -305,6 +435,10 @@ impl RepairEngine for SearchEngine {
         "search"
     }
 
+    fn jobs(&self) -> usize {
+        self.opts.jobs
+    }
+
     fn repair(
         &self,
         hir: &Hir,
@@ -320,6 +454,25 @@ impl RepairEngine for SearchEngine {
             .resolved(models.len())
             .map_err(RepairError::Tuple)?;
         search::repair_search(hir, models, targets, &opts)
+    }
+
+    /// Batch fan-out parallelizes at the coarsest level: the worker pool
+    /// runs each request's *search* sequentially (`jobs = 1` inside),
+    /// because request-level parallelism already saturates the workers
+    /// and nested frontier batching would only add thread-scope
+    /// overhead. Outcomes are identical either way.
+    fn repair_batch(
+        &self,
+        hir: &Hir,
+        requests: &[RepairRequest],
+    ) -> Vec<Result<Option<RepairOutcome>, RepairError>> {
+        let inner = SearchEngine::new(RepairOptions {
+            jobs: 1,
+            ..self.opts.clone()
+        });
+        pooled_map(requests, self.opts.jobs, |_, r| {
+            inner.repair(hir, &r.models, r.targets)
+        })
     }
 }
 
@@ -375,6 +528,10 @@ impl SatEngine {
 impl RepairEngine for SatEngine {
     fn name(&self) -> &'static str {
         "sat"
+    }
+
+    fn jobs(&self) -> usize {
+        self.opts.jobs
     }
 
     fn repair(
@@ -653,6 +810,51 @@ transformation F(cf1 : CF, cf2 : CF, fm : FM) {
                 engine.repair(&hir, &models, DomSet::EMPTY),
                 Err(RepairError::NoTargets)
             ));
+        }
+    }
+
+    /// ISSUE 3 bugfix regression: a weight × op-price product that
+    /// overflows `u64` must surface as [`RepairError::CostOverflow`].
+    /// The historical wrapping multiply priced `set_attr(4) ×
+    /// (u64::MAX/4 + 1)` at **zero**, so the search happily edited the
+    /// "infinitely expensive" model for free.
+    #[test]
+    fn weighted_cost_overflow_is_an_error_not_a_wrap() {
+        let (cf, fm) = metamodels();
+        let src = r#"
+transformation G(cf1 : CF, fm : FM) {
+  top relation Sel {
+    n : Str;
+    domain cf1 s : Feature { name = n };
+    domain fm  f : Feature { name = n };
+    depend cf1 -> fm;
+    depend fm -> cf1;
+  }
+}
+"#;
+        let hir = parse_and_resolve(src, &[cf.clone(), fm.clone()]).unwrap();
+        let models = [
+            cf_model(&cf, "cf1", &["engine"]),
+            fm_model(&fm, &[("radio", false)]),
+        ];
+        for incremental in [true, false] {
+            let engine = SearchEngine::new(RepairOptions {
+                cost: mmt_dist::CostModel {
+                    set_attr: 4,
+                    ..Default::default()
+                },
+                tuple: TupleCost::weighted(vec![1, u64::MAX / 4 + 1]),
+                max_cost: 30,
+                incremental_oracle: incremental,
+                ..RepairOptions::default()
+            });
+            let err = engine
+                .repair(&hir, &models, targets(&[0, 1]))
+                .expect_err("overflowing weights are a configuration error");
+            assert!(
+                matches!(err, RepairError::CostOverflow),
+                "incremental={incremental}: unexpected error {err}"
+            );
         }
     }
 

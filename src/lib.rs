@@ -67,7 +67,9 @@ pub mod prelude {
     pub use mmt_core::{CoreError, EngineKind, Shape, Transformation};
     pub use mmt_deps::{Dep, DepSet, DomIdx, DomSet};
     pub use mmt_dist::{CostModel, Delta, EditOp, TupleCost};
-    pub use mmt_enforce::{RepairEngine, RepairOptions, RepairOutcome, SatEngine, SearchEngine};
+    pub use mmt_enforce::{
+        RepairEngine, RepairOptions, RepairOutcome, RepairRequest, SatEngine, SearchEngine,
+    };
     pub use mmt_model::text::{parse_metamodel, parse_model, print_metamodel, print_model};
     pub use mmt_model::{Metamodel, MetamodelBuilder, Model, ObjId, Sym, Value};
     pub use mmt_qvtr::{parse_and_resolve, Hir};
