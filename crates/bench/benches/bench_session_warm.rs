@@ -1,0 +1,192 @@
+//! EXP-S1 (ISSUE 4): warm sessions vs cold enforcement over an
+//! edit→check→repair loop.
+//!
+//! Both drivers execute the *same* deterministic 16-step script (5
+//! drift actions interleaved with 11 repair checkpoints) on the n=3
+//! and n=7 scenario tuples (the consistent `(n, k=2, seed=53)`
+//! workloads the enforce benches inject into):
+//!
+//! * `cold` — the stateless loop: drift lands on a plain model tuple
+//!   and every checkpoint calls `Transformation::enforce_with`, which
+//!   rebuilds the full checking state from scratch;
+//! * `warm` — one `SyncSession`: the cold start happens once (inside
+//!   the measured iteration), then every edit is an O(|edit|)
+//!   incremental update and every checkpoint repairs from the warm
+//!   checker (`RepairEngine::repair_warm` seeding the search root).
+//!
+//! The 16 steps are 5 drift actions and 11 repair checkpoints,
+//! modelling synchronization *traffic* rather than catastrophe: every
+//! request that touches the tuple re-establishes consistency before
+//! committing, so most checkpoints hit an already-consistent tuple
+//! (cost-0 repair — the warm session answers from its cache, the cold
+//! loop rebuilds the world to learn nothing changed). Three drifts are
+//! benign (the feature model gains/renames an optional feature nothing
+//! selects), two are breaking (a configuration selects a feature
+//! unknown to the feature model; least-change repair deletes it,
+//! cost 1). Repair searches are byte-identical in both loops (the
+//! differential suite proves it; the bench asserts equal outcomes up
+//! front), so the measured gap is exactly the per-checkpoint cold
+//! start the session amortizes away. The ISSUE 4 bar: warm beats cold
+//! by ≥ 2× amortized per repair on the n=7 scenario.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmt_bench::{consistent_workload, paper_transformation};
+use mmt_core::{EngineKind, SessionOptions, Shape, Transformation};
+use mmt_deps::DomIdx;
+use mmt_dist::{Delta, EditOp};
+use mmt_enforce::RepairOptions;
+use mmt_model::{Model, ObjId, Sym, Value};
+
+/// The 16-step script: `Some(d)` = drift action `d`, `None` = repair
+/// checkpoint. Five drifts, eleven checkpoints.
+const SCRIPT: [Option<usize>; 16] = [
+    Some(0),
+    None,
+    None,
+    Some(1),
+    None,
+    None,
+    Some(2),
+    None,
+    None,
+    Some(3),
+    None,
+    None,
+    Some(4),
+    None,
+    None,
+    None,
+];
+
+/// Drifts 0..5; breaking ones at 2 and 4 (configurations select a
+/// feature the feature model does not know).
+const BREAKING: [usize; 2] = [2, 4];
+
+/// The `d`-th drift action against the current tuple. Benign drifts
+/// evolve the feature model without breaking consistency: drift 0
+/// creates one fresh *optional* feature (`roam` — nothing selects it),
+/// and later benign drifts rename it. Breaking drifts make a
+/// configuration select a feature the feature model does not know
+/// (create + name, two ops).
+fn drift(d: usize, models: &[Model], roam: ObjId) -> (DomIdx, Delta) {
+    let mut script = Delta::new();
+    if BREAKING.contains(&d) {
+        let target = DomIdx((d % 2) as u8);
+        let m = &models[target.index()];
+        let meta = m.metamodel();
+        let class = meta.class_named("Feature").expect("static class");
+        let attr = meta.attr_of(class, Sym::new("name")).expect("static attr");
+        let id = ObjId(m.id_bound() as u32);
+        script.push(EditOp::AddObj { id, class });
+        script.push(EditOp::SetAttr {
+            id,
+            attr,
+            value: Value::str(&format!("$ghost{d}")),
+            old: Value::str(""),
+        });
+        (target, script)
+    } else {
+        let fm = DomIdx(2);
+        let meta = models[fm.index()].metamodel();
+        let class = meta.class_named("Feature").expect("static class");
+        let attr = meta.attr_of(class, Sym::new("name")).expect("static attr");
+        if d == 0 {
+            script.push(EditOp::AddObj { id: roam, class });
+        } else {
+            script.push(EditOp::SetAttr {
+                id: roam,
+                attr,
+                value: Value::str(&format!("extra{d}")),
+                old: Value::str(""),
+            });
+        }
+        (fm, script)
+    }
+}
+
+/// The warm loop: one session driving the 16-step script, repairs from
+/// the warm checker. Returns the summed repair cost (2 × cost-1
+/// deletions).
+fn run_warm(t: &Transformation, seed_models: &[Model]) -> u64 {
+    let mut session = t
+        .session_with(
+            seed_models,
+            SessionOptions {
+                engine: EngineKind::Search,
+                repair: RepairOptions::default(),
+            },
+        )
+        .expect("session opens");
+    let shape = Shape::of(&[0, 1]);
+    let roam = ObjId(seed_models[2].id_bound() as u32);
+    let mut total_cost = 0u64;
+    for step in SCRIPT {
+        match step {
+            Some(d) => {
+                let (target, script) = drift(d, session.models(), roam);
+                session
+                    .apply_script(target, &script)
+                    .expect("drift applies");
+            }
+            None => {
+                let out = session
+                    .repair(shape)
+                    .expect("engine runs")
+                    .expect("repairable");
+                total_cost += out.cost;
+            }
+        }
+    }
+    total_cost
+}
+
+/// The cold loop: the same script against a plain tuple, every
+/// checkpoint a from-scratch `enforce_with`.
+fn run_cold(t: &Transformation, seed_models: &[Model]) -> u64 {
+    let mut models: Vec<Model> = seed_models.to_vec();
+    let shape = Shape::of(&[0, 1]);
+    let roam = ObjId(seed_models[2].id_bound() as u32);
+    let mut total_cost = 0u64;
+    for step in SCRIPT {
+        match step {
+            Some(d) => {
+                let (target, script) = drift(d, &models, roam);
+                script
+                    .apply(&mut models[target.index()])
+                    .expect("drift applies");
+            }
+            None => {
+                let out = t
+                    .enforce_with(&models, shape, EngineKind::Search, RepairOptions::default())
+                    .expect("engine runs")
+                    .expect("repairable");
+                total_cost += out.cost;
+                models = out.models;
+            }
+        }
+    }
+    total_cost
+}
+
+fn bench_session_warm(c: &mut Criterion) {
+    let t = paper_transformation(2);
+    let mut group = c.benchmark_group("session_warm");
+    group.sample_size(10);
+    for n in [3usize, 7] {
+        let w = consistent_workload(n, 2, 53);
+        // The two loops must agree before either is worth timing: two
+        // breaking drifts, each repaired at cost 1.
+        assert_eq!(run_warm(&t, &w.models), 2);
+        assert_eq!(run_cold(&t, &w.models), 2);
+        group.bench_with_input(BenchmarkId::new("warm", n), &w, |b, w| {
+            b.iter(|| run_warm(&t, &w.models))
+        });
+        group.bench_with_input(BenchmarkId::new("cold", n), &w, |b, w| {
+            b.iter(|| run_cold(&t, &w.models))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_warm);
+criterion_main!(benches);

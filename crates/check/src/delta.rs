@@ -16,9 +16,9 @@
 //! Each check carries three static per-model *footprints* — the classes
 //! whose extents it enumerates, the attributes it compares, and the
 //! references it traverses — split by side: the **universal** footprint
-//! (source patterns + `when`), the **witness** footprint (target pattern
-//! + `where`), and the **call** footprint (everything reachable through
-//! relation invocations). An edit that misses all three footprints of a
+//! (source patterns + `when`), the **witness** footprint (target
+//! pattern + `where`), and the **call** footprint (everything reachable
+//! through relation invocations). An edit that misses all three footprints of a
 //! check leaves it untouched. An edit that hits only one side triggers a
 //! *partial* update at object granularity:
 //!
@@ -230,6 +230,15 @@ struct MatchEntry {
 struct CachedCheck {
     statics: Arc<CheckStatics>,
     matches: Vec<MatchEntry>,
+    /// Number of unwitnessed entries in `matches`, maintained at every
+    /// match-state mutation so `consistent()`/`violation_count()` are
+    /// O(#checks) instead of O(match state) — sessions read them after
+    /// every edit.
+    violations: usize,
+}
+
+fn count_violations(matches: &[MatchEntry]) -> usize {
+    matches.iter().filter(|e| !e.witnessed).count()
 }
 
 /// An incremental checkonly engine: binds a transformation to an
@@ -300,7 +309,12 @@ impl<'h> DeltaChecker<'h> {
             for &dep in rel.deps.deps() {
                 let statics = Arc::new(compile_check(hir, rid, dep, arity)?);
                 let matches = full_eval(&mut ctx, rel, &statics)?;
-                checks.push(CachedCheck { statics, matches });
+                let violations = count_violations(&matches);
+                checks.push(CachedCheck {
+                    statics,
+                    matches,
+                    violations,
+                });
             }
         }
         let eval_stats = ctx.stats();
@@ -434,6 +448,7 @@ impl<'h> DeltaChecker<'h> {
             let rel = self.hir.relation(st.rel);
             if hits_call {
                 check.matches = full_eval(&mut ctx, rel, st)?;
+                check.violations = count_violations(&check.matches);
                 self.delta_stats.full_reevals += 1;
                 continue;
             }
@@ -452,17 +467,17 @@ impl<'h> DeltaChecker<'h> {
                     live,
                 )?;
             }
+            check.violations = count_violations(&check.matches);
             self.delta_stats.partial_updates += 1;
         }
         accumulate(&mut self.eval_stats, ctx.stats());
         Ok(())
     }
 
-    /// True iff every directional check currently holds.
+    /// True iff every directional check currently holds. O(#checks):
+    /// reads the cached per-check violation counts.
     pub fn consistent(&self) -> bool {
-        self.checks
-            .iter()
-            .all(|c| c.matches.iter().all(|e| e.witnessed))
+        self.checks.iter().all(|c| c.violations == 0)
     }
 
     /// The current [`CheckReport`], assembled from the cached match
@@ -484,7 +499,7 @@ impl<'h> DeltaChecker<'h> {
                 relation: c.statics.rel,
                 relation_name: rel.name,
                 dep: c.statics.dep,
-                holds: c.matches.iter().all(|e| e.witnessed),
+                holds: c.violations == 0,
                 violations,
             });
         }
@@ -495,20 +510,70 @@ impl<'h> DeltaChecker<'h> {
     }
 
     /// Visits up to `cap` violating universal bindings per directional
-    /// check, in cached order (the enforcement search derives its repair
-    /// candidates from these).
+    /// check, in *canonical* order — sorted by binding content, not by
+    /// cache history. The enforcement search derives its repair
+    /// candidates from these, and canonical order is what makes a warm
+    /// (incrementally maintained) checker and a freshly built one drive
+    /// the search identically: both hold the same violation multiset,
+    /// but their internal match orders differ after incremental updates.
     pub fn for_each_violation(&self, cap: usize, mut f: impl FnMut(RelId, Dep, &Binding)) {
         for c in &self.checks {
-            for e in c.matches.iter().filter(|e| !e.witnessed).take(cap) {
+            if c.violations == 0 {
+                continue;
+            }
+            let mut violating: Vec<&MatchEntry> =
+                c.matches.iter().filter(|e| !e.witnessed).collect();
+            if violating.len() > 1 {
+                violating.sort_by_cached_key(|e| binding_key(&e.binding));
+            }
+            for e in violating.into_iter().take(cap) {
                 f(c.statics.rel, c.statics.dep, &e.binding);
             }
         }
+    }
+
+    /// Number of currently violating universal bindings across every
+    /// directional check (uncapped). O(#checks): reads the cached
+    /// per-check violation counts, so sessions can poll it per edit
+    /// without scanning the match state.
+    pub fn violation_count(&self) -> usize {
+        self.checks.iter().map(|c| c.violations).sum()
+    }
+
+    /// Checkpoint this checker: an independent copy owning its own model
+    /// tuple and match state, sharing the compiled per-check statics
+    /// behind [`Arc`]. No evaluation happens — forking a warm checker is
+    /// how the enforcement search obtains a pre-warmed root state
+    /// without re-running the initial full check, and how a sync session
+    /// hands its live state to a repair engine while keeping its own.
+    pub fn fork(&self) -> DeltaChecker<'h> {
+        self.clone()
     }
 
     /// Cumulative incremental-update statistics.
     pub fn delta_stats(&self) -> DeltaStats {
         self.delta_stats
     }
+}
+
+/// Total sort key over bindings (slot-wise, by slot content), used to
+/// canonicalize violation enumeration. Within one check every binding
+/// has the same length and shape, so the element-wise key is a genuine
+/// total order there. String values key on their intern index — stable
+/// within a process, which is all the warm-vs-cold identity needs.
+fn binding_key(b: &Binding) -> Vec<(u8, u64)> {
+    fn slot_key(s: &Option<Slot>) -> (u8, u64) {
+        match s {
+            None => (0, 0),
+            Some(Slot::Obj(o)) => (1, o.0 as u64),
+            Some(Slot::Val(v)) => match v {
+                mmt_model::Value::Bool(x) => (2, *x as u64),
+                mmt_model::Value::Int(x) => (3, (*x).wrapping_sub(i64::MIN) as u64),
+                mmt_model::Value::Str(s) => (4, s.index() as u64),
+            },
+        }
+    }
+    b.iter().map(slot_key).collect()
 }
 
 fn accumulate(into: &mut EvalStats, extra: EvalStats) {
@@ -703,7 +768,7 @@ fn full_eval(
     st: &CheckStatics,
 ) -> Result<Vec<MatchEntry>, EvalError> {
     let mut matches: Vec<MatchEntry> = Vec::new();
-    let mut memo: HashMap<Vec<Slot>, (bool, Vec<(DomIdx, ObjId)>)> = HashMap::new();
+    let mut memo: HashMap<Vec<Slot>, WitnessRecord> = HashMap::new();
     let mut binding: Binding = vec![None; rel.vars.len()];
     let shared = &st.plan.shared;
     let memoize = ctx.memoize;
@@ -743,13 +808,17 @@ fn full_eval(
     Ok(matches)
 }
 
+/// One witness probe's result: whether a witness exists and, when it
+/// does, the objects it bound (its object-level read-set).
+type WitnessRecord = (bool, Vec<(DomIdx, ObjId)>);
+
 /// Existential probe that records which objects the witness bound.
 fn probe_recording(
     ctx: &mut EvalCtx<'_>,
     rel: &HirRelation,
     st: &CheckStatics,
     binding: &mut Binding,
-) -> Result<(bool, Vec<(DomIdx, ObjId)>), EvalError> {
+) -> Result<WitnessRecord, EvalError> {
     let pre: Vec<bool> = binding.iter().map(Option::is_some).collect();
     let mut out: Option<Vec<(DomIdx, ObjId)>> = None;
     ctx.solve(rel, &st.plan.tgt_constraints, binding, &mut |ctx, b| {
@@ -834,7 +903,7 @@ fn witness_update(
     ctx: &mut EvalCtx<'_>,
     rel: &HirRelation,
     st: &CheckStatics,
-    matches: &mut Vec<MatchEntry>,
+    matches: &mut [MatchEntry],
     model: DomIdx,
     affected: &[ObjId],
     op: &EditOp,

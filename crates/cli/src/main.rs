@@ -5,14 +5,15 @@
 //! mmt check   -t F.qvtr -M CF.mm FM.mm -m cf1.model cf2.model fm.model
 //! mmt enforce -t F.qvtr -M CF.mm FM.mm -m ... --targets cf1,cf2 [--engine sat]
 //! mmt repair  -t F.qvtr -M CF.mm FM.mm --batch reqs/ --targets cf1,cf2 --jobs 4
+//! mmt sync    session.mmts -t F.qvtr -M CF.mm FM.mm -m ... [--json]
 //! mmt deps    -t F.qvtr -M CF.mm FM.mm
 //! ```
 
-use mmt_core::{EngineKind, RepairRequest, Shape, Transformation};
-use mmt_dist::TupleCost;
+use mmt_core::{EngineKind, RepairRequest, SessionOptions, Shape, SyncSession, Transformation};
+use mmt_dist::{EditOp, TupleCost};
 use mmt_enforce::RepairOptions;
 use mmt_model::text::{parse_metamodel, parse_model, print_model};
-use mmt_model::{Metamodel, Model};
+use mmt_model::{AttrType, Metamodel, Model, ObjId, Sym, Value};
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -31,36 +32,122 @@ fn main() -> ExitCode {
 const USAGE: &str = r#"mmt — multidirectional model transformations
 
 USAGE:
-  mmt check   -t <spec.qvtr> -M <mm>... -m <model>...
-  mmt enforce -t <spec.qvtr> -M <mm>... -m <model>... --targets <names>
-              [--engine sat|search] [--max-cost <n>] [--weights <w,...>]
-              [--jobs <n>] [--out <dir>]
-  mmt repair  -t <spec.qvtr> -M <mm>... --targets <names>
-              (--batch <dir> | -m <model>...)
-              [--engine sat|search] [--jobs <n>] [--max-cost <n>]
-              [--weights <w,...>] [--out <dir>]
-  mmt deps    -t <spec.qvtr> -M <mm>...
+  mmt <command> [options]
+  mmt help [<command>]     per-command usage
+  mmt --version            print the version
+
+COMMANDS:
+  check     run checkonly evaluation over a model tuple
+  enforce   least-change repair of one tuple under a repair shape
+  repair    enforce, or batch-enforce a directory of requests
+  sync      drive a stateful session from an edit/repair script
+  deps      print the resolved transformation and its dependency sets
 
 Models are bound to the transformation's parameters in order.
 `--targets` takes comma-separated model parameter names (the repair shape).
-`mmt repair --batch <dir>` treats every subdirectory of <dir> as one
-independent request holding a `<param>.model` file per transformation
-parameter; requests are repaired concurrently across `--jobs` workers
-(results are identical for every job count). With `--out <dir>`, the
-repaired tuple of request `req` is written to `<dir>/<req>/`.
 "#;
+
+const USAGE_CHECK: &str = r#"mmt check — checkonly evaluation
+
+USAGE:
+  mmt check -t <spec.qvtr> -M <mm>... -m <model>...
+
+Prints the per-direction report; exits 0 when consistent, 1 otherwise.
+"#;
+
+const USAGE_ENFORCE: &str = r#"mmt enforce — least-change repair of one model tuple
+
+USAGE:
+  mmt enforce -t <spec.qvtr> -M <mm>... -m <model>... --targets <names>
+              [--engine sat|search] [--max-cost <n>] [--weights <w,...>]
+              [--jobs <n>] [--out <dir>]
+
+`--targets` takes comma-separated model parameter names (the repair
+shape: which models the repair may rewrite). With `--out <dir>` the
+repaired tuple is written as `<dir>/<param>.model` files. Exits 0 on
+repair, 1 when no repair exists within the shape and cost bound.
+"#;
+
+const USAGE_REPAIR: &str = r#"mmt repair — enforce, or batch-enforce a directory of requests
+
+USAGE:
+  mmt repair -t <spec.qvtr> -M <mm>... --targets <names>
+             (--batch <dir> | -m <model>...)
+             [--engine sat|search] [--jobs <n>] [--max-cost <n>]
+             [--weights <w,...>] [--out <dir>]
+
+Without `--batch`, identical to `mmt enforce`. With `--batch <dir>`,
+every subdirectory of <dir> is one independent request holding a
+`<param>.model` file per transformation parameter; requests are
+repaired concurrently across `--jobs` workers (results are identical
+for every job count). With `--out <dir>`, the repaired tuple of
+request `req` is written to `<dir>/<req>/`.
+"#;
+
+const USAGE_SYNC: &str = r#"mmt sync — drive a stateful session from an edit/repair script
+
+USAGE:
+  mmt sync <script> -t <spec.qvtr> -M <mm>... -m <model>...
+           [--json] [--engine sat|search] [--max-cost <n>]
+           [--weights <w,...>] [--jobs <n>] [--out <dir>]
+
+Opens one warm synchronization session over the model tuple (one cold
+start, then O(|edit|) per command) and executes the script line by
+line. Script commands:
+
+  edit <param> add <Class> [@id]        create an object
+  edit <param> del @id                  delete an object
+  edit <param> set @id.<attr> = <val>   overwrite an attribute
+                                        (<val>: "str" | true|false | int)
+  edit <param> link @src.<ref> @dst     insert a link
+  edit <param> unlink @src.<ref> @dst   remove a link
+  status                                print consistency status
+  repair <names>                        least-change repair (auto-applied
+                                        and journaled)
+  rollback <n|all>                      undo the last n journal entries
+  # ...                                 comment
+
+With `--json`, `status` dumps a JSON object instead of text. The repair
+engine defaults to `search` (it reuses the warm state). With
+`--out <dir>` the final tuple is written as `<dir>/<param>.model`.
+Exits 0 when the final state is consistent, 1 otherwise.
+"#;
+
+const USAGE_DEPS: &str = r#"mmt deps — print the resolved transformation
+
+USAGE:
+  mmt deps -t <spec.qvtr> -M <mm>...
+
+Prints the resolved relations and their checking-dependency sets,
+flagging which are standard-equivalent (§2.2).
+"#;
+
+fn usage_for(cmd: &str) -> &'static str {
+    match cmd {
+        "check" => USAGE_CHECK,
+        "enforce" => USAGE_ENFORCE,
+        "repair" => USAGE_REPAIR,
+        "sync" => USAGE_SYNC,
+        "deps" => USAGE_DEPS,
+        _ => USAGE,
+    }
+}
 
 struct Parsed {
     spec: Option<String>,
     metamodels: Vec<String>,
     models: Vec<String>,
     targets: Option<String>,
-    engine: EngineKind,
+    engine: Option<EngineKind>,
     max_cost: u64,
     weights: Option<Vec<u64>>,
     out: Option<String>,
     jobs: usize,
     batch: Option<String>,
+    script: Option<String>,
+    json: bool,
+    help: bool,
+    version: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Parsed, String> {
@@ -69,12 +156,16 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
         metamodels: Vec::new(),
         models: Vec::new(),
         targets: None,
-        engine: EngineKind::Sat,
+        engine: None,
         max_cost: 16,
         weights: None,
         out: None,
         jobs: 1,
         batch: None,
+        script: None,
+        json: false,
+        help: false,
+        version: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -106,8 +197,8 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
             "--engine" => {
                 i += 1;
                 p.engine = match args.get(i).map(String::as_str) {
-                    Some("sat") => EngineKind::Sat,
-                    Some("search") => EngineKind::Search,
+                    Some("sat") => Some(EngineKind::Sat),
+                    Some("search") => Some(EngineKind::Search),
                     other => return Err(format!("unknown engine {other:?}")),
                 };
             }
@@ -144,6 +235,17 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
                 i += 1;
                 p.batch = Some(args.get(i).ok_or("missing value for --batch")?.clone());
             }
+            "--script" => {
+                i += 1;
+                p.script = Some(args.get(i).ok_or("missing value for --script")?.clone());
+            }
+            "--json" => p.json = true,
+            "--help" | "-h" => p.help = true,
+            "--version" | "-V" => p.version = true,
+            other if !other.starts_with('-') && p.script.is_none() => {
+                // Bare positional: the sync script path.
+                p.script = Some(other.to_string());
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
         i += 1;
@@ -151,12 +253,24 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
     Ok(p)
 }
 
+fn print_version() {
+    println!("mmt {}", env!("CARGO_PKG_VERSION"));
+}
+
 fn read(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
 }
 
-fn load(p: &Parsed) -> Result<(Transformation, Vec<Model>), String> {
-    let spec_path = p.spec.as_ref().ok_or("missing -t <spec.qvtr>")?;
+/// A missing-required-argument error carrying the command's usage text.
+fn missing(what: &str, cmd: &str) -> String {
+    format!("missing {what}\n\n{}", usage_for(cmd))
+}
+
+fn load(p: &Parsed, cmd: &str) -> Result<(Transformation, Vec<Model>), String> {
+    let spec_path = p
+        .spec
+        .as_ref()
+        .ok_or_else(|| missing("-t <spec.qvtr>", cmd))?;
     let spec_src = read(spec_path)?;
     let mm_srcs: Vec<String> = p
         .metamodels
@@ -184,10 +298,18 @@ fn load(p: &Parsed) -> Result<(Transformation, Vec<Model>), String> {
 }
 
 /// The repair shape named by `--targets`.
-fn parse_shape(t: &Transformation, p: &Parsed) -> Result<Shape, String> {
-    let target_names = p.targets.as_ref().ok_or("missing --targets")?;
+fn parse_shape(t: &Transformation, p: &Parsed, cmd: &str) -> Result<Shape, String> {
+    let target_names = p
+        .targets
+        .as_ref()
+        .ok_or_else(|| missing("--targets <names>", cmd))?;
+    shape_of_names(t, target_names)
+}
+
+/// A repair shape from comma-separated model parameter names.
+fn shape_of_names(t: &Transformation, names: &str) -> Result<Shape, String> {
     let mut indices = Vec::new();
-    for name in target_names.split(',') {
+    for name in names.split(',') {
         let idx = t
             .hir()
             .model_named(name.trim())
@@ -234,10 +356,43 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         println!("{USAGE}");
         return Ok(ExitCode::SUCCESS);
     };
+    match cmd.as_str() {
+        "--version" | "-V" | "version" => {
+            print_version();
+            return Ok(ExitCode::SUCCESS);
+        }
+        "help" | "--help" | "-h" => {
+            println!(
+                "{}",
+                usage_for(args.get(1).map(String::as_str).unwrap_or(""))
+            );
+            return Ok(ExitCode::SUCCESS);
+        }
+        _ => {}
+    }
     let p = parse_flags(&args[1..])?;
+    if p.version {
+        print_version();
+        return Ok(ExitCode::SUCCESS);
+    }
+    if p.help {
+        println!("{}", usage_for(cmd));
+        return Ok(ExitCode::SUCCESS);
+    }
+    if cmd != "sync" {
+        // Only `sync` takes a positional argument (the script path);
+        // anywhere else a stray positional is a mistake, not input to
+        // silently ignore.
+        if let Some(stray) = &p.script {
+            return Err(format!(
+                "unexpected argument `{stray}`\n\n{}",
+                usage_for(cmd)
+            ));
+        }
+    }
     match cmd.as_str() {
         "check" => {
-            let (t, models) = load(&p)?;
+            let (t, models) = load(&p, cmd)?;
             if models.len() != t.arity() {
                 return Err(format!(
                     "transformation expects {} models, got {}",
@@ -254,11 +409,12 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             })
         }
         "enforce" => {
-            let (t, models) = load(&p)?;
-            let shape = parse_shape(&t, &p)?;
+            let (t, models) = load(&p, cmd)?;
+            let shape = parse_shape(&t, &p, cmd)?;
             let opts = repair_options(&t, &p)?;
+            let engine = p.engine.unwrap_or(EngineKind::Sat);
             match t
-                .enforce_with(&models, shape, p.engine, opts)
+                .enforce_with(&models, shape, engine, opts)
                 .map_err(|e| e.to_string())?
             {
                 None => {
@@ -288,11 +444,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     forwarded
                 });
             };
-            let (t, extra) = load(&p)?;
+            let (t, extra) = load(&p, cmd)?;
             if !extra.is_empty() {
                 return Err("-m and --batch are mutually exclusive".into());
             }
-            let shape = parse_shape(&t, &p)?;
+            let shape = parse_shape(&t, &p, cmd)?;
             let opts = repair_options(&t, &p)?;
             // Every subdirectory of the batch dir is one request holding
             // a `<param>.model` file per transformation parameter.
@@ -328,16 +484,17 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     targets: shape.targets(),
                 });
             }
+            let engine = p.engine.unwrap_or(EngineKind::Sat);
             println!(
                 "repairing {} requests with {} worker(s) [{} engine]",
                 requests.len(),
                 p.jobs,
-                match p.engine {
+                match engine {
                     EngineKind::Sat => "sat",
                     EngineKind::Search => "search",
                 }
             );
-            let outcomes = t.enforce_batch(&requests, p.engine, opts);
+            let outcomes = t.enforce_batch(&requests, engine, opts);
             let mut all_repaired = true;
             for (name, outcome) in names.iter().zip(&outcomes) {
                 match outcome {
@@ -360,8 +517,12 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 ExitCode::from(1)
             })
         }
+        "sync" => run_sync(&p),
         "deps" => {
-            let spec_path = p.spec.as_ref().ok_or("missing -t <spec.qvtr>")?;
+            let spec_path = p
+                .spec
+                .as_ref()
+                .ok_or_else(|| missing("-t <spec.qvtr>", cmd))?;
             let spec_src = read(spec_path)?;
             let mm_srcs: Vec<String> = p
                 .metamodels
@@ -390,10 +551,340 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
             Ok(ExitCode::SUCCESS)
         }
-        "help" | "--help" | "-h" => {
-            println!("{USAGE}");
-            Ok(ExitCode::SUCCESS)
-        }
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
+}
+
+/// Executes `mmt sync <script>`: one warm [`SyncSession`] over the
+/// loaded tuple, driven line by line.
+fn run_sync(p: &Parsed) -> Result<ExitCode, String> {
+    let script_path = p
+        .script
+        .as_ref()
+        .ok_or_else(|| missing("<script>", "sync"))?
+        .clone();
+    let script_src = read(&script_path)?;
+    let (t, models) = load(p, "sync")?;
+    if models.len() != t.arity() {
+        return Err(format!(
+            "transformation expects {} models, got {}",
+            t.arity(),
+            models.len()
+        ));
+    }
+    let opts = SessionOptions {
+        engine: p.engine.unwrap_or(EngineKind::Search),
+        repair: repair_options(&t, p)?,
+    };
+    let mut session = t.session_with(&models, opts).map_err(|e| e.to_string())?;
+    for (lineno, raw) in script_src.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        exec_sync_line(&t, &mut session, line, p.json)
+            .map_err(|e| format!("{script_path}:{}: {e}", lineno + 1))?;
+    }
+    let status = session.status();
+    if !p.json {
+        println!(
+            "final: {} ({} journal entr{})",
+            if status.consistent {
+                "consistent".to_string()
+            } else {
+                format!("INCONSISTENT ({} violations)", status.violations)
+            },
+            session.journal().len(),
+            if session.journal().len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+        );
+    }
+    if let Some(dir) = &p.out {
+        write_models(Path::new(dir), &t, session.models())?;
+    }
+    Ok(if status.consistent {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+/// Strips a `# comment` from a script line, ignoring `#` inside quoted
+/// string values (backslash escapes respected).
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Executes one script line against the live session.
+fn exec_sync_line(
+    t: &Transformation,
+    session: &mut SyncSession<'_>,
+    line: &str,
+    json: bool,
+) -> Result<(), String> {
+    let mut words = line.split_whitespace();
+    match words.next() {
+        Some("status") => {
+            if json {
+                println!("{}", status_json(session));
+            } else {
+                let s = session.status();
+                if s.consistent {
+                    println!("status: consistent");
+                } else {
+                    println!("status: INCONSISTENT ({} violations)", s.violations);
+                }
+            }
+            Ok(())
+        }
+        Some("repair") => {
+            let names = words.next().ok_or("repair needs target names")?;
+            let shape = shape_of_names(t, names)?;
+            match session.repair(shape).map_err(|e| e.to_string())? {
+                None => {
+                    println!("repair {names}: no repair within the given shape and cost bound");
+                }
+                Some(out) => {
+                    println!("repair {names}: repaired at distance {}", out.cost);
+                    for (param, delta) in t.hir().models.iter().zip(&out.deltas) {
+                        if !delta.is_empty() {
+                            println!("--- {} ---\n{delta}", param.name);
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+        Some("rollback") => {
+            let arg = words.next().ok_or("rollback needs <n|all>")?;
+            let n = if arg == "all" {
+                session.journal().len()
+            } else {
+                arg.parse::<usize>()
+                    .map_err(|e| format!("bad count: {e}"))?
+            };
+            let undone = session.rollback(n).map_err(|e| e.to_string())?;
+            println!(
+                "rollback: undid {undone} entr{}",
+                if undone == 1 { "y" } else { "ies" }
+            );
+            Ok(())
+        }
+        Some("edit") => {
+            let param = words.next().ok_or("edit needs a model parameter")?;
+            let model = t
+                .hir()
+                .model_named(param)
+                .ok_or_else(|| format!("unknown model parameter `{param}`"))?;
+            let meta = Arc::clone(&t.hir().models[model.index()].meta);
+            let live = &session.models()[model.index()];
+            // The action tail after `edit <param>`, stripped
+            // positionally — a parameter name that happens to end in a
+            // keyword (`asset`, `reset`, …) must not confuse parsing.
+            let tail = line
+                .trim_start()
+                .strip_prefix("edit")
+                .and_then(|s| s.trim_start().strip_prefix(param))
+                .map(str::trim_start)
+                .ok_or("malformed edit line")?;
+            let op = parse_edit_op(&meta, live, tail, &mut words)?;
+            session.apply(model, op).map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown sync command `{other}`")),
+        None => Ok(()),
+    }
+}
+
+/// Parses the action tail of an `edit <param> ...` line. `tail` is the
+/// line text starting at the action keyword; `words` is the same text
+/// pre-tokenized.
+fn parse_edit_op<'a>(
+    meta: &Arc<Metamodel>,
+    live: &Model,
+    tail: &str,
+    words: &mut impl Iterator<Item = &'a str>,
+) -> Result<EditOp, String> {
+    match words.next() {
+        Some("add") => {
+            let class_name = words.next().ok_or("add needs a class name")?;
+            let class = meta
+                .class_named(class_name)
+                .ok_or_else(|| format!("unknown class `{class_name}`"))?;
+            let id = match words.next() {
+                Some(tok) => parse_obj(tok)?,
+                None => ObjId(live.id_bound() as u32),
+            };
+            Ok(EditOp::AddObj { id, class })
+        }
+        Some("del") => {
+            let id = parse_obj(words.next().ok_or("del needs @id")?)?;
+            let class = live
+                .class_of(id)
+                .map_err(|_| format!("no object {} in the model", id.index()))?;
+            Ok(EditOp::DelObj { id, class })
+        }
+        Some("set") => {
+            // set @id.<attr> = <value> — the value may contain spaces,
+            // so split the raw tail at the first `=` (the lhs never
+            // contains one) instead of consuming tokens.
+            let (lhs, rhs) = tail
+                .strip_prefix("set")
+                .and_then(|rest| rest.split_once('='))
+                .ok_or("set needs `@id.<attr> = <value>`")?;
+            let (id_tok, attr_name) = lhs.trim().split_once('.').ok_or("set needs `@id.<attr>`")?;
+            let id = parse_obj(id_tok)?;
+            let class = live
+                .class_of(id)
+                .map_err(|_| format!("no object {} in the model", id.index()))?;
+            let attr = meta
+                .attr_of(class, Sym::new(attr_name.trim()))
+                .ok_or_else(|| format!("unknown attribute `{}`", attr_name.trim()))?;
+            let value = parse_value(rhs.trim(), meta.attr(attr).ty)?;
+            let old = live.attr(id, attr).unwrap_or(value);
+            Ok(EditOp::SetAttr {
+                id,
+                attr,
+                value,
+                old,
+            })
+        }
+        Some(verb @ ("link" | "unlink")) => {
+            let (src_tok, ref_name) = words
+                .next()
+                .ok_or("link needs `@src.<ref>`")?
+                .split_once('.')
+                .ok_or("link needs `@src.<ref>`")?;
+            let src = parse_obj(src_tok)?;
+            let dst = parse_obj(words.next().ok_or("link needs `@dst`")?)?;
+            let class = live
+                .class_of(src)
+                .map_err(|_| format!("no object {} in the model", src.index()))?;
+            let r = meta
+                .ref_of(class, Sym::new(ref_name))
+                .ok_or_else(|| format!("unknown reference `{ref_name}`"))?;
+            Ok(if verb == "link" {
+                EditOp::AddLink { src, r, dst }
+            } else {
+                EditOp::DelLink { src, r, dst }
+            })
+        }
+        other => Err(format!("unknown edit action {other:?}")),
+    }
+}
+
+/// Parses an `@id` object token.
+fn parse_obj(tok: &str) -> Result<ObjId, String> {
+    let digits = tok
+        .strip_prefix('@')
+        .ok_or_else(|| format!("expected `@id`, got `{tok}`"))?;
+    digits
+        .parse::<u32>()
+        .map(ObjId)
+        .map_err(|e| format!("bad object id `{tok}`: {e}"))
+}
+
+/// Parses a script value against the attribute's declared type.
+fn parse_value(raw: &str, ty: AttrType) -> Result<Value, String> {
+    match ty {
+        AttrType::Str => {
+            let inner = raw
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or_else(|| format!("string value must be quoted, got `{raw}`"))?;
+            Ok(Value::str(
+                &inner.replace("\\\"", "\"").replace("\\\\", "\\"),
+            ))
+        }
+        AttrType::Bool => match raw {
+            "true" => Ok(Value::Bool(true)),
+            "false" => Ok(Value::Bool(false)),
+            _ => Err(format!("bool value must be true|false, got `{raw}`")),
+        },
+        AttrType::Int => raw
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| format!("bad int `{raw}`: {e}")),
+    }
+}
+
+/// The `--json` status dump: consistency, journal size, fingerprint,
+/// and every violating binding.
+fn status_json(session: &SyncSession<'_>) -> String {
+    let status = session.status();
+    let report = session.report();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"consistent\":{},\"violations\":{},\"journal\":{},\"fingerprint\":{},\"checks\":[",
+        status.consistent,
+        status.violations,
+        session.journal().len(),
+        session.fingerprint(),
+    ));
+    let mut first_check = true;
+    for check in &report.checks {
+        if !first_check {
+            out.push(',');
+        }
+        first_check = false;
+        out.push_str(&format!(
+            "{{\"relation\":{},\"dep\":{},\"holds\":{},\"violations\":[",
+            json_str(&check.relation_name.to_string()),
+            json_str(&check.dep.to_string()),
+            check.holds,
+        ));
+        let mut first_v = true;
+        for v in &check.violations {
+            if !first_v {
+                out.push(',');
+            }
+            first_v = false;
+            out.push('{');
+            let mut first_b = true;
+            for (var, val) in &v.vars {
+                if !first_b {
+                    out.push(',');
+                }
+                first_b = false;
+                out.push_str(&format!("{}:{}", json_str(&var.to_string()), json_str(val)));
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }

@@ -186,7 +186,7 @@ fn repair_batch_reports_unrepairable_requests() {
 
 #[test]
 fn deps_prints_dependency_sets() {
-    let args = vec![
+    let args = [
         "deps".to_string(),
         "-t".into(),
         repo_file("examples/data/F.qvtr"),
@@ -230,4 +230,213 @@ fn weights_validation() {
     let (_, stderr, code) = mmt(&argrefs);
     assert_eq!(code, Some(2));
     assert!(stderr.contains("--weights needs 3"));
+}
+
+// --- ISSUE 4: `mmt sync`, --version, per-subcommand usage ---
+
+fn write_script(name: &str, body: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("mmt-cli-{name}-{}.mmts", std::process::id()));
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+/// One warm session drives edit/status/repair/rollback from a script;
+/// the repair distance matches the stateless `mmt enforce` on the same
+/// tuple (4, as `enforce_repairs_and_writes_models` asserts).
+#[test]
+fn sync_script_drives_a_session() {
+    let script = write_script(
+        "session",
+        r#"# fixture tuple is inconsistent: brakes is mandatory, selected nowhere
+status
+repair cf1,cf2
+status
+edit cf1 set @0.name = "motor"   # drift again
+status
+rollback 1
+status
+"#,
+    );
+    let outdir = std::env::temp_dir().join(format!("mmt-cli-sync-{}", std::process::id()));
+    let mut args = vec!["sync".to_string(), script.to_string_lossy().into_owned()];
+    args.extend(data_args());
+    args.push("--out".into());
+    args.push(outdir.to_string_lossy().into_owned());
+    let argrefs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (stdout, stderr, code) = mmt(&argrefs);
+    assert_eq!(code, Some(0), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(
+        stdout.contains("status: INCONSISTENT (2 violations)"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("repair cf1,cf2: repaired at distance 4"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("rollback: undid 1 entry"), "{stdout}");
+    assert!(stdout.contains("final: consistent"), "{stdout}");
+    // The final tuple (repaired, drift rolled back) was written out.
+    let written = std::fs::read_to_string(outdir.join("cf1.model")).unwrap();
+    assert!(written.contains("brakes"), "{written}");
+    assert!(!written.contains("motor"), "{written}");
+    std::fs::remove_dir_all(&outdir).ok();
+    std::fs::remove_file(&script).ok();
+}
+
+/// `--json` turns `status` into a machine-readable dump.
+#[test]
+fn sync_json_status_dump() {
+    let script = write_script("json", "status\n");
+    let mut args = vec![
+        "sync".to_string(),
+        script.to_string_lossy().into_owned(),
+        "--json".into(),
+    ];
+    args.extend(data_args());
+    let argrefs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (stdout, stderr, code) = mmt(&argrefs);
+    assert_eq!(code, Some(1), "stdout: {stdout}\nstderr: {stderr}");
+    let line = stdout.lines().next().unwrap();
+    assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    assert!(line.contains("\"consistent\":false"), "{line}");
+    assert!(line.contains("\"violations\":2"), "{line}");
+    assert!(line.contains("\"fingerprint\":"), "{line}");
+    assert!(line.contains("\\\"brakes\\\""), "{line}");
+    std::fs::remove_file(&script).ok();
+}
+
+/// A rollback after `repair` undoes the auto-applied repair: the final
+/// state is inconsistent again and the exit code says so.
+#[test]
+fn sync_rollback_of_repair_exits_one() {
+    let script = write_script("rollrepair", "repair cf1,cf2\nrollback all\n");
+    let mut args = vec!["sync".to_string(), script.to_string_lossy().into_owned()];
+    args.extend(data_args());
+    let argrefs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (stdout, _, code) = mmt(&argrefs);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("final: INCONSISTENT"), "{stdout}");
+    std::fs::remove_file(&script).ok();
+}
+
+/// A script error reports file and line and exits 2.
+#[test]
+fn sync_bad_script_line_reports_position() {
+    let script = write_script("bad", "status\nfrobnicate everything\n");
+    let mut args = vec!["sync".to_string(), script.to_string_lossy().into_owned()];
+    args.extend(data_args());
+    let argrefs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (_, stderr, code) = mmt(&argrefs);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(
+        stderr.contains(":2: unknown sync command `frobnicate`"),
+        "{stderr}"
+    );
+    std::fs::remove_file(&script).ok();
+}
+
+#[test]
+fn version_flag_prints_version() {
+    for flag in ["--version", "-V", "version"] {
+        let (stdout, _, code) = mmt(&[flag]);
+        assert_eq!(code, Some(0), "{flag}");
+        assert_eq!(
+            stdout.trim(),
+            format!("mmt {}", env!("CARGO_PKG_VERSION")),
+            "{flag}"
+        );
+    }
+}
+
+#[test]
+fn unknown_subcommand_exits_nonzero_with_usage() {
+    let (_, stderr, code) = mmt(&["frobnicate"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown command `frobnicate`"), "{stderr}");
+    assert!(stderr.contains("USAGE"), "{stderr}");
+}
+
+/// Missing required arguments exit non-zero and print the *owning
+/// subcommand's* usage.
+#[test]
+fn missing_arguments_print_subcommand_usage() {
+    // No -t at all.
+    let (_, stderr, code) = mmt(&["enforce"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("missing -t <spec.qvtr>"), "{stderr}");
+    assert!(stderr.contains("mmt enforce"), "{stderr}");
+    // Tuple given but no --targets.
+    let mut args = vec!["enforce".to_string()];
+    args.extend(data_args());
+    let argrefs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (_, stderr, code) = mmt(&argrefs);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("missing --targets <names>"), "{stderr}");
+    assert!(stderr.contains("mmt enforce"), "{stderr}");
+    // sync without a script.
+    let (_, stderr, code) = mmt(&["sync", "-t", "x.qvtr"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("missing <script>"), "{stderr}");
+    assert!(stderr.contains("mmt sync"), "{stderr}");
+    // deps without -t.
+    let (_, stderr, code) = mmt(&["deps"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("missing -t <spec.qvtr>"), "{stderr}");
+}
+
+#[test]
+fn per_subcommand_help_text() {
+    for (cmd, needle) in [
+        ("check", "mmt check"),
+        ("enforce", "mmt enforce"),
+        ("repair", "mmt repair"),
+        ("sync", "mmt sync"),
+        ("deps", "mmt deps"),
+    ] {
+        let (stdout, _, code) = mmt(&["help", cmd]);
+        assert_eq!(code, Some(0), "help {cmd}");
+        assert!(stdout.contains(needle), "help {cmd}: {stdout}");
+        assert!(stdout.contains("USAGE"), "help {cmd}: {stdout}");
+        // `--help` on the subcommand prints the same text.
+        let (stdout2, _, code2) = mmt(&[cmd, "--help"]);
+        assert_eq!(code2, Some(0), "{cmd} --help");
+        assert_eq!(stdout, stdout2, "{cmd} --help");
+    }
+}
+
+/// Comment stripping is quote-aware: a `#` inside a quoted value is
+/// data, not a comment; `=` inside the value survives too.
+#[test]
+fn sync_value_may_contain_hash_and_equals() {
+    let script = write_script(
+        "hash",
+        "edit fm set @0.name = \"a#b=c\"  # real comment\nrollback all\n",
+    );
+    let mut args = vec!["sync".to_string(), script.to_string_lossy().into_owned()];
+    args.extend(data_args());
+    let argrefs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (stdout, stderr, code) = mmt(&argrefs);
+    // The edit applied (then rolled back): no parse error, exit 1 only
+    // because the fixture tuple is inconsistent to begin with.
+    assert_eq!(code, Some(1), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stderr.is_empty(), "{stderr}");
+    assert!(stdout.contains("rollback: undid 1 entry"), "{stdout}");
+}
+
+/// Non-sync commands reject stray positional arguments instead of
+/// silently ignoring them.
+#[test]
+fn stray_positional_argument_is_rejected() {
+    let mut args = vec!["enforce".to_string()];
+    args.extend(data_args());
+    args.push("--targets".into());
+    args.push("cf1,cf2".into());
+    args.push("stray.model".into());
+    let argrefs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (_, stderr, code) = mmt(&argrefs);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(
+        stderr.contains("unexpected argument `stray.model`"),
+        "{stderr}"
+    );
 }

@@ -23,6 +23,10 @@
 
 #![deny(missing_docs)]
 
+pub mod session;
+
+pub use session::{JournalEntry, JournalKind, SessionOptions, SyncRepair, SyncSession, SyncStatus};
+
 use mmt_check::{CheckError, CheckOptions, CheckReport, Checker, EvalError};
 use mmt_deps::{DepSet, DomIdx, DomSet};
 pub use mmt_enforce::RepairRequest;
@@ -30,7 +34,7 @@ use mmt_enforce::{
     RepairEngine, RepairError, RepairOptions, RepairOutcome, SatEngine, SearchEngine,
 };
 use mmt_model::text::{parse_metamodel, ParseError};
-use mmt_model::{Metamodel, Model, Sym};
+use mmt_model::{Metamodel, Model, ModelError, Sym};
 use mmt_qvtr::{parse_and_resolve, FrontendError, Hir};
 use std::fmt;
 use std::sync::Arc;
@@ -100,6 +104,8 @@ pub enum CoreError {
     Eval(EvalError),
     /// Enforcement failed.
     Repair(RepairError),
+    /// A model edit failed (session edits against missing objects, …).
+    Model(ModelError),
 }
 
 impl fmt::Display for CoreError {
@@ -110,6 +116,7 @@ impl fmt::Display for CoreError {
             CoreError::Check(e) => write!(f, "check: {e}"),
             CoreError::Eval(e) => write!(f, "eval: {e}"),
             CoreError::Repair(e) => write!(f, "repair: {e}"),
+            CoreError::Model(e) => write!(f, "model: {e}"),
         }
     }
 }
@@ -143,6 +150,12 @@ impl From<EvalError> for CoreError {
 impl From<RepairError> for CoreError {
     fn from(e: RepairError) -> Self {
         CoreError::Repair(e)
+    }
+}
+
+impl From<ModelError> for CoreError {
+    fn from(e: ModelError) -> Self {
+        CoreError::Model(e)
     }
 }
 
@@ -254,6 +267,23 @@ impl Transformation {
             EngineKind::Search => SearchEngine::new(opts).repair_batch(&self.hir, requests),
             EngineKind::Sat => SatEngine::new(opts).repair_batch(&self.hir, requests),
         }
+    }
+
+    /// Opens a stateful [`SyncSession`] over `models`: one cold start,
+    /// then O(|edit|) consistency tracking and warm-rooted repairs for
+    /// the whole edit→check→repair loop. See [`session`].
+    pub fn session(&self, models: &[Model]) -> Result<SyncSession<'_>, CoreError> {
+        SyncSession::new(self, models)
+    }
+
+    /// As [`Transformation::session`] with explicit [`SessionOptions`]
+    /// (engine choice and repair options).
+    pub fn session_with(
+        &self,
+        models: &[Model],
+        opts: SessionOptions,
+    ) -> Result<SyncSession<'_>, CoreError> {
+        SyncSession::with_options(self, models, opts)
     }
 
     /// A copy of this transformation with every relation's dependency set

@@ -1,0 +1,727 @@
+//! Stateful synchronization sessions: the warm edit→check→repair loop.
+//!
+//! The paper's framework is a *synchronization service* — models drift
+//! apart through edits, and the engine restores consistency with
+//! least-change repairs. The stateless entry points
+//! ([`Transformation::check`], [`Transformation::enforce`]) rebuild the
+//! whole checking state on every call: one cold start per request. A
+//! [`SyncSession`] pays that cold start **once** and then keeps the
+//! incremental oracle warm across the whole loop:
+//!
+//! * [`SyncSession::apply`] pushes one [`EditOp`] through the live
+//!   [`DeltaChecker`] — consistency status is
+//!   re-established in time proportional to the edit, not the tuple;
+//! * [`SyncSession::status`] / [`SyncSession::report`] read the cached
+//!   verdicts — no evaluation at all;
+//! * [`SyncSession::repair`] forks the warm checker and hands it to the
+//!   repair engine as a pre-warmed search root
+//!   ([`RepairEngine::repair_warm`]),
+//!   skipping the engine's initial full check; the repair delta is
+//!   auto-applied back through the same incremental path and journaled;
+//! * [`SyncSession::rollback`] undoes journal entries by replaying
+//!   exact inverse edits ([`Delta::inverse`]) through the same path.
+//!
+//! Every mutation lands in the **journal** in an *expanded*, exactly
+//! invertible form: a `DelObj` of an object that still carries links or
+//! non-default attributes is journaled as explicit `DelLink` /
+//! `SetAttr`-to-default ops followed by the bare deletion, so
+//! [`Delta::inverse`] restores the object perfectly. Replaying
+//! [`SyncSession::journal_script`] over the seed tuple reproduces the
+//! live tuple byte for byte.
+//!
+//! Outcome contract: a session is an *optimization*, never a semantic
+//! fork. [`SyncSession::repair`] returns exactly what the stateless
+//! [`Transformation::enforce_with`] would return on the session's
+//! current tuple — the warm path changes wall-clock time, not results.
+
+use crate::{CoreError, EngineKind, Shape, Transformation};
+use mmt_check::{CheckOptions, CheckReport, DeltaChecker, DeltaError};
+use mmt_deps::{DomIdx, DomSet};
+use mmt_dist::{Delta, EditOp};
+use mmt_enforce::search::{fingerprint_step, state_fingerprint};
+use mmt_enforce::{RepairEngine, RepairError, RepairOptions, SatEngine, SearchEngine};
+use mmt_model::Model;
+
+fn delta_core_err(e: DeltaError) -> CoreError {
+    match e {
+        DeltaError::Check(e) => CoreError::Check(e),
+        DeltaError::Eval(e) => CoreError::Eval(e),
+        DeltaError::Model(e) => CoreError::Model(e),
+    }
+}
+
+/// Options a session is opened with.
+#[derive(Clone, Debug)]
+pub struct SessionOptions {
+    /// Engine [`SyncSession::repair`] runs. [`EngineKind::Search`] (the
+    /// default) exploits the warm checker as a pre-warmed search root;
+    /// [`EngineKind::Sat`] re-grounds from the live tuple (CNF has no
+    /// incremental state to reuse).
+    pub engine: EngineKind,
+    /// Repair options threaded through to the engine.
+    pub repair: RepairOptions,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            engine: EngineKind::Search,
+            repair: RepairOptions::default(),
+        }
+    }
+}
+
+/// What one journal entry records.
+#[derive(Clone, Debug)]
+pub enum JournalKind {
+    /// One [`SyncSession::apply`] / [`SyncSession::apply_script`] call.
+    Edit,
+    /// One auto-applied [`SyncSession::repair`].
+    Repair {
+        /// The shape the repair ran under.
+        shape: Shape,
+        /// Its weighted least-change cost.
+        cost: u64,
+    },
+}
+
+/// One journaled session action: per-model edit scripts in expanded,
+/// exactly invertible form (deletions never swallow structure).
+#[derive(Clone, Debug)]
+pub struct JournalEntry {
+    /// Edit or repair.
+    pub kind: JournalKind,
+    /// Per-model scripts, in model-space order (empty for untouched
+    /// models).
+    pub deltas: Vec<Delta>,
+}
+
+/// The session's consistency status, read from the warm cache — no
+/// evaluation happens to produce one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SyncStatus {
+    /// True iff every directional check currently holds.
+    pub consistent: bool,
+    /// Violating universal bindings across all checks (uncapped).
+    pub violations: usize,
+}
+
+/// A successful [`SyncSession::repair`]: the least-change scripts, as
+/// returned by the engine, already applied to the session.
+#[derive(Clone, Debug)]
+pub struct SyncRepair {
+    /// Total weighted distance of the repair.
+    pub cost: u64,
+    /// Per-model repair scripts (engine form, not journal-expanded).
+    pub deltas: Vec<Delta>,
+}
+
+/// A long-lived synchronization session over one model tuple: owns the
+/// warm incremental checker, the commutative state fingerprint, and the
+/// edit journal. See the [module docs](self) for the design.
+///
+/// ```
+/// use mmt_core::{Shape, SyncSession, Transformation};
+/// use mmt_deps::DomIdx;
+/// use mmt_dist::EditOp;
+/// use mmt_gen::{feature_workload, FeatureSpec, CF_METAMODEL, FM_METAMODEL};
+/// use mmt_model::{ObjId, Value};
+///
+/// let t = Transformation::from_sources(
+///     &mmt_gen::transformation_source(2),
+///     &[CF_METAMODEL, FM_METAMODEL],
+/// ).unwrap();
+/// let w = feature_workload(FeatureSpec::default());
+///
+/// // One cold start; everything after is O(edit).
+/// let mut session = t.session(&w.models).unwrap();
+/// assert!(session.status().consistent);
+///
+/// // Drift: add a fresh mandatory feature to the feature model.
+/// let fm = &w.fm;
+/// let feature = fm.class_named("Feature").unwrap();
+/// let name = fm.attr_of(feature, mmt_model::Sym::new("name")).unwrap();
+/// let mand = fm.attr_of(feature, mmt_model::Sym::new("mandatory")).unwrap();
+/// let fm_idx = DomIdx(2);
+/// let id = ObjId(session.models()[2].id_bound() as u32);
+/// session.apply(fm_idx, EditOp::AddObj { id, class: feature }).unwrap();
+/// session.apply(fm_idx, EditOp::SetAttr {
+///     id, attr: name, value: Value::str("brakes"), old: Value::str(""),
+/// }).unwrap();
+/// let status = session.apply(fm_idx, EditOp::SetAttr {
+///     id, attr: mand, value: Value::Bool(true), old: Value::Bool(false),
+/// }).unwrap();
+/// assert!(!status.consistent);
+///
+/// // Least-change repair towards the configurations, from the warm state.
+/// let repair = session.repair(Shape::of(&[0, 1])).unwrap().expect("repairable");
+/// assert!(repair.cost > 0);
+/// assert!(session.status().consistent);
+///
+/// // The journal saw 3 edits + 1 repair; roll everything back.
+/// assert_eq!(session.journal().len(), 4);
+/// session.rollback_all().unwrap();
+/// assert!(session.status().consistent);
+/// assert!(session.models()[2].graph_eq(&w.models[2]));
+/// ```
+pub struct SyncSession<'t> {
+    t: &'t Transformation,
+    checker: DeltaChecker<'t>,
+    journal: Vec<JournalEntry>,
+    fp: u64,
+    opts: SessionOptions,
+}
+
+impl<'t> SyncSession<'t> {
+    /// Opens a session over `models` (cloned; the session owns its
+    /// tuple) with default [`SessionOptions`]. This is the one cold
+    /// start: the initial full consistency check runs here.
+    pub fn new(t: &'t Transformation, models: &[Model]) -> Result<SyncSession<'t>, CoreError> {
+        SyncSession::with_options(t, models, SessionOptions::default())
+    }
+
+    /// As [`SyncSession::new`] with explicit options.
+    pub fn with_options(
+        t: &'t Transformation,
+        models: &[Model],
+        opts: SessionOptions,
+    ) -> Result<SyncSession<'t>, CoreError> {
+        let check_opts = CheckOptions {
+            memoize: true,
+            max_violations: usize::MAX,
+        };
+        let checker =
+            DeltaChecker::with_options(t.hir(), models, check_opts).map_err(delta_core_err)?;
+        let fp = state_fingerprint(checker.models(), DomSet::full(t.arity()));
+        Ok(SyncSession {
+            t,
+            checker,
+            journal: Vec::new(),
+            fp,
+            opts,
+        })
+    }
+
+    /// The transformation this session synchronizes against.
+    pub fn transformation(&self) -> &'t Transformation {
+        self.t
+    }
+
+    /// The live model tuple, in model-space order.
+    pub fn models(&self) -> &[Model] {
+        self.checker.models()
+    }
+
+    /// The journal: one entry per effective [`SyncSession::apply`],
+    /// [`SyncSession::apply_script`], or [`SyncSession::repair`] (no-op
+    /// actions and cost-0 repairs are not journaled).
+    pub fn journal(&self) -> &[JournalEntry] {
+        &self.journal
+    }
+
+    /// The session's commutative state fingerprint over the whole
+    /// tuple — maintained incrementally in O(touched objects) per edit;
+    /// always equal to
+    /// [`state_fingerprint`]`(self.models(), DomSet::full(arity))`.
+    /// Server layers use it as a cheap state-identity token (cache keys,
+    /// optimistic-concurrency checks).
+    pub fn fingerprint(&self) -> u64 {
+        self.fp
+    }
+
+    /// The warm checker itself — a read-only view for callers that want
+    /// the cached match state (e.g. to fork their own search roots).
+    pub fn checker(&self) -> &DeltaChecker<'t> {
+        &self.checker
+    }
+
+    /// Current consistency status, from the warm cache. O(match state),
+    /// no evaluation.
+    pub fn status(&self) -> SyncStatus {
+        SyncStatus {
+            consistent: self.checker.consistent(),
+            violations: self.checker.violation_count(),
+        }
+    }
+
+    /// The full [`CheckReport`], assembled from the warm cache — no
+    /// re-checking.
+    pub fn report(&self) -> CheckReport {
+        self.checker.report()
+    }
+
+    /// Applies one edit to the model at `model`: the tuple changes, the
+    /// incremental oracle re-establishes consistency status in
+    /// O(|edit|), and the (expanded) edit is journaled. No-op edits
+    /// (setting an attribute to its current value, re-adding a present
+    /// link, removing an absent one) change nothing and are not
+    /// journaled.
+    ///
+    /// On [`CoreError::Model`] the session is unchanged; on
+    /// [`CoreError::Eval`] the checker is poisoned and the session must
+    /// be reopened.
+    pub fn apply(&mut self, model: DomIdx, op: EditOp) -> Result<SyncStatus, CoreError> {
+        let mut deltas = vec![Delta::new(); self.t.arity()];
+        let result = self.apply_into(model, &op, &mut deltas);
+        self.commit_entry(JournalKind::Edit, deltas);
+        result.map(|()| self.status())
+    }
+
+    /// Applies a whole edit script to the model at `model`
+    /// ([`SyncSession::apply`] per op, in script order) as **one**
+    /// journal entry — one [`SyncSession::rollback`] step undoes the
+    /// whole script. If an op fails midway, the ops already applied stay
+    /// journaled (so they remain rollback-able) and the error is
+    /// returned.
+    pub fn apply_script(&mut self, model: DomIdx, delta: &Delta) -> Result<SyncStatus, CoreError> {
+        let mut deltas = vec![Delta::new(); self.t.arity()];
+        let mut result = Ok(());
+        for op in delta.ops() {
+            result = self.apply_into(model, op, &mut deltas);
+            if result.is_err() {
+                break;
+            }
+        }
+        self.commit_entry(JournalKind::Edit, deltas);
+        result.map(|()| self.status())
+    }
+
+    /// Runs a least-change repair under `shape` from the **warm**
+    /// checker state, auto-applies the repair scripts to the session,
+    /// and journals them (one entry). Returns `None` — journaling
+    /// nothing — when no repair exists within the engine's bounds.
+    ///
+    /// The outcome (cost, scripts, resulting tuple) is exactly what the
+    /// stateless [`Transformation::enforce_with`] would produce for the
+    /// session's current tuple with the session's options; a consistent
+    /// tuple short-circuits to a cost-0 repair without running any
+    /// engine.
+    pub fn repair(&mut self, shape: Shape) -> Result<Option<SyncRepair>, CoreError> {
+        let targets = shape.targets();
+        if targets.is_empty() {
+            return Err(CoreError::Repair(RepairError::NoTargets));
+        }
+        if self.checker.consistent() {
+            return Ok(Some(SyncRepair {
+                cost: 0,
+                deltas: vec![Delta::new(); self.t.arity()],
+            }));
+        }
+        let outcome = match self.opts.engine {
+            EngineKind::Search => {
+                SearchEngine::new(self.opts.repair.clone()).repair_warm(&self.checker, targets)
+            }
+            EngineKind::Sat => {
+                SatEngine::new(self.opts.repair.clone()).repair_warm(&self.checker, targets)
+            }
+        }
+        .map_err(CoreError::Repair)?;
+        let Some(out) = outcome else {
+            return Ok(None);
+        };
+        let mut deltas = vec![Delta::new(); self.t.arity()];
+        let mut result = Ok(());
+        'models: for (i, script) in out.deltas.iter().enumerate() {
+            for op in script.ops() {
+                result = self.apply_into(DomIdx(i as u8), op, &mut deltas);
+                if result.is_err() {
+                    break 'models;
+                }
+            }
+        }
+        self.commit_entry(
+            JournalKind::Repair {
+                shape,
+                cost: out.cost,
+            },
+            deltas,
+        );
+        result?;
+        debug_assert!(self.checker.consistent(), "repair left violations behind");
+        Ok(Some(SyncRepair {
+            cost: out.cost,
+            deltas: out.deltas,
+        }))
+    }
+
+    /// Undoes the last `n` journal entries (saturating at the journal
+    /// length) by replaying exact inverse edits through the incremental
+    /// path. Returns how many entries were undone. `rollback` of
+    /// everything restores the seed tuple's object graph exactly.
+    pub fn rollback(&mut self, n: usize) -> Result<usize, CoreError> {
+        let n = n.min(self.journal.len());
+        for _ in 0..n {
+            let entry = self.journal.pop().expect("n is bounded by the length");
+            for (i, delta) in entry.deltas.iter().enumerate() {
+                let model = DomIdx(i as u8);
+                for op in delta.inverse().ops() {
+                    let next = fingerprint_step(self.checker.models(), self.fp, model, op);
+                    self.checker.apply(model, op).map_err(delta_core_err)?;
+                    if let Some(next) = next {
+                        self.fp = next;
+                    }
+                }
+            }
+        }
+        Ok(n)
+    }
+
+    /// Undoes the whole journal ([`SyncSession::rollback`] of its
+    /// length): the session returns to its seed tuple.
+    pub fn rollback_all(&mut self) -> Result<usize, CoreError> {
+        self.rollback(self.journal.len())
+    }
+
+    /// Flattens the journal into one per-model script, in entry order.
+    /// Applying slot `i` to the seed tuple's model `i` reproduces the
+    /// live model byte for byte — the replay invariant the differential
+    /// suite checks.
+    pub fn journal_script(&self) -> Vec<Delta> {
+        let mut out = vec![Delta::new(); self.t.arity()];
+        for entry in &self.journal {
+            for (i, delta) in entry.deltas.iter().enumerate() {
+                for &op in delta.ops() {
+                    out[i].push(op);
+                }
+            }
+        }
+        out
+    }
+
+    /// Pushes a journal entry unless it is empty (pure no-op action).
+    fn commit_entry(&mut self, kind: JournalKind, deltas: Vec<Delta>) {
+        if deltas.iter().any(|d| !d.is_empty()) {
+            self.journal.push(JournalEntry { kind, deltas });
+        }
+    }
+
+    /// Applies one op in expanded form: fingerprint advanced, checker
+    /// updated, effective ops recorded into `entry`. Ops that fail leave
+    /// the session unchanged and unrecorded.
+    fn apply_into(
+        &mut self,
+        model: DomIdx,
+        op: &EditOp,
+        entry: &mut [Delta],
+    ) -> Result<(), CoreError> {
+        let m = model.index();
+        assert!(m < self.t.arity(), "model index out of range");
+        for e in expand_op(&self.checker.models()[m], op) {
+            let next = fingerprint_step(self.checker.models(), self.fp, model, &e);
+            self.checker.apply(model, &e).map_err(delta_core_err)?;
+            if let Some(next) = next {
+                self.fp = next;
+            }
+            entry[m].push(e);
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for SyncSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyncSession")
+            .field("arity", &self.t.arity())
+            .field("consistent", &self.checker.consistent())
+            .field("journal_len", &self.journal.len())
+            .field("fingerprint", &self.fp)
+            .finish()
+    }
+}
+
+/// Expands one op into its journal form against the pre-edit model:
+///
+/// * no-op edits expand to nothing;
+/// * `SetAttr` is normalized so `old` is the *actual* current value
+///   (exact inversion never trusts the caller's claim);
+/// * `DelObj` of an object still carrying links or non-default
+///   attributes becomes explicit `DelLink`s (incoming then outgoing)
+///   and `SetAttr`-to-default ops followed by the bare deletion, so the
+///   whole expansion inverts exactly op by op;
+/// * invalid ops (missing objects, …) pass through unchanged — the
+///   checker's own application surfaces the error.
+fn expand_op(m: &Model, op: &EditOp) -> Vec<EditOp> {
+    match *op {
+        EditOp::SetAttr {
+            id, attr, value, ..
+        } => match m.attr(id, attr) {
+            Ok(cur) if cur == value => Vec::new(),
+            Ok(cur) => vec![EditOp::SetAttr {
+                id,
+                attr,
+                value,
+                old: cur,
+            }],
+            Err(_) => vec![*op],
+        },
+        EditOp::AddLink { src, r, dst } => {
+            if m.contains(src) && m.contains(dst) && m.has_link(src, r, dst) {
+                Vec::new()
+            } else {
+                vec![*op]
+            }
+        }
+        EditOp::DelLink { src, r, dst } => {
+            if m.contains(src) && m.contains(dst) && !m.has_link(src, r, dst) {
+                Vec::new()
+            } else {
+                vec![*op]
+            }
+        }
+        EditOp::DelObj { id, .. } => {
+            let Ok(class) = m.class_of(id) else {
+                return vec![*op]; // missing object: let the checker error
+            };
+            let meta = m.metamodel();
+            let mut out = Vec::new();
+            // Incoming links (the ones deletion would scrub).
+            for (oid, obj) in m.objects() {
+                if oid == id {
+                    continue;
+                }
+                for (slot, &r) in meta.class(obj.class).all_refs.iter().enumerate() {
+                    for &dst in obj.refs[slot].iter().filter(|&&d| d == id) {
+                        out.push(EditOp::DelLink { src: oid, r, dst });
+                    }
+                }
+            }
+            // Outgoing links and non-default attributes.
+            let obj = m.get(id).expect("class_of succeeded");
+            for (slot, &r) in meta.class(class).all_refs.iter().enumerate() {
+                for &dst in &obj.refs[slot] {
+                    out.push(EditOp::DelLink { src: id, r, dst });
+                }
+            }
+            let defaults = meta.default_attrs(class);
+            for (slot, &attr) in meta.class(class).all_attrs.iter().enumerate() {
+                if obj.attrs[slot] != defaults[slot] {
+                    out.push(EditOp::SetAttr {
+                        id,
+                        attr,
+                        value: defaults[slot],
+                        old: obj.attrs[slot],
+                    });
+                }
+            }
+            out.push(EditOp::DelObj { id, class });
+            out
+        }
+        EditOp::AddObj { .. } => vec![*op],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_gen::{feature_workload, inject, FeatureSpec, Injection};
+    use mmt_model::text::print_model;
+    use mmt_model::{ObjId, Sym, Value};
+
+    fn fixture() -> (Transformation, mmt_gen::FeatureWorkload) {
+        let t = Transformation::from_sources(
+            &mmt_gen::transformation_source(2),
+            &[mmt_gen::CF_METAMODEL, mmt_gen::FM_METAMODEL],
+        )
+        .unwrap();
+        let w = feature_workload(FeatureSpec {
+            n_features: 5,
+            ..FeatureSpec::default()
+        });
+        (t, w)
+    }
+
+    #[test]
+    fn status_reads_cache_without_evaluation() {
+        let (t, w) = fixture();
+        let session = t.session(&w.models).unwrap();
+        assert!(session.status().consistent);
+        assert_eq!(session.status().violations, 0);
+        assert!(session.report().consistent());
+        // The initial check is the only evaluation that happened.
+        assert_eq!(session.checker().delta_stats().edits, 0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_recomputation() {
+        let (t, w) = fixture();
+        let mut session = t.session(&w.models).unwrap();
+        let full = DomSet::full(t.arity());
+        assert_eq!(
+            session.fingerprint(),
+            state_fingerprint(session.models(), full)
+        );
+        let fm = w.fm.class_named("Feature").unwrap();
+        let name = w.fm.attr_of(fm, Sym::new("name")).unwrap();
+        let id = ObjId(session.models()[2].id_bound() as u32);
+        session
+            .apply(DomIdx(2), EditOp::AddObj { id, class: fm })
+            .unwrap();
+        session
+            .apply(
+                DomIdx(2),
+                EditOp::SetAttr {
+                    id,
+                    attr: name,
+                    value: Value::str("x"),
+                    old: Value::str(""),
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            session.fingerprint(),
+            state_fingerprint(session.models(), full)
+        );
+        session.rollback_all().unwrap();
+        assert_eq!(
+            session.fingerprint(),
+            state_fingerprint(session.models(), full)
+        );
+    }
+
+    #[test]
+    fn noop_edits_are_not_journaled() {
+        let (t, w) = fixture();
+        let mut session = t.session(&w.models).unwrap();
+        let fm = w.fm.class_named("Feature").unwrap();
+        let mand = w.fm.attr_of(fm, Sym::new("mandatory")).unwrap();
+        let cur = session.models()[2].attr(ObjId(0), mand).unwrap();
+        session
+            .apply(
+                DomIdx(2),
+                EditOp::SetAttr {
+                    id: ObjId(0),
+                    attr: mand,
+                    value: cur,
+                    old: cur,
+                },
+            )
+            .unwrap();
+        assert!(session.journal().is_empty());
+    }
+
+    #[test]
+    fn failed_edit_leaves_session_unchanged() {
+        let (t, w) = fixture();
+        let mut session = t.session(&w.models).unwrap();
+        let fm = w.fm.class_named("Feature").unwrap();
+        let before_fp = session.fingerprint();
+        let err = session.apply(
+            DomIdx(2),
+            EditOp::DelObj {
+                id: ObjId(999),
+                class: fm,
+            },
+        );
+        assert!(matches!(err, Err(CoreError::Model(_))));
+        assert!(session.journal().is_empty());
+        assert_eq!(session.fingerprint(), before_fp);
+        assert!(session.models()[2].graph_eq(&w.models[2]));
+    }
+
+    #[test]
+    fn repair_restores_consistency_and_journals() {
+        let (t, mut w) = fixture();
+        let seed = w.models.clone();
+        let mut session = t.session(&w.models).unwrap();
+        inject(&mut w, Injection::NewMandatoryInFm);
+        // Mirror the injection as session edits.
+        let d = Delta::between(&seed[2], &w.models[2]).unwrap();
+        let status = session.apply_script(DomIdx(2), &d).unwrap();
+        assert!(!status.consistent);
+        let repair = session
+            .repair(Shape::of(&[0, 1]))
+            .unwrap()
+            .expect("repairable");
+        assert!(repair.cost > 0);
+        assert!(session.status().consistent);
+        assert_eq!(session.journal().len(), 2);
+        assert!(matches!(
+            session.journal()[1].kind,
+            JournalKind::Repair { cost, .. } if cost == repair.cost
+        ));
+        // Cost-0 repair on the now-consistent tuple journals nothing.
+        let zero = session.repair(Shape::of(&[0, 1])).unwrap().unwrap();
+        assert_eq!(zero.cost, 0);
+        assert_eq!(session.journal().len(), 2);
+        // Roll the repair and the edits back: the seed graph returns.
+        session.rollback_all().unwrap();
+        for (live, orig) in session.models().iter().zip(&seed) {
+            assert_eq!(print_model(live), print_model(orig));
+        }
+    }
+
+    #[test]
+    fn unrepairable_shape_returns_none_and_journals_nothing() {
+        let (t, mut w) = fixture();
+        let seed = w.models.clone();
+        let mut session = t.session(&w.models).unwrap();
+        inject(&mut w, Injection::NewMandatoryInFm);
+        let d = Delta::between(&seed[2], &w.models[2]).unwrap();
+        session.apply_script(DomIdx(2), &d).unwrap();
+        let journal_len = session.journal().len();
+        let out = session.repair(Shape::towards(0)).unwrap();
+        assert!(out.is_none());
+        assert_eq!(session.journal().len(), journal_len);
+        // And the empty shape errors like the engines do.
+        assert!(matches!(
+            session.repair(Shape(DomSet::EMPTY)),
+            Err(CoreError::Repair(RepairError::NoTargets))
+        ));
+    }
+
+    #[test]
+    fn partial_rollback_pops_entries_in_reverse() {
+        let (t, w) = fixture();
+        let mut session = t.session(&w.models).unwrap();
+        let cf = w.cf.class_named("Feature").unwrap();
+        let name = w.cf.attr_of(cf, Sym::new("name")).unwrap();
+        let id = ObjId(session.models()[0].id_bound() as u32);
+        session
+            .apply(DomIdx(0), EditOp::AddObj { id, class: cf })
+            .unwrap();
+        let mid = session.models()[0].clone();
+        session
+            .apply(
+                DomIdx(0),
+                EditOp::SetAttr {
+                    id,
+                    attr: name,
+                    value: Value::str("late"),
+                    old: Value::str(""),
+                },
+            )
+            .unwrap();
+        assert_eq!(session.rollback(1).unwrap(), 1);
+        assert_eq!(print_model(&session.models()[0]), print_model(&mid));
+        assert_eq!(session.rollback(5).unwrap(), 1); // saturates
+        assert!(session.models()[0].graph_eq(&w.models[0]));
+        assert_eq!(session.rollback(1).unwrap(), 0);
+    }
+
+    #[test]
+    fn delobj_journal_entries_are_expanded() {
+        let (t, w) = fixture();
+        let mut session = t.session(&w.models).unwrap();
+        let fm = w.fm.class_named("Feature").unwrap();
+        // Delete a feature that carries a non-default name attribute.
+        session
+            .apply(
+                DomIdx(2),
+                EditOp::DelObj {
+                    id: ObjId(0),
+                    class: fm,
+                },
+            )
+            .unwrap();
+        let entry = &session.journal()[0];
+        let ops = entry.deltas[2].ops();
+        assert!(ops.len() >= 2, "expanded: attrs reset before deletion");
+        assert!(matches!(ops[ops.len() - 1], EditOp::DelObj { .. }));
+        assert!(ops[..ops.len() - 1]
+            .iter()
+            .all(|op| matches!(op, EditOp::SetAttr { .. } | EditOp::DelLink { .. })));
+        // And the expansion inverts exactly.
+        session.rollback_all().unwrap();
+        assert_eq!(print_model(&session.models()[2]), print_model(&w.models[2]));
+    }
+}

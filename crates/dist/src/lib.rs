@@ -193,6 +193,36 @@ impl EditOp {
     pub fn is_destructive_only(&self) -> bool {
         matches!(self, EditOp::DelObj { .. } | EditOp::DelLink { .. })
     }
+
+    /// The edit that undoes this one: `AddObj ↔ DelObj`, `AddLink ↔
+    /// DelLink`, and `SetAttr` with `value`/`old` swapped.
+    ///
+    /// Exact for every op except `DelObj` of an object carrying
+    /// non-default attributes or links: deletion scrubs those for free,
+    /// and a single `AddObj` cannot restore them. Callers that need
+    /// exact undo of arbitrary deletions must *expand* the deletion
+    /// first (explicit `DelLink`/`SetAttr`-to-default ops before the
+    /// `DelObj`), which is what the session journal in `mmt-core` does —
+    /// its entries invert exactly through [`Delta::inverse`].
+    pub fn inverse(&self) -> EditOp {
+        match *self {
+            EditOp::AddObj { id, class } => EditOp::DelObj { id, class },
+            EditOp::DelObj { id, class } => EditOp::AddObj { id, class },
+            EditOp::SetAttr {
+                id,
+                attr,
+                value,
+                old,
+            } => EditOp::SetAttr {
+                id,
+                attr,
+                value: old,
+                old: value,
+            },
+            EditOp::AddLink { src, r, dst } => EditOp::DelLink { src, r, dst },
+            EditOp::DelLink { src, r, dst } => EditOp::AddLink { src, r, dst },
+        }
+    }
 }
 
 impl fmt::Display for EditOp {
@@ -439,10 +469,7 @@ impl Delta {
         // Additions: live in new, dead (or re-classed) in old. A fresh
         // object pays only for attributes off the class default.
         for (id, n) in new.objects() {
-            let fresh = match old.get(id) {
-                Some(o) if o.class == n.class => false,
-                _ => true,
-            };
+            let fresh = !matches!(old.get(id), Some(o) if o.class == n.class);
             if fresh {
                 add_objs.push(EditOp::AddObj { id, class: n.class });
                 let defaults = meta.default_attrs(n.class);
@@ -556,6 +583,24 @@ impl Delta {
     /// graph-edit distance when the script came from [`Delta::between`].
     pub fn cost(&self, cost: &CostModel) -> u64 {
         self.ops.iter().map(|op| cost.of(op)).sum()
+    }
+
+    /// The script that undoes this one: each op inverted
+    /// ([`EditOp::inverse`]), in reverse order, so that
+    /// `apply(inverse(d), apply(d, m))` restores `m`.
+    ///
+    /// Exactness inherits [`EditOp::inverse`]'s caveat: a `DelObj` whose
+    /// object still carried attributes or links at deletion time
+    /// (possible in [`Delta::between`] scripts, where scrubbed structure
+    /// rides the deletion for free) inverts to a bare `AddObj` and loses
+    /// that structure. Scripts built op-by-op against a live model with
+    /// deletions expanded — the form the `mmt-core` session journal
+    /// stores — invert exactly; for arbitrary diffs, use
+    /// `Delta::between(new, old)` instead.
+    pub fn inverse(&self) -> Delta {
+        Delta {
+            ops: self.ops.iter().rev().map(EditOp::inverse).collect(),
+        }
     }
 
     /// The distinct objects whose slots this script writes, ascending
@@ -987,6 +1032,138 @@ mod tests {
         d.push(link);
         d.push(del);
         assert_eq!(d.touched_objs(), vec![ObjId(1), id]);
+    }
+
+    #[test]
+    fn edit_op_inverse_round_trips() {
+        let id = ObjId(1);
+        let class = ClassId(0);
+        let attr = AttrId(0);
+        let r = RefId(0);
+        let ops = [
+            EditOp::AddObj { id, class },
+            EditOp::DelObj { id, class },
+            EditOp::SetAttr {
+                id,
+                attr,
+                value: Value::str("new"),
+                old: Value::str("old"),
+            },
+            EditOp::AddLink {
+                src: id,
+                r,
+                dst: ObjId(2),
+            },
+            EditOp::DelLink {
+                src: id,
+                r,
+                dst: ObjId(2),
+            },
+        ];
+        for op in ops {
+            // Inversion is an involution.
+            assert_eq!(op.inverse().inverse(), op);
+        }
+        assert_eq!(
+            EditOp::AddObj { id, class }.inverse(),
+            EditOp::DelObj { id, class }
+        );
+        let set = EditOp::SetAttr {
+            id,
+            attr,
+            value: Value::str("new"),
+            old: Value::str("old"),
+        };
+        match set.inverse() {
+            EditOp::SetAttr { value, old, .. } => {
+                assert_eq!(value, Value::str("old"));
+                assert_eq!(old, Value::str("new"));
+            }
+            op => panic!("unexpected inverse {op}"),
+        }
+    }
+
+    #[test]
+    fn delta_inverse_undoes_expanded_scripts() {
+        // An op-by-op script with the deletion expanded (links and
+        // non-default attrs cleared first): inverse replay restores the
+        // original exactly.
+        let meta = mm();
+        let mut m = Model::new("m", Arc::clone(&meta));
+        let fm = meta.class_named("FeatureModel").unwrap();
+        let features = meta.ref_of(fm, mmt_model::Sym::new("features")).unwrap();
+        let feat_class = meta.class_named("Feature").unwrap();
+        let name = meta
+            .attr_of(feat_class, mmt_model::Sym::new("name"))
+            .unwrap();
+        let root = m.add(fm).unwrap();
+        let f = feature(&mut m, "engine");
+        m.add_link(root, features, f).unwrap();
+
+        let mut d = Delta::new();
+        d.push(EditOp::AddObj {
+            id: ObjId(2),
+            class: feat_class,
+        });
+        d.push(EditOp::SetAttr {
+            id: ObjId(2),
+            attr: name,
+            value: Value::str("gps"),
+            old: Value::str(""),
+        });
+        d.push(EditOp::AddLink {
+            src: root,
+            r: features,
+            dst: ObjId(2),
+        });
+        // Expanded deletion of `f`: unlink + reset attr + delete.
+        d.push(EditOp::DelLink {
+            src: root,
+            r: features,
+            dst: f,
+        });
+        d.push(EditOp::SetAttr {
+            id: f,
+            attr: name,
+            value: Value::str(""),
+            old: Value::str("engine"),
+        });
+        d.push(EditOp::DelObj {
+            id: f,
+            class: feat_class,
+        });
+
+        let mut edited = m.clone();
+        d.apply(&mut edited).unwrap();
+        assert!(!edited.contains(f));
+        let inv = d.inverse();
+        assert_eq!(inv.len(), d.len());
+        inv.apply(&mut edited).unwrap();
+        assert!(edited.graph_eq(&m), "inverse replay:\n{inv}");
+        // Involution at the script level.
+        assert_eq!(inv.inverse(), d);
+    }
+
+    /// The documented caveat: inverting a `between` script whose
+    /// `DelObj` swallowed structure is lossy — use `between(new, old)`
+    /// for arbitrary diffs.
+    #[test]
+    fn delta_inverse_is_lossy_on_swallowed_deletions() {
+        let meta = mm();
+        let mut old = Model::new("m", Arc::clone(&meta));
+        let f = feature(&mut old, "engine"); // name off default
+        let mut new = old.clone();
+        new.delete(f).unwrap();
+        let d = Delta::between(&old, &new).unwrap();
+        let mut back = new.clone();
+        d.inverse().apply(&mut back).unwrap();
+        // The object is back, but its name was swallowed by the delete.
+        assert!(back.contains(f));
+        assert!(!back.graph_eq(&old));
+        let exact = Delta::between(&new, &old).unwrap();
+        let mut exact_back = new.clone();
+        exact.apply(&mut exact_back).unwrap();
+        assert!(exact_back.graph_eq(&old));
     }
 
     #[test]

@@ -57,7 +57,7 @@
 
 pub mod search;
 
-use mmt_check::{CheckError, EvalError};
+use mmt_check::{CheckError, DeltaChecker, EvalError};
 use mmt_deps::DomSet;
 use mmt_dist::{CostModel, Delta, TupleCost};
 use mmt_ground::{GroundError, GroundOptions, GroundProblem, Scope};
@@ -111,7 +111,7 @@ pub struct RepairOptions {
     /// detour through longer edit sequences.
     pub violations_per_check: usize,
     /// Search engine: use the incremental
-    /// [`DeltaChecker`](mmt_check::DeltaChecker) oracle (default
+    /// [`DeltaChecker`] oracle (default
     /// `true`). Each search state then carries its parent's checker
     /// state plus one applied edit, making the per-state oracle cost
     /// proportional to the edit instead of the model tuple — ≥5× faster
@@ -336,6 +336,42 @@ pub trait RepairEngine: Sync {
             self.repair(hir, &r.models, r.targets)
         })
     }
+
+    /// Repairs the tuple owned by a **pre-warmed** [`DeltaChecker`] —
+    /// the stateful entry point behind `mmt_core`'s sync sessions.
+    /// Instead of rebuilding the consistency oracle from scratch
+    /// (cold-start cost proportional to the whole tuple), an engine that
+    /// can exploit warm state forks `root` and searches from its cached
+    /// match state.
+    ///
+    /// The outcome contract is strict: `repair_warm(root, targets)`
+    /// returns **exactly** what [`RepairEngine::repair`] would return
+    /// for `(root.hir(), root.models(), targets)` — warmth changes
+    /// wall-clock time, never results. The default implementation
+    /// simply does that cold call (how [`SatEngine`] seeds its
+    /// grounding: from the session's live tuple, since CNF grounding
+    /// has no incremental state to reuse); [`SearchEngine`] overrides it
+    /// to seed the incremental search from the forked root.
+    fn repair_warm(
+        &self,
+        root: &DeltaChecker<'_>,
+        targets: DomSet,
+    ) -> Result<Option<RepairOutcome>, RepairError> {
+        self.repair(root.hir(), root.models(), targets)
+    }
+
+    /// As [`RepairEngine::repair_batch`], but over pre-warmed roots:
+    /// each `(checker, targets)` pair is one independent request, fanned
+    /// across [`RepairEngine::jobs`] workers. Slot `i` is exactly what
+    /// [`RepairEngine::repair_warm`] returns for pair `i`.
+    fn repair_batch_warm<'h>(
+        &self,
+        roots: &[(DeltaChecker<'h>, DomSet)],
+    ) -> Vec<Result<Option<RepairOutcome>, RepairError>> {
+        pooled_map(roots, self.jobs(), |_, (root, targets)| {
+            self.repair_warm(root, *targets)
+        })
+    }
 }
 
 /// The deterministic worker pool shared by [`RepairEngine::repair_batch`]
@@ -472,6 +508,47 @@ impl RepairEngine for SearchEngine {
         });
         pooled_map(requests, self.opts.jobs, |_, r| {
             inner.repair(hir, &r.models, r.targets)
+        })
+    }
+
+    /// Seeds the incremental search from a fork of `root` — no initial
+    /// full check runs, which is the whole point of keeping a session's
+    /// checker warm. With `incremental_oracle: false` the warm state is
+    /// unusable (the scratch oracle re-checks every state from the
+    /// models alone), so the call degrades to a cold
+    /// [`SearchEngine::repair`] over `root.models()` — same outcome,
+    /// cold-start price.
+    fn repair_warm(
+        &self,
+        root: &DeltaChecker<'_>,
+        targets: DomSet,
+    ) -> Result<Option<RepairOutcome>, RepairError> {
+        if targets.is_empty() {
+            return Err(RepairError::NoTargets);
+        }
+        if !self.opts.incremental_oracle {
+            return self.repair(root.hir(), root.models(), targets);
+        }
+        let mut opts = self.opts.clone();
+        opts.tuple = opts
+            .tuple
+            .resolved(root.models().len())
+            .map_err(RepairError::Tuple)?;
+        search::search_from_root(root.fork(), targets, &opts)
+    }
+
+    /// As [`SearchEngine::repair_batch`]: request-level fan-out with
+    /// `jobs = 1` inside each warm search.
+    fn repair_batch_warm<'h>(
+        &self,
+        roots: &[(DeltaChecker<'h>, DomSet)],
+    ) -> Vec<Result<Option<RepairOutcome>, RepairError>> {
+        let inner = SearchEngine::new(RepairOptions {
+            jobs: 1,
+            ..self.opts.clone()
+        });
+        pooled_map(roots, self.opts.jobs, |_, (root, targets)| {
+            inner.repair_warm(root, *targets)
         })
     }
 }

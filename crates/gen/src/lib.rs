@@ -374,6 +374,138 @@ pub fn random_edits(model: &Model, n_edits: usize, seed: u64) -> Vec<EditOp> {
     ops
 }
 
+/// One step of a synchronization-session script (the workload a
+/// `mmt_core` `SyncSession` consumes: drift edits interleaved with
+/// repair checkpoints).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionStep {
+    /// Apply one edit to the model at `model`.
+    Edit {
+        /// The model the edit lands on.
+        model: DomIdx,
+        /// The edit itself.
+        op: EditOp,
+    },
+    /// A repair checkpoint: restore consistency under `targets`.
+    Repair {
+        /// The repair shape's target set.
+        targets: DomSet,
+    },
+}
+
+/// Seeded generator of session scripts with interleaved repair
+/// checkpoints, for differential testing of the stateful sync layer
+/// against the stateless engines.
+///
+/// Steps are generated *against the current tuple*: because an
+/// auto-applied repair rewrites models in ways no offline generator can
+/// predict, the caller feeds the live models back into
+/// [`SessionScriptGen::next_step`] after executing each step. The same
+/// seed over the same executed tuple evolution yields the same script,
+/// so a warm session and a stateless replay driven by the same
+/// generator see identical steps.
+pub struct SessionScriptGen {
+    rng: StdRng,
+    targets: DomSet,
+    repair_every: usize,
+    step: usize,
+}
+
+impl SessionScriptGen {
+    /// A generator whose every `repair_every`-th step is a repair
+    /// checkpoint under `targets` (0 = no checkpoints, edits only).
+    pub fn new(targets: DomSet, repair_every: usize, seed: u64) -> SessionScriptGen {
+        SessionScriptGen {
+            rng: StdRng::seed_from_u64(seed),
+            targets,
+            repair_every,
+            step: 0,
+        }
+    }
+
+    /// The next step, valid against `models` (the live tuple after every
+    /// previous step was executed). Edits are drawn via [`random_edits`]
+    /// from a randomly chosen model; models with no expressible edit are
+    /// skipped.
+    pub fn next_step(&mut self, models: &[Model]) -> SessionStep {
+        self.step += 1;
+        if self.repair_every > 0 && self.step.is_multiple_of(self.repair_every) {
+            return SessionStep::Repair {
+                targets: self.targets,
+            };
+        }
+        for _ in 0..models.len() * 4 {
+            let i = self.rng.gen_range(0..models.len());
+            let seed = self.rng.next_u64();
+            if let Some(op) = random_edits(&models[i], 1, seed).into_iter().next() {
+                return SessionStep::Edit {
+                    model: DomIdx(i as u8),
+                    op,
+                };
+            }
+        }
+        // Nothing editable anywhere (degenerate metamodels): checkpoint.
+        SessionStep::Repair {
+            targets: self.targets,
+        }
+    }
+}
+
+/// Renders one [`SessionStep`] in the `mmt sync` script syntax (see the
+/// CLI), resolving parameter, class, attribute, and reference names
+/// through `hir`.
+pub fn render_step(hir: &Hir, step: &SessionStep) -> String {
+    match step {
+        SessionStep::Repair { targets } => {
+            let names: Vec<String> = targets
+                .iter()
+                .map(|t| hir.models[t.index()].name.resolve())
+                .collect();
+            format!("repair {}", names.join(","))
+        }
+        SessionStep::Edit { model, op } => {
+            let param = hir.models[model.index()].name.resolve();
+            let meta = &hir.models[model.index()].meta;
+            match *op {
+                EditOp::AddObj { id, class } => format!(
+                    "edit {param} add {} @{}",
+                    meta.class(class).name.resolve(),
+                    id.index()
+                ),
+                EditOp::DelObj { id, .. } => format!("edit {param} del @{}", id.index()),
+                EditOp::SetAttr {
+                    id, attr, value, ..
+                } => format!(
+                    "edit {param} set @{}.{} = {}",
+                    id.index(),
+                    meta.attr(attr).name.resolve(),
+                    render_value(value)
+                ),
+                EditOp::AddLink { src, r, dst } => format!(
+                    "edit {param} link @{}.{} @{}",
+                    src.index(),
+                    meta.reference(r).name.resolve(),
+                    dst.index()
+                ),
+                EditOp::DelLink { src, r, dst } => format!(
+                    "edit {param} unlink @{}.{} @{}",
+                    src.index(),
+                    meta.reference(r).name.resolve(),
+                    dst.index()
+                ),
+            }
+        }
+    }
+}
+
+fn render_value(v: Value) -> String {
+    match v {
+        Value::Str(s) => format!("{:?}", s.resolve()),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+    }
+}
+
 /// A random dependency set over `arity` domains (for entailment benches).
 pub fn random_depset(arity: usize, n_deps: usize, seed: u64) -> DepSet {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -508,6 +640,69 @@ mod tests {
         }
         let mut replay = m.clone();
         d.apply(&mut replay).unwrap();
+    }
+
+    #[test]
+    fn session_scripts_interleave_checkpoints_deterministically() {
+        let w = feature_workload(FeatureSpec::default());
+        let targets = DomSet::from_iter([DomIdx(0), DomIdx(1)]);
+        let run = |seed: u64| {
+            let mut gen = SessionScriptGen::new(targets, 4, seed);
+            let mut models = w.models.clone();
+            let mut steps = Vec::new();
+            for _ in 0..12 {
+                let step = gen.next_step(&models);
+                if let SessionStep::Edit { model, op } = &step {
+                    // Execute edits so later steps stay valid.
+                    let mut d = mmt_dist::Delta::new();
+                    d.push(*op);
+                    d.apply(&mut models[model.index()]).unwrap();
+                }
+                steps.push(step);
+            }
+            steps
+        };
+        let a = run(5);
+        assert_eq!(a, run(5), "same seed, same script");
+        // Every 4th step is a checkpoint, the rest are edits.
+        for (i, step) in a.iter().enumerate() {
+            if (i + 1) % 4 == 0 {
+                assert_eq!(*step, SessionStep::Repair { targets }, "step {i}");
+            } else {
+                assert!(matches!(step, SessionStep::Edit { .. }), "step {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn session_steps_render_to_sync_script_syntax() {
+        let w = feature_workload(FeatureSpec::default());
+        let fm_feature = w.fm.class_named("Feature").unwrap();
+        let name =
+            w.fm.attr_of(fm_feature, mmt_model::Sym::new("name"))
+                .unwrap();
+        let add = SessionStep::Edit {
+            model: DomIdx(2),
+            op: EditOp::AddObj {
+                id: ObjId(9),
+                class: fm_feature,
+            },
+        };
+        assert_eq!(render_step(&w.hir, &add), "edit fm add Feature @9");
+        let set = SessionStep::Edit {
+            model: DomIdx(2),
+            op: EditOp::SetAttr {
+                id: ObjId(9),
+                attr: name,
+                value: Value::str("gps"),
+                old: Value::str(""),
+            },
+        };
+        assert_eq!(render_step(&w.hir, &set), "edit fm set @9.name = \"gps\"");
+        let repair = SessionStep::Repair {
+            targets: DomSet::from_iter([DomIdx(0), DomIdx(1)]),
+        };
+        assert_eq!(render_step(&w.hir, &repair), "repair cf1,cf2");
     }
 
     #[test]

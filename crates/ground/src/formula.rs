@@ -335,9 +335,9 @@ mod tests {
         let outs = b.encode_cost_counter(&[(x, 1000)], 3);
         b.solver.add_clause(&[x]);
         // Sum exceeds every bound ≤ 3.
-        for k in 0..=3 {
+        for (k, out) in outs.iter().enumerate().take(4) {
             assert_eq!(
-                b.solver.solve_with(&[outs[k].negate()]),
+                b.solver.solve_with(&[out.negate()]),
                 SatResult::Unsat,
                 "k={k}"
             );

@@ -958,7 +958,7 @@ transformation T(a : M, b : M) {
   }
 }
 "#;
-        let e = resolve(&parse(src).unwrap(), &[mm.clone()]).unwrap_err();
+        let e = resolve(&parse(src).unwrap(), std::slice::from_ref(&mm)).unwrap_err();
         assert!(matches!(e.kind, ResolveErrorKind::Direction(_)));
 
         // Flipping the callee's dependency makes it well-typed.

@@ -722,14 +722,14 @@ mod tests {
                 *h = s.new_var();
             }
         }
-        for p in 0..pigeons {
-            let clause: Vec<Lit> = (0..holes).map(|h| Lit::pos(var[p][h])).collect();
+        for row in &var {
+            let clause: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
             s.add_clause(&clause);
         }
         for h in 0..holes {
-            for p1 in 0..pigeons {
-                for p2 in p1 + 1..pigeons {
-                    s.add_clause(&[Lit::neg(var[p1][h]), Lit::neg(var[p2][h])]);
+            for (i, p1) in var.iter().enumerate() {
+                for p2 in &var[i + 1..] {
+                    s.add_clause(&[Lit::neg(p1[h]), Lit::neg(p2[h])]);
                 }
             }
         }

@@ -1,0 +1,245 @@
+//! Differential and journal property testing of the stateful session
+//! layer (ISSUE 4):
+//!
+//! * **warmth** — [`SyncSession::repair`] must be byte-identical (cost +
+//!   printed models + rendered deltas) to the stateless
+//!   [`Transformation::enforce_with`] on the same tuple, under both
+//!   search oracles and the SAT engine, with `jobs ∈ {1, 2}`;
+//! * **journal replay** — replaying [`SyncSession::journal_script`]
+//!   over the seed tuple reproduces the live tuple byte for byte, and
+//!   `rollback_all` restores the seed exactly (via `Delta::inverse`);
+//! * **fingerprint** — the incrementally maintained session fingerprint
+//!   equals a from-scratch [`state_fingerprint`] at every step.
+
+use mmtf::core::{SessionOptions, Shape, Transformation};
+use mmtf::dist::Delta;
+use mmtf::enforce::search::state_fingerprint;
+use mmtf::enforce::RepairOptions;
+use mmtf::gen::{feature_workload, FeatureSpec, SessionScriptGen, SessionStep};
+use mmtf::model::text::print_model;
+use mmtf::model::Model;
+use mmtf::prelude::{DomSet, EngineKind};
+
+fn fixture(seed: u64) -> (Transformation, Vec<Model>) {
+    let w = feature_workload(FeatureSpec {
+        n_features: 5,
+        k_configs: 2,
+        mandatory_ratio: 0.4,
+        select_prob: 0.4,
+        seed,
+    });
+    let t = Transformation::from_sources(
+        &mmtf::gen::transformation_source(2),
+        &[mmtf::gen::CF_METAMODEL, mmtf::gen::FM_METAMODEL],
+    )
+    .unwrap();
+    (t, w.models)
+}
+
+fn prints(models: &[Model]) -> Vec<String> {
+    models.iter().map(print_model).collect()
+}
+
+fn deltas_text(deltas: &[Delta]) -> Vec<String> {
+    deltas.iter().map(|d| d.to_string()).collect()
+}
+
+/// Drives one session + one stateless mirror through a generated
+/// script, asserting warm ≡ cold at every repair checkpoint.
+fn assert_session_matches_stateless(
+    engine: EngineKind,
+    incremental_oracle: bool,
+    jobs: usize,
+    seed: u64,
+) {
+    let (t, seed_models) = fixture(seed);
+    let repair = RepairOptions {
+        incremental_oracle,
+        jobs,
+        ..RepairOptions::default()
+    };
+    let opts = SessionOptions {
+        engine,
+        repair: repair.clone(),
+    };
+    let mut session = t.session_with(&seed_models, opts).unwrap();
+    let mut stateless: Vec<Model> = seed_models.clone();
+    let targets = DomSet::from_iter([mmtf::deps::DomIdx(0), mmtf::deps::DomIdx(1)]);
+    let mut gen = SessionScriptGen::new(targets, 3, seed.wrapping_mul(31).wrapping_add(7));
+    let full = DomSet::full(t.arity());
+    let ctx = |step: usize| {
+        format!("engine={engine:?} incremental={incremental_oracle} jobs={jobs} seed={seed} step={step}")
+    };
+    for step_no in 0..18 {
+        match gen.next_step(session.models()) {
+            SessionStep::Edit { model, op } => {
+                session.apply(model, op).unwrap();
+                let mut d = Delta::new();
+                d.push(op);
+                d.apply(&mut stateless[model.index()]).unwrap();
+            }
+            SessionStep::Repair { targets } => {
+                let shape = Shape(targets);
+                let warm = session.repair(shape);
+                let cold = t.enforce_with(&stateless, shape, engine, repair.clone());
+                match (warm, cold) {
+                    (Ok(None), Ok(None)) => {}
+                    (Ok(Some(w)), Ok(Some(c))) => {
+                        assert_eq!(w.cost, c.cost, "{}", ctx(step_no));
+                        assert_eq!(
+                            deltas_text(&w.deltas),
+                            deltas_text(&c.deltas),
+                            "{}",
+                            ctx(step_no)
+                        );
+                        assert_eq!(
+                            prints(session.models()),
+                            prints(&c.models),
+                            "{}",
+                            ctx(step_no)
+                        );
+                        stateless = c.models;
+                    }
+                    (Err(w), Err(c)) => {
+                        assert_eq!(w.to_string(), c.to_string(), "{}", ctx(step_no));
+                    }
+                    (w, c) => panic!(
+                        "{}: warm and cold disagree: warm={:?} cold={:?}",
+                        ctx(step_no),
+                        w.map(|o| o.map(|r| r.cost)),
+                        c.map(|o| o.map(|r| r.cost)),
+                    ),
+                }
+            }
+        }
+        // The mirror stayed in lockstep and the fingerprint is exact.
+        assert_eq!(
+            prints(session.models()),
+            prints(&stateless),
+            "{}",
+            ctx(step_no)
+        );
+        assert_eq!(
+            session.fingerprint(),
+            state_fingerprint(session.models(), full),
+            "{}",
+            ctx(step_no)
+        );
+    }
+}
+
+/// The warmth differential, full matrix: both search oracles and the
+/// SAT engine, jobs ∈ {1, 2}.
+#[test]
+fn warm_repair_is_byte_identical_to_stateless_enforce() {
+    for seed in [1u64, 2, 3] {
+        for jobs in [1usize, 2] {
+            assert_session_matches_stateless(EngineKind::Search, true, jobs, seed);
+            assert_session_matches_stateless(EngineKind::Search, false, jobs, seed);
+            assert_session_matches_stateless(EngineKind::Sat, true, jobs, seed);
+        }
+    }
+}
+
+/// More seeds on the hot configuration (warm incremental search).
+#[test]
+fn warm_incremental_search_over_more_seeds() {
+    for seed in [4u64, 5, 6, 7, 8] {
+        assert_session_matches_stateless(EngineKind::Search, true, 1, seed);
+    }
+}
+
+/// Journal replay + rollback: over random scripts with repair
+/// checkpoints, the journal reproduces the live tuple byte for byte
+/// from the seed, and rolling everything back restores the seed.
+#[test]
+fn journal_replays_and_rolls_back_exactly() {
+    for seed in [11u64, 12, 13, 14] {
+        let (t, seed_models) = fixture(seed);
+        let mut session = t.session(&seed_models).unwrap();
+        let targets = DomSet::from_iter([mmtf::deps::DomIdx(0), mmtf::deps::DomIdx(1)]);
+        let mut gen = SessionScriptGen::new(targets, 4, seed);
+        for _ in 0..20 {
+            match gen.next_step(session.models()) {
+                SessionStep::Edit { model, op } => {
+                    session.apply(model, op).unwrap();
+                }
+                SessionStep::Repair { targets } => {
+                    // May be unrepairable within bounds; both outcomes
+                    // are fine for the replay property.
+                    let _ = session.repair(Shape(targets)).unwrap();
+                }
+            }
+        }
+        // Replay the journal over a copy of the seed tuple.
+        let script = session.journal_script();
+        let mut replayed = seed_models.clone();
+        for (m, delta) in replayed.iter_mut().zip(&script) {
+            delta.apply(m).unwrap();
+        }
+        for (i, (r, live)) in replayed.iter().zip(session.models()).enumerate() {
+            assert_eq!(print_model(r), print_model(live), "seed={seed} model {i}");
+            assert_eq!(r.id_bound(), live.id_bound(), "seed={seed} model {i}");
+            assert!(r.graph_eq(live), "seed={seed} model {i}");
+        }
+        // Roll everything back: the seed object graphs return.
+        let entries = session.journal().len();
+        assert_eq!(session.rollback_all().unwrap(), entries);
+        assert!(session.journal().is_empty());
+        for (i, (orig, live)) in seed_models.iter().zip(session.models()).enumerate() {
+            assert_eq!(
+                print_model(orig),
+                print_model(live),
+                "seed={seed} model {i}"
+            );
+            assert!(orig.graph_eq(live), "seed={seed} model {i}");
+        }
+        assert!(session.status().consistent, "seed={seed}");
+    }
+}
+
+/// `repair_batch_warm` over forked session checkers matches per-root
+/// `repair_warm` and the stateless batch, at 1 and 2 workers.
+#[test]
+fn warm_batch_matches_stateless_batch() {
+    use mmtf::enforce::{RepairEngine, SearchEngine};
+    let (t, seed_models) = fixture(21);
+    let targets = DomSet::from_iter([mmtf::deps::DomIdx(0), mmtf::deps::DomIdx(1)]);
+    // Build several drifted sessions (different edit prefixes).
+    let mut roots = Vec::new();
+    let mut tuples = Vec::new();
+    for seed in [31u64, 32, 33, 34] {
+        let mut session = t.session(&seed_models).unwrap();
+        let mut gen = SessionScriptGen::new(targets, 0, seed);
+        for _ in 0..3 {
+            if let SessionStep::Edit { model, op } = gen.next_step(session.models()) {
+                session.apply(model, op).unwrap();
+            }
+        }
+        tuples.push(session.models().to_vec());
+        roots.push((session.checker().fork(), targets));
+    }
+    for jobs in [1usize, 2] {
+        let engine = SearchEngine::new(RepairOptions {
+            jobs,
+            ..RepairOptions::default()
+        });
+        let warm = engine.repair_batch_warm(&roots);
+        for (i, (out, tuple)) in warm.iter().zip(&tuples).enumerate() {
+            let cold = engine.repair(t.hir(), tuple, targets);
+            match (out, &cold) {
+                (Ok(None), Ok(None)) => {}
+                (Ok(Some(w)), Ok(Some(c))) => {
+                    assert_eq!(w.cost, c.cost, "jobs={jobs} root {i}");
+                    assert_eq!(prints(&w.models), prints(&c.models), "jobs={jobs} root {i}");
+                    assert_eq!(
+                        deltas_text(&w.deltas),
+                        deltas_text(&c.deltas),
+                        "jobs={jobs} root {i}"
+                    );
+                }
+                (w, c) => panic!("jobs={jobs} root {i}: {w:?} vs {c:?}"),
+            }
+        }
+    }
+}
