@@ -15,11 +15,11 @@ fn bench_enforce(c: &mut Criterion) {
         let targets = Shape::of(&[0, 1]).targets();
         group.bench_with_input(BenchmarkId::new("search", n), &w, |b, w| {
             let engine = SearchEngine::default();
-            b.iter(|| engine.repair(t.hir(), &w.models, targets).unwrap())
+            b.iter(|| engine.repair(t.hir_arc(), &w.models, targets).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("sat", n), &w, |b, w| {
             let engine = SatEngine::default();
-            b.iter(|| engine.repair(t.hir(), &w.models, targets).unwrap())
+            b.iter(|| engine.repair(t.hir_arc(), &w.models, targets).unwrap())
         });
     }
     group.finish();

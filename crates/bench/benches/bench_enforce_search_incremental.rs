@@ -24,7 +24,7 @@ fn bench_enforce_search_incremental(c: &mut Criterion) {
                     incremental_oracle: incremental,
                     ..RepairOptions::default()
                 });
-                b.iter(|| engine.repair(t.hir(), &w.models, targets).unwrap())
+                b.iter(|| engine.repair(t.hir_arc(), &w.models, targets).unwrap())
             });
         }
     }

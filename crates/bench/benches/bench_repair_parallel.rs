@@ -44,7 +44,7 @@ fn bench_repair_parallel(c: &mut Criterion) {
                 ..RepairOptions::default()
             });
             b.iter(|| {
-                let outs = engine.repair_batch(t.hir(), &requests);
+                let outs = engine.repair_batch(t.hir_arc(), &requests);
                 assert!(outs.iter().all(|o| o.is_ok()));
                 outs.len()
             })
@@ -59,7 +59,7 @@ fn bench_repair_parallel(c: &mut Criterion) {
                 jobs,
                 ..RepairOptions::default()
             });
-            b.iter(|| engine.repair(t.hir(), &single.models, targets).unwrap())
+            b.iter(|| engine.repair(t.hir_arc(), &single.models, targets).unwrap())
         });
     }
     group.finish();

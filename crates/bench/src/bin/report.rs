@@ -366,7 +366,7 @@ fn exp_t6_weighted() {
             ..RepairOptions::default()
         };
         let out = SatEngine::new(opts)
-            .repair(t.hir(), &w.models, Shape::all(3).targets())
+            .repair(t.hir_arc(), &w.models, Shape::all(3).targets())
             .unwrap()
             .expect("repairable");
         let touched: Vec<&str> = ["cf1", "cf2", "fm"]
@@ -402,12 +402,12 @@ fn exp_f3_enforce_scaling() {
         let shape = Shape::of(&[0, 1]);
         let start = Instant::now();
         let a = SearchEngine::default()
-            .repair(t.hir(), &w.models, shape.targets())
+            .repair(t.hir_arc(), &w.models, shape.targets())
             .unwrap();
         let search_ms = start.elapsed().as_secs_f64() * 1e3;
         let start = Instant::now();
         let b = SatEngine::default()
-            .repair(t.hir(), &w.models, shape.targets())
+            .repair(t.hir_arc(), &w.models, shape.targets())
             .unwrap();
         let sat_ms = start.elapsed().as_secs_f64() * 1e3;
         let cost = a.as_ref().map(|o| o.cost);

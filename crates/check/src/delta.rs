@@ -50,7 +50,7 @@
 //! let cf = parse_metamodel("metamodel CF { class Feature { attr name: Str; } }").unwrap();
 //! let fm = parse_metamodel(
 //!     "metamodel FM { class Feature { attr name: Str; attr mandatory: Bool; } }").unwrap();
-//! let hir = parse_and_resolve(r#"
+//! let hir = std::sync::Arc::new(parse_and_resolve(r#"
 //! transformation F(cf1 : CF, fm : FM) {
 //!   top relation Sel {
 //!     n : Str;
@@ -58,7 +58,7 @@
 //!     domain fm  f : Feature { name = n };
 //!     depend cf1 -> fm;
 //!   }
-//! }"#, &[cf.clone(), fm.clone()]).unwrap();
+//! }"#, &[cf.clone(), fm.clone()]).unwrap());
 //! let m_cf = parse_model(r#"model cf1 : CF { f = Feature { name = "engine" } }"#, &cf).unwrap();
 //! let m_fm = parse_model(r#"model fm : FM { f = Feature { name = "gps" } }"#, &fm).unwrap();
 //!
@@ -251,14 +251,18 @@ fn count_violations(matches: &[MatchEntry]) -> usize {
 /// statics — the enforcement search clones one checker per explored
 /// state and applies a single edit to each clone.
 ///
-/// `DeltaChecker` is `Send + Sync`: it owns its tuple, the compiled
-/// statics are immutable behind [`Arc`], and the evaluation stack has no
-/// interior mutability. The enforcement search's parallel frontier
-/// shares a node arena of checkers across worker threads and clones from
-/// it concurrently.
+/// `DeltaChecker` owns its whole world — the model tuple and a shared
+/// handle on the transformation ([`Arc<Hir>`]) — so it is `'static`:
+/// a checker can be moved across threads, parked in a registry, or held
+/// by a long-lived session without pinning any borrowed transformation
+/// on the stack. It is also `Send + Sync`: the compiled statics are
+/// immutable behind [`Arc`], and the evaluation stack has no interior
+/// mutability. The enforcement search's parallel frontier shares a node
+/// arena of checkers across worker threads and clones from it
+/// concurrently.
 #[derive(Clone, Debug)]
-pub struct DeltaChecker<'h> {
-    hir: &'h Hir,
+pub struct DeltaChecker {
+    hir: Arc<Hir>,
     opts: CheckOptions,
     models: Vec<Model>,
     indexes: Vec<ModelIndex>,
@@ -267,10 +271,11 @@ pub struct DeltaChecker<'h> {
     delta_stats: DeltaStats,
 }
 
-impl<'h> DeltaChecker<'h> {
+impl DeltaChecker {
     /// Binds `models` (cloned; the checker owns its tuple) and runs the
-    /// initial full evaluation.
-    pub fn new(hir: &'h Hir, models: &[Model]) -> Result<DeltaChecker<'h>, DeltaError> {
+    /// initial full evaluation. The checker keeps its own handle on the
+    /// shared transformation, so it outlives the caller's borrow.
+    pub fn new(hir: &Arc<Hir>, models: &[Model]) -> Result<DeltaChecker, DeltaError> {
         DeltaChecker::with_options(hir, models, CheckOptions::default())
     }
 
@@ -279,10 +284,10 @@ impl<'h> DeltaChecker<'h> {
     /// *reported*, not the match state — the checker always tracks every
     /// universal binding.
     pub fn with_options(
-        hir: &'h Hir,
+        hir: &Arc<Hir>,
         models: &[Model],
         opts: CheckOptions,
-    ) -> Result<DeltaChecker<'h>, DeltaError> {
+    ) -> Result<DeltaChecker, DeltaError> {
         if models.len() != hir.arity() {
             return Err(CheckError::ModelCountMismatch {
                 expected: hir.arity(),
@@ -319,7 +324,7 @@ impl<'h> DeltaChecker<'h> {
         }
         let eval_stats = ctx.stats();
         Ok(DeltaChecker {
-            hir,
+            hir: Arc::clone(hir),
             opts,
             models,
             indexes,
@@ -335,8 +340,15 @@ impl<'h> DeltaChecker<'h> {
     }
 
     /// The transformation this checker is bound to.
-    pub fn hir(&self) -> &'h Hir {
-        self.hir
+    pub fn hir(&self) -> &Hir {
+        &self.hir
+    }
+
+    /// The shared handle on the transformation — clone it to open
+    /// further checkers (or sessions) over the same specification
+    /// without re-resolving anything.
+    pub fn hir_arc(&self) -> &Arc<Hir> {
+        &self.hir
     }
 
     /// Applies one edit to the model at `model` and re-establishes the
@@ -433,7 +445,7 @@ impl<'h> DeltaChecker<'h> {
         scrubbed: &[RefId],
     ) -> Result<(), DeltaError> {
         let m = model.index();
-        let mut ctx = EvalCtx::new(self.hir, &self.models, &self.indexes, self.opts.memoize);
+        let mut ctx = EvalCtx::new(&self.hir, &self.models, &self.indexes, self.opts.memoize);
         let meta = self.models[m].metamodel();
         let live = &self.models[m];
         for check in &mut self.checks {
@@ -546,7 +558,7 @@ impl<'h> DeltaChecker<'h> {
     /// how the enforcement search obtains a pre-warmed root state
     /// without re-running the initial full check, and how a sync session
     /// hands its live state to a repair engine while keeping its own.
-    pub fn fork(&self) -> DeltaChecker<'h> {
+    pub fn fork(&self) -> DeltaChecker {
         self.clone()
     }
 
@@ -1015,7 +1027,7 @@ transformation F(cf1 : CF, cf2 : CF, fm : FM) {
     /// Asserts the incremental checker and a from-scratch [`Checker`]
     /// agree on the current models: same per-check verdicts and the same
     /// violation multiset (compared order-insensitively).
-    fn assert_agrees(checker: &DeltaChecker<'_>, ctx: &str) {
+    fn assert_agrees(checker: &DeltaChecker, ctx: &str) {
         let opts = CheckOptions {
             memoize: true,
             max_violations: usize::MAX,
@@ -1043,7 +1055,7 @@ transformation F(cf1 : CF, cf2 : CF, fm : FM) {
         assert_eq!(inc.consistent(), scratch.consistent(), "{ctx}");
     }
 
-    fn delta_checker<'h>(hir: &'h Hir, models: &[Model]) -> DeltaChecker<'h> {
+    fn delta_checker(hir: &Arc<Hir>, models: &[Model]) -> DeltaChecker {
         DeltaChecker::with_options(
             hir,
             models,
@@ -1058,7 +1070,7 @@ transformation F(cf1 : CF, cf2 : CF, fm : FM) {
     #[test]
     fn initial_state_matches_scratch_checker() {
         let (cf, fm) = metamodels();
-        let hir = parse_and_resolve(MF_EXT, &[cf.clone(), fm.clone()]).unwrap();
+        let hir = Arc::new(parse_and_resolve(MF_EXT, &[cf.clone(), fm.clone()]).unwrap());
         let models = [
             cf_model(&cf, "cf1", &["engine"]),
             cf_model(&cf, "cf2", &["engine", "gps"]),
@@ -1071,7 +1083,7 @@ transformation F(cf1 : CF, cf2 : CF, fm : FM) {
     #[test]
     fn attribute_edits_track_scratch_checker() {
         let (cf, fm) = metamodels();
-        let hir = parse_and_resolve(MF_EXT, &[cf.clone(), fm.clone()]).unwrap();
+        let hir = Arc::new(parse_and_resolve(MF_EXT, &[cf.clone(), fm.clone()]).unwrap());
         let models = [
             cf_model(&cf, "cf1", &["engine", "gps"]),
             cf_model(&cf, "cf2", &["engine"]),
@@ -1135,7 +1147,7 @@ transformation F(cf1 : CF, cf2 : CF, fm : FM) {
     #[test]
     fn object_edits_track_scratch_checker() {
         let (cf, fm) = metamodels();
-        let hir = parse_and_resolve(MF_EXT, &[cf.clone(), fm.clone()]).unwrap();
+        let hir = Arc::new(parse_and_resolve(MF_EXT, &[cf.clone(), fm.clone()]).unwrap());
         let models = [
             cf_model(&cf, "cf1", &["engine"]),
             cf_model(&cf, "cf2", &["engine"]),
@@ -1216,7 +1228,7 @@ transformation C2T(uml : UML, rdb : RDB) {
   }
 }
 "#;
-        let hir = parse_and_resolve(src, &[uml.clone(), rdb.clone()]).unwrap();
+        let hir = Arc::new(parse_and_resolve(src, &[uml.clone(), rdb.clone()]).unwrap());
         let m_uml = parse_model(
             r#"model u : UML {
                 a1 = Attribute { name = "id" }
@@ -1310,7 +1322,7 @@ transformation F(cf1 : CF, cf2 : CF, fm : FM) {
   }
 }
 "#;
-        let hir = parse_and_resolve(src, &[cf.clone(), fm.clone()]).unwrap();
+        let hir = Arc::new(parse_and_resolve(src, &[cf.clone(), fm.clone()]).unwrap());
         let models = [
             cf_model(&cf, "cf1", &["engine"]),
             cf_model(&cf, "cf2", &[]),
@@ -1338,7 +1350,7 @@ transformation F(cf1 : CF, cf2 : CF, fm : FM) {
     #[test]
     fn noop_edits_touch_nothing() {
         let (cf, fm) = metamodels();
-        let hir = parse_and_resolve(MF_EXT, &[cf.clone(), fm.clone()]).unwrap();
+        let hir = Arc::new(parse_and_resolve(MF_EXT, &[cf.clone(), fm.clone()]).unwrap());
         let models = [
             cf_model(&cf, "cf1", &["engine"]),
             cf_model(&cf, "cf2", &["engine"]),
@@ -1365,7 +1377,7 @@ transformation F(cf1 : CF, cf2 : CF, fm : FM) {
     #[test]
     fn binding_errors_surface_at_construction() {
         let (cf, fm) = metamodels();
-        let hir = parse_and_resolve(MF_EXT, &[cf.clone(), fm.clone()]).unwrap();
+        let hir = Arc::new(parse_and_resolve(MF_EXT, &[cf.clone(), fm.clone()]).unwrap());
         let short = [cf_model(&cf, "cf1", &[])];
         assert!(matches!(
             DeltaChecker::new(&hir, &short),
@@ -1385,7 +1397,7 @@ transformation F(cf1 : CF, cf2 : CF, fm : FM) {
     #[test]
     fn bad_edit_leaves_tuple_unchanged() {
         let (cf, fm) = metamodels();
-        let hir = parse_and_resolve(MF_EXT, &[cf.clone(), fm.clone()]).unwrap();
+        let hir = Arc::new(parse_and_resolve(MF_EXT, &[cf.clone(), fm.clone()]).unwrap());
         let models = [
             cf_model(&cf, "cf1", &["engine"]),
             cf_model(&cf, "cf2", &["engine"]),

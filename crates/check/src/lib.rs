@@ -348,8 +348,10 @@ transformation F(cf1 : CF, cf2 : CF, fm : FM) {
     #[test]
     fn checkers_are_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
+        fn assert_static<T: 'static>() {}
         assert_send_sync::<Checker<'static>>();
-        assert_send_sync::<crate::DeltaChecker<'static>>();
+        assert_send_sync::<crate::DeltaChecker>();
+        assert_static::<crate::DeltaChecker>();
         assert_send_sync::<crate::EvalCtx<'static>>();
         assert_send_sync::<CheckReport>();
     }

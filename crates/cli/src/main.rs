@@ -6,8 +6,11 @@
 //! mmt enforce -t F.qvtr -M CF.mm FM.mm -m ... --targets cf1,cf2 [--engine sat]
 //! mmt repair  -t F.qvtr -M CF.mm FM.mm --batch reqs/ --targets cf1,cf2 --jobs 4
 //! mmt sync    session.mmts -t F.qvtr -M CF.mm FM.mm -m ... [--json]
+//! mmt serve   -t F.qvtr -M CF.mm FM.mm -m ... [--out dir]
 //! mmt deps    -t F.qvtr -M CF.mm FM.mm
 //! ```
+
+mod serve;
 
 use mmt_core::{EngineKind, RepairRequest, SessionOptions, Shape, SyncSession, Transformation};
 use mmt_dist::{EditOp, TupleCost};
@@ -41,6 +44,7 @@ COMMANDS:
   enforce   least-change repair of one tuple under a repair shape
   repair    enforce, or batch-enforce a directory of requests
   sync      drive a stateful session from an edit/repair script
+  serve     serve concurrent sessions over a JSON line protocol on stdio
   deps      print the resolved transformation and its dependency sets
 
 Models are bound to the transformation's parameters in order.
@@ -93,7 +97,8 @@ USAGE:
 
 Opens one warm synchronization session over the model tuple (one cold
 start, then O(|edit|) per command) and executes the script line by
-line. Script commands:
+line. `<script>` may be `-` to read the script from stdin, so sessions
+can be piped. Script commands:
 
   edit <param> add <Class> [@id]        create an object
   edit <param> del @id                  delete an object
@@ -105,12 +110,43 @@ line. Script commands:
   repair <names>                        least-change repair (auto-applied
                                         and journaled)
   rollback <n|all>                      undo the last n journal entries
+  journal                               print the journal as one
+                                        replayable per-model script
   # ...                                 comment
 
 With `--json`, `status` dumps a JSON object instead of text. The repair
 engine defaults to `search` (it reuses the warm state). With
 `--out <dir>` the final tuple is written as `<dir>/<param>.model`.
 Exits 0 when the final state is consistent, 1 otherwise.
+"#;
+
+const USAGE_SERVE: &str = r#"mmt serve — serve concurrent sessions over a JSON line protocol
+
+USAGE:
+  mmt serve -t <spec.qvtr> -M <mm>... -m <model>...
+            [--engine sat|search] [--max-cost <n>] [--weights <w,...>]
+            [--jobs <n>] [--out <dir>]
+
+Loads the transformation once, then reads one JSON request per line
+from stdin and writes one JSON response per line to stdout, serving
+any number of named concurrent sessions (each opened over the seed
+tuple given with -m). Requests:
+
+  {"id":1,"cmd":"open","session":"a"}
+  {"id":2,"cmd":"edit","session":"a","edit":"fm set @0.name = "x""}
+  {"id":3,"cmd":"status","session":"a"}
+  {"id":4,"cmd":"repair","session":"a","targets":"cf1,cf2"}
+  {"id":5,"cmd":"rollback","session":"a","n":2}        (or "n":"all")
+  {"id":6,"cmd":"journal","session":"a"}
+  {"id":7,"cmd":"close","session":"a"}
+
+Responses echo the request id: {"id":1,"ok":true,"result":...} on
+success, {"id":1,"ok":false,"error":"..."} on failure (the loop keeps
+serving). The `edit` string is exactly a `mmt sync` edit line without
+the leading `edit` keyword, and `status`/`journal` results are byte-
+identical to `mmt sync --json` output for the same commands. With
+`--out <dir>`, `close` writes the session's final tuple to
+`<dir>/<session>/<param>.model`. EOF on stdin exits 0.
 "#;
 
 const USAGE_DEPS: &str = r#"mmt deps — print the resolved transformation
@@ -128,6 +164,7 @@ fn usage_for(cmd: &str) -> &'static str {
         "enforce" => USAGE_ENFORCE,
         "repair" => USAGE_REPAIR,
         "sync" => USAGE_SYNC,
+        "serve" => USAGE_SERVE,
         "deps" => USAGE_DEPS,
         _ => USAGE,
     }
@@ -242,8 +279,8 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
             "--json" => p.json = true,
             "--help" | "-h" => p.help = true,
             "--version" | "-V" => p.version = true,
-            other if !other.starts_with('-') && p.script.is_none() => {
-                // Bare positional: the sync script path.
+            other if p.script.is_none() && (!other.starts_with('-') || other == "-") => {
+                // Bare positional: the sync script path (`-` = stdin).
                 p.script = Some(other.to_string());
             }
             other => return Err(format!("unknown flag `{other}`")),
@@ -340,15 +377,30 @@ fn repair_options(t: &Transformation, p: &Parsed) -> Result<RepairOptions, Strin
     Ok(opts)
 }
 
-/// Writes one repaired tuple as `<dir>/<param>.model` files.
+/// Writes one repaired tuple as `<dir>/<param>.model` files, logging
+/// each path. The serve loop uses [`write_models_quiet`] instead —
+/// its stdout is the protocol stream and must stay pure JSON.
 fn write_models(dir: &Path, t: &Transformation, models: &[Model]) -> Result<(), String> {
-    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-    for (param, model) in t.hir().models.iter().zip(models) {
-        let path = dir.join(format!("{}.model", param.name));
-        std::fs::write(&path, print_model(model)).map_err(|e| e.to_string())?;
+    for path in write_models_quiet(dir, t, models)? {
         println!("wrote {}", path.display());
     }
     Ok(())
+}
+
+/// As [`write_models`] without the stdout log; returns the paths.
+fn write_models_quiet(
+    dir: &Path,
+    t: &Transformation,
+    models: &[Model],
+) -> Result<Vec<std::path::PathBuf>, String> {
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let mut out = Vec::new();
+    for (param, model) in t.hir().models.iter().zip(models) {
+        let path = dir.join(format!("{}.model", param.name));
+        std::fs::write(&path, print_model(model)).map_err(|e| e.to_string())?;
+        out.push(path);
+    }
+    Ok(out)
 }
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
@@ -518,6 +570,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             })
         }
         "sync" => run_sync(&p),
+        "serve" => serve::run_serve(&p),
         "deps" => {
             let spec_path = p
                 .spec
@@ -563,7 +616,16 @@ fn run_sync(p: &Parsed) -> Result<ExitCode, String> {
         .as_ref()
         .ok_or_else(|| missing("<script>", "sync"))?
         .clone();
-    let script_src = read(&script_path)?;
+    // `-` reads the script from stdin, so sessions can be piped.
+    let (script_path, script_src) = if script_path == "-" {
+        let mut src = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin(), &mut src)
+            .map_err(|e| format!("<stdin>: {e}"))?;
+        ("<stdin>".to_string(), src)
+    } else {
+        let src = read(&script_path)?;
+        (script_path, src)
+    };
     let (t, models) = load(p, "sync")?;
     if models.len() != t.arity() {
         return Err(format!(
@@ -632,7 +694,7 @@ fn strip_comment(line: &str) -> &str {
 /// Executes one script line against the live session.
 fn exec_sync_line(
     t: &Transformation,
-    session: &mut SyncSession<'_>,
+    session: &mut SyncSession,
     line: &str,
     json: bool,
 ) -> Result<(), String> {
@@ -684,30 +746,63 @@ fn exec_sync_line(
             );
             Ok(())
         }
+        Some("journal") => {
+            if json {
+                println!("{}", journal_json(session));
+            } else {
+                let entries = session.journal().len();
+                println!(
+                    "journal: {entries} entr{}",
+                    if entries == 1 { "y" } else { "ies" }
+                );
+                for (param, delta) in t.hir().models.iter().zip(&session.journal_script()) {
+                    if !delta.is_empty() {
+                        println!("--- {} ---\n{delta}", param.name);
+                    }
+                }
+            }
+            Ok(())
+        }
         Some("edit") => {
-            let param = words.next().ok_or("edit needs a model parameter")?;
-            let model = t
-                .hir()
-                .model_named(param)
-                .ok_or_else(|| format!("unknown model parameter `{param}`"))?;
-            let meta = Arc::clone(&t.hir().models[model.index()].meta);
-            let live = &session.models()[model.index()];
-            // The action tail after `edit <param>`, stripped
-            // positionally — a parameter name that happens to end in a
-            // keyword (`asset`, `reset`, …) must not confuse parsing.
-            let tail = line
+            let spec = line
                 .trim_start()
                 .strip_prefix("edit")
-                .and_then(|s| s.trim_start().strip_prefix(param))
                 .map(str::trim_start)
                 .ok_or("malformed edit line")?;
-            let op = parse_edit_op(&meta, live, tail, &mut words)?;
-            session.apply(model, op).map_err(|e| e.to_string())?;
-            Ok(())
+            apply_session_edit(t, session, spec).map(|_| ())
         }
         Some(other) => Err(format!("unknown sync command `{other}`")),
         None => Ok(()),
     }
+}
+
+/// Applies one edit to a live session from its textual form
+/// `<param> <action...>` — the `mmt sync` edit line without the leading
+/// `edit` keyword, which is also exactly what a `serve` request's
+/// `"edit"` field carries. Returns the post-edit status.
+fn apply_session_edit(
+    t: &Transformation,
+    session: &mut SyncSession,
+    spec: &str,
+) -> Result<mmt_core::SyncStatus, String> {
+    let mut words = spec.split_whitespace();
+    let param = words.next().ok_or("edit needs a model parameter")?;
+    let model = t
+        .hir()
+        .model_named(param)
+        .ok_or_else(|| format!("unknown model parameter `{param}`"))?;
+    let meta = Arc::clone(&t.hir().models[model.index()].meta);
+    let live = &session.models()[model.index()];
+    // The action tail after `<param>`, stripped positionally — a
+    // parameter name that happens to end in a keyword (`asset`,
+    // `reset`, …) must not confuse parsing.
+    let tail = spec
+        .trim_start()
+        .strip_prefix(param)
+        .map(str::trim_start)
+        .ok_or("malformed edit line")?;
+    let op = parse_edit_op(&meta, live, tail, &mut words)?;
+    session.apply(model, op).map_err(|e| e.to_string())
 }
 
 /// Parses the action tail of an `edit <param> ...` line. `tail` is the
@@ -824,7 +919,7 @@ fn parse_value(raw: &str, ty: AttrType) -> Result<Value, String> {
 
 /// The `--json` status dump: consistency, journal size, fingerprint,
 /// and every violating binding.
-fn status_json(session: &SyncSession<'_>) -> String {
+fn status_json(session: &SyncSession) -> String {
     let status = session.status();
     let report = session.report();
     let mut out = String::new();
@@ -865,6 +960,25 @@ fn status_json(session: &SyncSession<'_>) -> String {
             out.push('}');
         }
         out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The `--json` journal dump (also the `serve` protocol's `journal`
+/// result): entry count plus the flattened per-model replay script, in
+/// model-space order.
+fn journal_json(session: &SyncSession) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"entries\":{},\"script\":[",
+        session.journal().len()
+    ));
+    for (i, delta) in session.journal_script().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_str(&delta.to_string()));
     }
     out.push_str("]}");
     out

@@ -1,0 +1,476 @@
+//! `mmt serve` — concurrent synchronization sessions over a
+//! line-oriented JSON protocol on stdin/stdout.
+//!
+//! The serve loop is the thinnest possible shell around
+//! [`mmt_core::SyncHub`]: the transformation is loaded once and
+//! registered, every `open` request adds a named session over the seed
+//! tuple, and each subsequent request locks exactly that session. One
+//! request per line in, one response per line out:
+//!
+//! ```text
+//! → {"id":1,"cmd":"open","session":"a"}
+//! ← {"id":1,"ok":true,"result":{"consistent":true,...}}
+//! → {"id":2,"cmd":"edit","session":"a","edit":"fm set @0.name = \"x\""}
+//! ← {"id":2,"ok":true,"result":{"consistent":false,...}}
+//! ```
+//!
+//! The verbs (`open`, `edit`, `status`, `repair`, `rollback`,
+//! `journal`, `close`) mirror the `mmt sync` script commands, the
+//! `edit` payload **is** a sync edit line (minus the `edit` keyword),
+//! and `status`/`journal` results are byte-identical to `mmt sync
+//! --json` output — the serve differential e2e test pins that down.
+//! Errors answer `{"ok":false,"error":...}` and the loop keeps
+//! serving; EOF exits 0.
+
+use crate::{
+    apply_session_edit, journal_json, json_str, load, repair_options, shape_of_names, status_json,
+    write_models_quiet, Parsed,
+};
+use mmt_core::{EngineKind, SessionOptions, SyncHub, Transformation};
+use mmt_model::Model;
+use std::io::{BufRead, Write};
+use std::path::Path;
+use std::process::ExitCode;
+
+/// A parsed JSON value — the minimal self-contained reader the request
+/// side of the protocol needs (the build environment vendors no serde).
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Renders back to JSON text (used to echo request ids verbatim).
+    fn render(&self) -> String {
+        match self {
+            Json::Null => "null".into(),
+            Json::Bool(b) => b.to_string(),
+            Json::Int(i) => i.to_string(),
+            Json::Str(s) => json_str(s),
+            Json::Arr(items) => {
+                let inner: Vec<String> = items.iter().map(Json::render).collect();
+                format!("[{}]", inner.join(","))
+            }
+            Json::Obj(fields) => {
+                let inner: Vec<String> = fields
+                    .iter()
+                    .map(|(k, v)| format!("{}:{}", json_str(k), v.render()))
+                    .collect();
+                format!("{{{}}}", inner.join(","))
+            }
+        }
+    }
+}
+
+/// Recursive-descent JSON reader over one request line.
+struct JsonReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonReader<'a> {
+    fn new(src: &'a str) -> JsonReader<'a> {
+        JsonReader {
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(got) if got == c => {
+                self.pos += 1;
+                Ok(())
+            }
+            got => Err(format!(
+                "expected `{}` at byte {}, found {:?}",
+                c as char,
+                self.pos,
+                got.map(|b| b as char)
+            )),
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'.' | b'e' | b'E')) {
+            return Err("non-integer numbers are not part of the protocol".into());
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<i64>().ok())
+            .map(Json::Int)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.bytes.get(self.pos).copied();
+                    self.pos += 1;
+                    match esc {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            self.pos += 4;
+                            // Surrogate pairs are outside the protocol's
+                            // needs; reject rather than mis-decode.
+                            out.push(
+                                char::from_u32(hex).ok_or("surrogate \\u escapes unsupported")?,
+                            );
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                }
+                Some(&c) => {
+                    // Multi-byte UTF-8 passes through untouched.
+                    let ch_len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + ch_len)
+                        .and_then(|b| std::str::from_utf8(b).ok())
+                        .ok_or("bad utf-8 in string")?;
+                    out.push_str(chunk);
+                    self.pos += ch_len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected `,` or `]`, found {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected `,` or `}}`, found {other:?}")),
+            }
+        }
+    }
+
+    fn parse_request(src: &str) -> Result<Vec<(String, Json)>, String> {
+        let mut r = JsonReader::new(src);
+        let v = r.value()?;
+        r.skip_ws();
+        if r.pos != r.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", r.pos));
+        }
+        match v {
+            Json::Obj(fields) => Ok(fields),
+            _ => Err("request must be a JSON object".into()),
+        }
+    }
+}
+
+fn field<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn str_field(obj: &[(String, Json)], key: &str) -> Result<String, String> {
+    match field(obj, key) {
+        Some(Json::Str(s)) => Ok(s.clone()),
+        Some(_) => Err(format!("field \"{key}\" must be a string")),
+        None => Err(format!("missing field \"{key}\"")),
+    }
+}
+
+/// The serve loop: reads one JSON request per stdin line, writes one
+/// JSON response per stdout line. See [`crate::USAGE_SERVE`] and the
+/// module docs for the protocol.
+pub(crate) fn run_serve(p: &Parsed) -> Result<ExitCode, String> {
+    let (t, models) = load(p, "serve")?;
+    if models.len() != t.arity() {
+        return Err(format!(
+            "transformation expects {} models, got {}",
+            t.arity(),
+            models.len()
+        ));
+    }
+    let opts = SessionOptions {
+        engine: p.engine.unwrap_or(EngineKind::Search),
+        repair: repair_options(&t, p)?,
+    };
+    let hub = SyncHub::new();
+    let t = hub.register("default", t).map_err(|e| e.to_string())?;
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout().lock();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = respond(&hub, &t, &models, &opts, p.out.as_deref(), &line);
+        writeln!(stdout, "{response}").map_err(|e| format!("stdout: {e}"))?;
+        stdout.flush().map_err(|e| format!("stdout: {e}"))?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// One request → one response line. Never errors the loop: every
+/// failure becomes an `{"ok":false}` response carrying the request id
+/// (when one could be parsed at all).
+fn respond(
+    hub: &SyncHub,
+    t: &Transformation,
+    seed_models: &[Model],
+    opts: &SessionOptions,
+    out_dir: Option<&str>,
+    line: &str,
+) -> String {
+    let (id, outcome) = match JsonReader::parse_request(line) {
+        Err(e) => (Json::Null, Err(format!("bad request: {e}"))),
+        Ok(obj) => {
+            let id = field(&obj, "id").cloned().unwrap_or(Json::Null);
+            (id, dispatch(hub, t, seed_models, opts, out_dir, &obj))
+        }
+    };
+    let id = id.render();
+    match outcome {
+        Ok(result) => format!("{{\"id\":{id},\"ok\":true,\"result\":{result}}}"),
+        Err(e) => format!("{{\"id\":{id},\"ok\":false,\"error\":{}}}", json_str(&e)),
+    }
+}
+
+/// Executes one parsed request against the hub; returns the `result`
+/// payload as raw JSON text.
+fn dispatch(
+    hub: &SyncHub,
+    t: &Transformation,
+    seed_models: &[Model],
+    opts: &SessionOptions,
+    out_dir: Option<&str>,
+    obj: &[(String, Json)],
+) -> Result<String, String> {
+    let cmd = str_field(obj, "cmd")?;
+    let name = str_field(obj, "session")?;
+    match cmd.as_str() {
+        "open" => {
+            // Session names become `--out` path components on close:
+            // refuse anything that could escape the output directory.
+            if name.is_empty()
+                || name == "."
+                || name == ".."
+                || name.contains(['/', '\\'])
+                || name.contains('\0')
+            {
+                return Err(format!(
+                    "invalid session name {}: must be non-empty and contain no path separators",
+                    json_str(&name)
+                ));
+            }
+            let handle = hub
+                .open_with(&name, "default", seed_models, opts.clone())
+                .map_err(|e| e.to_string())?;
+            Ok(handle.with(|s| status_json(s)))
+        }
+        "status" => {
+            let handle = hub.get(&name).map_err(|e| e.to_string())?;
+            Ok(handle.with(|s| status_json(s)))
+        }
+        "edit" => {
+            let spec = str_field(obj, "edit")?;
+            let handle = hub.get(&name).map_err(|e| e.to_string())?;
+            handle.with(|s| apply_session_edit(t, s, &spec).map(|_| status_json(s)))
+        }
+        "repair" => {
+            let shape = shape_of_names(t, &str_field(obj, "targets")?)?;
+            let handle = hub.get(&name).map_err(|e| e.to_string())?;
+            handle.with(|s| match s.repair(shape).map_err(|e| e.to_string())? {
+                None => Ok("{\"repaired\":false}".to_string()),
+                Some(out) => {
+                    let deltas: Vec<String> = out
+                        .deltas
+                        .iter()
+                        .map(|d| json_str(&d.to_string()))
+                        .collect();
+                    Ok(format!(
+                        "{{\"repaired\":true,\"cost\":{},\"deltas\":[{}]}}",
+                        out.cost,
+                        deltas.join(",")
+                    ))
+                }
+            })
+        }
+        "rollback" => {
+            let n = match field(obj, "n") {
+                Some(Json::Int(n)) if *n >= 0 => *n as usize,
+                Some(Json::Str(s)) if s == "all" => usize::MAX,
+                Some(_) => return Err("field \"n\" must be a non-negative int or \"all\"".into()),
+                None => return Err("missing field \"n\"".into()),
+            };
+            let handle = hub.get(&name).map_err(|e| e.to_string())?;
+            handle.with(|s| {
+                // `rollback` saturates at the journal length itself, so
+                // the "all" sentinel needs no pre-clamping here.
+                let undone = s.rollback(n).map_err(|e| e.to_string())?;
+                Ok(format!("{{\"undone\":{undone}}}"))
+            })
+        }
+        "journal" => {
+            let handle = hub.get(&name).map_err(|e| e.to_string())?;
+            Ok(handle.with(|s| journal_json(s)))
+        }
+        "close" => {
+            // Write the final tuple *before* unregistering: a failed
+            // write leaves the session open so the client can retry,
+            // instead of dropping the only copy of its state.
+            let handle = hub.get(&name).map_err(|e| e.to_string())?;
+            if let Some(dir) = out_dir {
+                handle.with(|s| write_models_quiet(&Path::new(dir).join(&name), t, s.models()))?;
+            }
+            hub.close(&name).map_err(|e| e.to_string())?;
+            Ok(format!("{{\"closed\":{}}}", json_str(&name)))
+        }
+        other => Err(format!("unknown cmd `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_reader_roundtrips_protocol_shapes() {
+        let obj = JsonReader::parse_request(
+            r#" {"id": 7, "cmd":"edit", "session":"a", "edit":"fm set @0.name = \"a#b\\\\c\"", "flag": true, "n": null, "list": [1, -2, "x"]} "#,
+        )
+        .unwrap();
+        assert_eq!(field(&obj, "id"), Some(&Json::Int(7)));
+        assert_eq!(str_field(&obj, "cmd").unwrap(), "edit");
+        assert_eq!(
+            str_field(&obj, "edit").unwrap(),
+            r#"fm set @0.name = "a#b\\c""#
+        );
+        assert_eq!(field(&obj, "flag"), Some(&Json::Bool(true)));
+        assert_eq!(field(&obj, "n"), Some(&Json::Null));
+        assert_eq!(
+            field(&obj, "list"),
+            Some(&Json::Arr(vec![
+                Json::Int(1),
+                Json::Int(-2),
+                Json::Str("x".into())
+            ]))
+        );
+        // Ids echo verbatim through render().
+        assert_eq!(Json::Int(7).render(), "7");
+        assert_eq!(Json::Str("x\"y".into()).render(), r#""x\"y""#);
+        assert_eq!(Json::Null.render(), "null");
+    }
+
+    #[test]
+    fn json_reader_rejects_malformed_input() {
+        for bad in [
+            "",
+            "[1,2]",
+            "{\"a\":}",
+            "{\"a\":1} trailing",
+            "{\"a\":1.5}",
+            "{\"a\":\"unterminated}",
+            "{'a':1}",
+        ] {
+            assert!(JsonReader::parse_request(bad).is_err(), "{bad:?}");
+        }
+    }
+}

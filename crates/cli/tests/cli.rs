@@ -440,3 +440,222 @@ fn stray_positional_argument_is_rejected() {
         "{stderr}"
     );
 }
+
+// --- ISSUE 5: `mmt serve`, `mmt sync -`, and the serve↔sync differential ---
+
+fn mmt_with_stdin(args: &[&str], input: &str) -> (String, String, Option<i32>) {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mmt"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(input.as_bytes())
+        .unwrap();
+    drop(child.stdin.take()); // EOF ends the serve loop / stdin script
+    let out = child.wait_with_output().expect("binary exits");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+/// Extracts the `result` payload of the serve response carrying `id`.
+fn serve_result(stdout: &str, id: u64) -> String {
+    let prefix = format!("{{\"id\":{id},\"ok\":true,\"result\":");
+    for line in stdout.lines() {
+        if let Some(body) = line.strip_prefix(&prefix) {
+            return body
+                .strip_suffix('}')
+                .unwrap_or_else(|| panic!("unterminated response: {line}"))
+                .to_string();
+        }
+    }
+    panic!("no ok response with id {id} in:\n{stdout}");
+}
+
+/// The ISSUE 5 acceptance differential: one session driven through the
+/// `mmt serve` line protocol is **byte-identical** — status JSON at
+/// every checkpoint, journal dump, and the final written model tuple —
+/// to the same command sequence run through `mmt sync`.
+#[test]
+fn serve_session_is_byte_identical_to_sync() {
+    let base = std::env::temp_dir().join(format!("mmt-cli-serve-diff-{}", std::process::id()));
+    let sync_out = base.join("sync");
+    let serve_out = base.join("serve");
+
+    // The shared command sequence: drift, repair, drift again, rollback.
+    let script = write_script(
+        "serve-diff",
+        r#"status
+repair cf1,cf2
+status
+edit cf1 set @0.name = "motor"
+status
+rollback 1
+status
+journal
+"#,
+    );
+    let mut sync_args = vec![
+        "sync".to_string(),
+        script.to_string_lossy().into_owned(),
+        "--json".into(),
+    ];
+    sync_args.extend(data_args());
+    sync_args.push("--out".into());
+    sync_args.push(sync_out.to_string_lossy().into_owned());
+    let argrefs: Vec<&str> = sync_args.iter().map(String::as_str).collect();
+    let (sync_stdout, sync_stderr, sync_code) = mmt(&argrefs);
+    assert_eq!(sync_code, Some(0), "sync: {sync_stdout}\n{sync_stderr}");
+    // The 5 JSON lines: four status dumps and one journal dump.
+    let sync_json: Vec<&str> = sync_stdout.lines().filter(|l| l.starts_with('{')).collect();
+    assert_eq!(sync_json.len(), 5, "{sync_stdout}");
+
+    // The same sequence over the serve protocol, one session "s".
+    let requests = r#"{"id":1,"cmd":"open","session":"s"}
+{"id":2,"cmd":"status","session":"s"}
+{"id":3,"cmd":"repair","session":"s","targets":"cf1,cf2"}
+{"id":4,"cmd":"status","session":"s"}
+{"id":5,"cmd":"edit","session":"s","edit":"cf1 set @0.name = \"motor\""}
+{"id":6,"cmd":"status","session":"s"}
+{"id":7,"cmd":"rollback","session":"s","n":1}
+{"id":8,"cmd":"status","session":"s"}
+{"id":9,"cmd":"journal","session":"s"}
+{"id":10,"cmd":"close","session":"s"}
+"#;
+    let mut serve_args = vec!["serve".to_string()];
+    serve_args.extend(data_args());
+    serve_args.push("--out".into());
+    serve_args.push(serve_out.to_string_lossy().into_owned());
+    let argrefs: Vec<&str> = serve_args.iter().map(String::as_str).collect();
+    let (serve_stdout, serve_stderr, serve_code) = mmt_with_stdin(&argrefs, requests);
+    assert_eq!(serve_code, Some(0), "serve: {serve_stdout}\n{serve_stderr}");
+
+    // Status JSON byte-identity at every checkpoint, and the journal.
+    for (sync_line, id) in sync_json.iter().zip([2u64, 4, 6, 8, 9]) {
+        assert_eq!(
+            serve_result(&serve_stdout, id),
+            **sync_line,
+            "serve response {id} diverged from the sync --json line"
+        );
+    }
+    // The repair reported the same least-change distance.
+    assert!(
+        serve_result(&serve_stdout, 3).contains("\"repaired\":true,\"cost\":4"),
+        "{serve_stdout}"
+    );
+    assert!(serve_result(&serve_stdout, 7).contains("\"undone\":1"));
+    // And the written tuples agree byte for byte.
+    for param in ["cf1", "cf2", "fm"] {
+        let from_sync = std::fs::read_to_string(sync_out.join(format!("{param}.model"))).unwrap();
+        let from_serve =
+            std::fs::read_to_string(serve_out.join("s").join(format!("{param}.model"))).unwrap();
+        assert_eq!(from_sync, from_serve, "{param}.model diverged");
+    }
+    std::fs::remove_dir_all(&base).ok();
+    std::fs::remove_file(&script).ok();
+}
+
+/// Multiple named sessions stay independent inside one serve process,
+/// and protocol errors answer `ok:false` without killing the loop.
+#[test]
+fn serve_runs_concurrent_sessions_and_survives_errors() {
+    let requests = r#"{"id":1,"cmd":"open","session":"a"}
+{"id":2,"cmd":"open","session":"b"}
+{"id":3,"cmd":"open","session":"a"}
+{"id":30,"cmd":"open","session":"../evil"}
+{"id":31,"cmd":"open","session":"/abs"}
+{"id":32,"cmd":"open","session":""}
+not json at all
+{"id":4,"cmd":"frobnicate","session":"a"}
+{"id":5,"cmd":"status","session":"ghost"}
+{"id":6,"cmd":"edit","session":"a","edit":"cf1 set @0.name = \"motor\""}
+{"id":7,"cmd":"status","session":"b"}
+{"id":8,"cmd":"repair","session":"b","targets":"cf1,cf2"}
+{"id":9,"cmd":"status","session":"b"}
+{"id":10,"cmd":"status","session":"a"}
+{"id":11,"cmd":"close","session":"a"}
+{"id":12,"cmd":"close","session":"b"}
+"#;
+    let mut args = vec!["serve".to_string()];
+    args.extend(data_args());
+    let argrefs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (stdout, stderr, code) = mmt_with_stdin(&argrefs, requests);
+    assert_eq!(code, Some(0), "{stdout}\n{stderr}");
+    // Errors are typed responses, not crashes.
+    assert!(
+        stdout.contains("{\"id\":3,\"ok\":false,\"error\":\"a session is already open as `a`\""),
+        "{stdout}"
+    );
+    // Session names become --out path components: traversal attempts,
+    // absolute paths, and empty names are rejected at open.
+    for id in [30, 31, 32] {
+        assert!(
+            stdout.contains(&format!(
+                "{{\"id\":{id},\"ok\":false,\"error\":\"invalid session name"
+            )),
+            "id {id}: {stdout}"
+        );
+    }
+    assert!(
+        stdout.contains("{\"id\":null,\"ok\":false,\"error\":\"bad request:"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("{\"id\":4,\"ok\":false,\"error\":\"unknown cmd `frobnicate`\""),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("{\"id\":5,\"ok\":false,\"error\":\"no session open as `ghost`\""),
+        "{stdout}"
+    );
+    // Session b repaired to consistency; session a's independent drift
+    // left it inconsistent (its own edit, b's repair not shared).
+    assert!(serve_result(&stdout, 9).contains("\"consistent\":true"));
+    assert!(serve_result(&stdout, 10).contains("\"consistent\":false"));
+    assert!(serve_result(&stdout, 8).contains("\"repaired\":true,\"cost\":4"));
+    // Both closes succeeded.
+    assert_eq!(serve_result(&stdout, 11), "{\"closed\":\"a\"}");
+    assert_eq!(serve_result(&stdout, 12), "{\"closed\":\"b\"}");
+}
+
+/// `mmt sync -` reads the script from stdin and behaves exactly like
+/// the same script from a file.
+#[test]
+fn sync_reads_script_from_stdin() {
+    let body = "status\nrepair cf1,cf2\nstatus\njournal\n";
+    let script = write_script("stdin-ref", body);
+    let mut file_args = vec![
+        "sync".to_string(),
+        script.to_string_lossy().into_owned(),
+        "--json".into(),
+    ];
+    file_args.extend(data_args());
+    let argrefs: Vec<&str> = file_args.iter().map(String::as_str).collect();
+    let (from_file, _, file_code) = mmt(&argrefs);
+
+    let mut stdin_args = vec!["sync".to_string(), "-".into(), "--json".into()];
+    stdin_args.extend(data_args());
+    let argrefs: Vec<&str> = stdin_args.iter().map(String::as_str).collect();
+    let (from_stdin, stderr, stdin_code) = mmt_with_stdin(&argrefs, body);
+    assert_eq!(stdin_code, Some(0), "{from_stdin}\n{stderr}");
+    assert_eq!(stdin_code, file_code);
+    assert_eq!(from_stdin, from_file, "stdin and file scripts diverged");
+
+    // Script errors still carry a position, now under the <stdin> name.
+    let (_, stderr, code) = mmt_with_stdin(&argrefs, "status\nfrobnicate\n");
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(
+        stderr.contains("<stdin>:2: unknown sync command"),
+        "{stderr}"
+    );
+}

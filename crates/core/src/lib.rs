@@ -23,8 +23,10 @@
 
 #![deny(missing_docs)]
 
+pub mod hub;
 pub mod session;
 
+pub use hub::{HubError, SessionHandle, SyncHub};
 pub use session::{JournalEntry, JournalKind, SessionOptions, SyncRepair, SyncSession, SyncStatus};
 
 use mmt_check::{CheckError, CheckOptions, CheckReport, Checker, EvalError};
@@ -45,42 +47,129 @@ use std::sync::Arc;
 /// `→F_FM` (towards the feature model), `→Fⁱ_CF` (towards one
 /// configuration), `→F_CFᵏ` (towards all configurations) and
 /// `→Fⁱ_{FM×CFᵏ⁻¹}` (towards everything but one configuration).
+///
+/// Construction is **checked**: an index too large for the underlying
+/// bitset ([`mmt_deps::MAX_DOMAINS`]) is remembered instead of being
+/// silently truncated into a wrong-but-valid target set (the historical
+/// `usize as u8` cast made `Shape::towards(256)` mean "model 0"), and
+/// every framework entry point validates the shape against the
+/// transformation's arity ([`Shape::checked_targets`]), surfacing
+/// [`CoreError::Shape`] for out-of-range indices.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct Shape(pub DomSet);
+pub struct Shape {
+    targets: DomSet,
+    /// First constructor index that does not fit the bitset — kept so
+    /// validation can name it instead of repairing the wrong models.
+    oob: Option<usize>,
+}
 
 impl Shape {
     /// Update exactly the model at `index` (the standard's `→Fⁱ`).
     pub fn towards(index: usize) -> Shape {
-        Shape(DomSet::single(DomIdx(index as u8)))
+        Shape::of(&[index])
     }
 
     /// Update every model except the one at `index`
-    /// (`→Fⁱ_{FM×CFᵏ⁻¹}`-style shapes).
+    /// (`→Fⁱ_{FM×CFᵏ⁻¹}`-style shapes). `index` must name one of the
+    /// `arity` models; anything else is flagged for the entry-point
+    /// validation (excluding a model the tuple does not have is a caller
+    /// bug, not a no-op).
     pub fn all_but(index: usize, arity: usize) -> Shape {
-        Shape(DomSet::full(arity).without(DomIdx(index as u8)))
+        if index >= arity.min(mmt_deps::MAX_DOMAINS) {
+            return Shape {
+                targets: DomSet::full(arity),
+                oob: Some(index),
+            };
+        }
+        Shape {
+            targets: DomSet::full(arity).without(DomIdx(index as u8)),
+            oob: None,
+        }
     }
 
     /// Update every model in `indices`.
     pub fn of(indices: &[usize]) -> Shape {
-        Shape(DomSet::from_iter(indices.iter().map(|&i| DomIdx(i as u8))))
+        let mut targets = DomSet::EMPTY;
+        let mut oob = None;
+        for &i in indices {
+            if i < mmt_deps::MAX_DOMAINS {
+                targets = targets.with(DomIdx(i as u8));
+            } else if oob.is_none() {
+                oob = Some(i);
+            }
+        }
+        Shape { targets, oob }
     }
 
     /// Update every model.
     pub fn all(arity: usize) -> Shape {
-        Shape(DomSet::full(arity))
+        Shape::from_targets(DomSet::full(arity))
     }
 
-    /// The underlying target set.
+    /// A shape over an already-validated target set (the raw layer the
+    /// engines and [`RepairRequest`] speak).
+    pub fn from_targets(targets: DomSet) -> Shape {
+        Shape { targets, oob: None }
+    }
+
+    /// The underlying target set, unvalidated. Prefer
+    /// [`Shape::checked_targets`] when a transformation arity is at
+    /// hand.
     pub fn targets(&self) -> DomSet {
-        self.0
+        self.targets
+    }
+
+    /// The target set, validated against a transformation of `arity`
+    /// models: every targeted index must exist. This is what the
+    /// `enforce`/`session`/`repair` entry points call before handing the
+    /// set to an engine.
+    pub fn checked_targets(&self, arity: usize) -> Result<DomSet, ShapeError> {
+        if let Some(index) = self.oob {
+            return Err(ShapeError { index, arity });
+        }
+        if !self.targets.subset_of(DomSet::full(arity)) {
+            let index = self
+                .targets
+                .iter()
+                .map(|d| d.index())
+                .find(|&i| i >= arity)
+                .expect("some member is out of range");
+            return Err(ShapeError { index, arity });
+        }
+        Ok(self.targets)
     }
 }
 
 impl fmt::Display for Shape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "→{}", self.0)
+        match self.oob {
+            Some(index) => write!(f, "→{}∪{{M{index}}}", self.targets),
+            None => write!(f, "→{}", self.targets),
+        }
     }
 }
+
+/// A repair shape targeted a model index the transformation does not
+/// have.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ShapeError {
+    /// The offending model index.
+    pub index: usize,
+    /// The transformation's arity.
+    pub arity: usize,
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "repair shape targets model {}, but the transformation has {} model parameters",
+            self.index, self.arity
+        )
+    }
+}
+
+impl std::error::Error for ShapeError {}
 
 /// Which enforcement engine to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -106,6 +195,8 @@ pub enum CoreError {
     Repair(RepairError),
     /// A model edit failed (session edits against missing objects, …).
     Model(ModelError),
+    /// A repair shape referenced a model the transformation lacks.
+    Shape(ShapeError),
 }
 
 impl fmt::Display for CoreError {
@@ -117,11 +208,27 @@ impl fmt::Display for CoreError {
             CoreError::Eval(e) => write!(f, "eval: {e}"),
             CoreError::Repair(e) => write!(f, "repair: {e}"),
             CoreError::Model(e) => write!(f, "model: {e}"),
+            CoreError::Shape(e) => write!(f, "shape: {e}"),
         }
     }
 }
 
-impl std::error::Error for CoreError {}
+impl std::error::Error for CoreError {
+    /// Chains to the wrapped layer error, so generic error reporters
+    /// (`anyhow`-style `{:#}` walkers, `Error::source` loops) see the
+    /// full story instead of a single flattened line.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Metamodel(e) => Some(e),
+            CoreError::Frontend(e) => Some(e),
+            CoreError::Check(e) => Some(e),
+            CoreError::Eval(e) => Some(e),
+            CoreError::Repair(e) => Some(e),
+            CoreError::Model(e) => Some(e),
+            CoreError::Shape(e) => Some(e),
+        }
+    }
+}
 
 impl From<ParseError> for CoreError {
     fn from(e: ParseError) -> Self {
@@ -160,9 +267,15 @@ impl From<ModelError> for CoreError {
 }
 
 /// A multidirectional transformation bound to its metamodels.
+///
+/// The resolved specification lives behind a shared [`Arc<Hir>`] —
+/// cloning a `Transformation` is a couple of reference-count bumps, and
+/// every long-lived consumer ([`SyncSession`], [`SyncHub`], each
+/// [`mmt_check::DeltaChecker`] a search explores) holds its own handle
+/// instead of borrowing the caller's stack frame.
 #[derive(Clone, Debug)]
 pub struct Transformation {
-    hir: Hir,
+    hir: Arc<Hir>,
     metamodels: Vec<Arc<Metamodel>>,
 }
 
@@ -177,17 +290,25 @@ impl Transformation {
             .map(|s| parse_metamodel(s))
             .collect::<Result<_, _>>()?;
         let hir = parse_and_resolve(qvtr_src, &metamodels)?;
-        Ok(Transformation { hir, metamodels })
+        Ok(Transformation::from_hir(hir))
     }
 
-    /// Wraps an already-resolved transformation.
-    pub fn from_hir(hir: Hir) -> Transformation {
+    /// Wraps an already-resolved transformation (a plain [`Hir`] or an
+    /// already-shared `Arc<Hir>`).
+    pub fn from_hir(hir: impl Into<Arc<Hir>>) -> Transformation {
+        let hir = hir.into();
         let metamodels = hir.models.iter().map(|m| Arc::clone(&m.meta)).collect();
         Transformation { hir, metamodels }
     }
 
     /// The resolved representation.
     pub fn hir(&self) -> &Hir {
+        &self.hir
+    }
+
+    /// The shared handle on the resolved representation — what the
+    /// repair engines and incremental checkers clone to own their world.
+    pub fn hir_arc(&self) -> &Arc<Hir> {
         &self.hir
     }
 
@@ -224,7 +345,8 @@ impl Transformation {
     /// Runs §3 least-change enforcement: rewrite the models selected by
     /// `shape` so the tuple becomes consistent, at minimal weighted
     /// distance. Returns `None` when the shape cannot restore consistency
-    /// within the engine's bounds.
+    /// within the engine's bounds; [`CoreError::Shape`] when the shape
+    /// targets a model this transformation does not have.
     pub fn enforce(
         &self,
         models: &[Model],
@@ -242,11 +364,12 @@ impl Transformation {
         engine: EngineKind,
         opts: RepairOptions,
     ) -> Result<Option<RepairOutcome>, CoreError> {
+        let targets = shape
+            .checked_targets(self.arity())
+            .map_err(CoreError::Shape)?;
         let outcome = match engine {
-            EngineKind::Search => {
-                SearchEngine::new(opts).repair(&self.hir, models, shape.targets())?
-            }
-            EngineKind::Sat => SatEngine::new(opts).repair(&self.hir, models, shape.targets())?,
+            EngineKind::Search => SearchEngine::new(opts).repair(&self.hir, models, targets)?,
+            EngineKind::Sat => SatEngine::new(opts).repair(&self.hir, models, targets)?,
         };
         Ok(outcome)
     }
@@ -272,8 +395,13 @@ impl Transformation {
     /// Opens a stateful [`SyncSession`] over `models`: one cold start,
     /// then O(|edit|) consistency tracking and warm-rooted repairs for
     /// the whole edit→check→repair loop. See [`session`].
-    pub fn session(&self, models: &[Model]) -> Result<SyncSession<'_>, CoreError> {
-        SyncSession::new(self, models)
+    ///
+    /// The session is a `'static + Send` handle — it clones this
+    /// transformation's shared internals (cheap: reference-count bumps)
+    /// and owns them, so it can outlive the caller's borrow, move to
+    /// another thread, or be parked in a [`SyncHub`].
+    pub fn session(&self, models: &[Model]) -> Result<SyncSession, CoreError> {
+        SyncSession::new(self.clone(), models)
     }
 
     /// As [`Transformation::session`] with explicit [`SessionOptions`]
@@ -282,8 +410,8 @@ impl Transformation {
         &self,
         models: &[Model],
         opts: SessionOptions,
-    ) -> Result<SyncSession<'_>, CoreError> {
-        SyncSession::with_options(self, models, opts)
+    ) -> Result<SyncSession, CoreError> {
+        SyncSession::with_options(self.clone(), models, opts)
     }
 
     /// A copy of this transformation with every relation's dependency set
@@ -291,7 +419,7 @@ impl Transformation {
     /// (`{dom R ∖ Mᵢ → Mᵢ}`). Used for the §2.1 expressiveness comparison
     /// and the §2.2 conservativity experiment.
     pub fn standardized(&self) -> Transformation {
-        let mut hir = self.hir.clone();
+        let mut hir = (*self.hir).clone();
         for rel in &mut hir.relations {
             let dom_models = DomSet::from_iter(rel.domains.iter().map(|d| d.model));
             let mut deps = DepSet::new(self.hir.arity());
@@ -303,7 +431,7 @@ impl Transformation {
             rel.deps = deps;
         }
         Transformation {
-            hir,
+            hir: Arc::new(hir),
             metamodels: self.metamodels.clone(),
         }
     }
@@ -420,7 +548,12 @@ mod tests {
                 assert_eq!(batch.len(), requests.len());
                 for (i, (req, out)) in requests.iter().zip(&batch).enumerate() {
                     let single = t
-                        .enforce_with(&req.models, Shape(req.targets), engine, opts.clone())
+                        .enforce_with(
+                            &req.models,
+                            Shape::from_targets(req.targets),
+                            engine,
+                            opts.clone(),
+                        )
                         .unwrap();
                     let out = out.as_ref().unwrap();
                     assert_eq!(
@@ -454,5 +587,98 @@ mod tests {
         let e = Transformation::from_sources(&transformation_source(1), &["metamodel X {"])
             .unwrap_err();
         assert!(matches!(e, CoreError::Metamodel(_)));
+    }
+
+    /// ISSUE 5 satellite: `CoreError::source()` chains to the wrapped
+    /// layer error — walking the chain reaches the inner error whose
+    /// message the `Display` impl embeds.
+    #[test]
+    fn error_source_chains_to_the_wrapped_layer() {
+        use std::error::Error as _;
+        let t = paper_transformation(2);
+        let w = feature_workload(FeatureSpec::default());
+        let cases: Vec<CoreError> = vec![
+            Transformation::from_sources("junk", &[CF_METAMODEL]).unwrap_err(),
+            Transformation::from_sources(&transformation_source(1), &["metamodel X {"])
+                .unwrap_err(),
+            t.check(&w.models[..1]).unwrap_err(),
+            t.enforce(&w.models, Shape::towards(256), EngineKind::Search)
+                .unwrap_err(),
+            t.enforce_with(
+                &w.models,
+                Shape::all(3),
+                EngineKind::Search,
+                RepairOptions {
+                    tuple: mmt_dist::TupleCost::weighted(vec![1, 1]),
+                    ..RepairOptions::default()
+                },
+            )
+            .unwrap_err(),
+        ];
+        for e in cases {
+            let source = e.source().unwrap_or_else(|| panic!("{e}: no source"));
+            // The chain is real: the top-level message embeds the
+            // wrapped error's own rendering.
+            assert!(
+                e.to_string().contains(&source.to_string()),
+                "{e} does not embed {source}"
+            );
+        }
+        // Model-layer errors chain through a live session edit.
+        let mut session = t.session(&w.models).unwrap();
+        let fm = w.fm.class_named("Feature").unwrap();
+        let err = session
+            .apply(
+                mmt_deps::DomIdx(2),
+                mmt_dist::EditOp::DelObj {
+                    id: mmt_model::ObjId(9999),
+                    class: fm,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Model(_)));
+        assert!(err.source().is_some());
+    }
+
+    /// ISSUE 5 satellite (failing before): `Shape` constructors used to
+    /// truncate `usize as u8`, so `towards(256)` silently meant "model
+    /// 0" — a wrong-but-valid target set the engines happily repaired.
+    /// Checked construction + entry-point validation turn every
+    /// out-of-range index into a typed [`CoreError::Shape`].
+    #[test]
+    fn out_of_range_shapes_are_rejected_not_truncated() {
+        let t = paper_transformation(2); // arity 3
+        let w = feature_workload(FeatureSpec::default());
+        let bad = [
+            Shape::towards(256),   // wrapped to M0 before
+            Shape::towards(3),     // in-bitset but beyond the arity
+            Shape::of(&[0, 999]),  // one good index, one absurd
+            Shape::of(&[0, 64]),   // exactly the bitset width
+            Shape::all_but(70, 3), // u8-truncated to `without(M6)` before
+            Shape::all_but(3, 3),  // "all but" a model the tuple lacks
+        ];
+        for shape in bad {
+            for engine in [EngineKind::Search, EngineKind::Sat] {
+                let err = t.enforce(&w.models, shape, engine).unwrap_err();
+                assert!(
+                    matches!(err, CoreError::Shape(ShapeError { .. })),
+                    "{shape}: {err}"
+                );
+            }
+            let mut session = t.session(&w.models).unwrap();
+            let err = session.repair(shape).unwrap_err();
+            assert!(matches!(err, CoreError::Shape(_)), "{shape}: {err}");
+        }
+        // In-range shapes still validate cleanly …
+        assert_eq!(
+            Shape::of(&[0, 1]).checked_targets(3).unwrap(),
+            Shape::of(&[0, 1]).targets()
+        );
+        // … and the error names the offending index and the arity.
+        let e = Shape::towards(256).checked_targets(3).unwrap_err();
+        assert_eq!((e.index, e.arity), (256, 3));
+        assert!(e.to_string().contains("256"));
+        let e = Shape::towards(3).checked_targets(3).unwrap_err();
+        assert_eq!((e.index, e.arity), (3, 3));
     }
 }

@@ -33,6 +33,12 @@
 //! fork. [`SyncSession::repair`] returns exactly what the stateless
 //! [`Transformation::enforce_with`] would return on the session's
 //! current tuple — the warm path changes wall-clock time, not results.
+//!
+//! Ownership: a session owns everything it needs — the model tuple
+//! (inside its warm checker) and a shared [`Arc<Transformation>`] — so
+//! it is a `'static + Send` handle. Nothing pins it to the stack frame
+//! that opened it: move it into a worker thread, store it in a
+//! [`crate::SyncHub`], or hold it across await points in a server.
 
 use crate::{CoreError, EngineKind, Shape, Transformation};
 use mmt_check::{CheckOptions, CheckReport, DeltaChecker, DeltaError};
@@ -41,6 +47,7 @@ use mmt_dist::{Delta, EditOp};
 use mmt_enforce::search::{fingerprint_step, state_fingerprint};
 use mmt_enforce::{RepairEngine, RepairError, RepairOptions, SatEngine, SearchEngine};
 use mmt_model::Model;
+use std::sync::Arc;
 
 fn delta_core_err(e: DeltaError) -> CoreError {
     match e {
@@ -164,34 +171,43 @@ pub struct SyncRepair {
 /// assert!(session.status().consistent);
 /// assert!(session.models()[2].graph_eq(&w.models[2]));
 /// ```
-pub struct SyncSession<'t> {
-    t: &'t Transformation,
-    checker: DeltaChecker<'t>,
+pub struct SyncSession {
+    t: Arc<Transformation>,
+    checker: DeltaChecker,
     journal: Vec<JournalEntry>,
     fp: u64,
     opts: SessionOptions,
 }
 
-impl<'t> SyncSession<'t> {
+impl SyncSession {
     /// Opens a session over `models` (cloned; the session owns its
     /// tuple) with default [`SessionOptions`]. This is the one cold
     /// start: the initial full consistency check runs here.
-    pub fn new(t: &'t Transformation, models: &[Model]) -> Result<SyncSession<'t>, CoreError> {
+    ///
+    /// The session takes (or shares — pass an [`Arc<Transformation>`])
+    /// ownership of the transformation: a `SyncSession` is a `'static +
+    /// Send` handle that can outlive the opening stack frame, move
+    /// across threads, and be parked in a [`crate::SyncHub`].
+    pub fn new(
+        t: impl Into<Arc<Transformation>>,
+        models: &[Model],
+    ) -> Result<SyncSession, CoreError> {
         SyncSession::with_options(t, models, SessionOptions::default())
     }
 
     /// As [`SyncSession::new`] with explicit options.
     pub fn with_options(
-        t: &'t Transformation,
+        t: impl Into<Arc<Transformation>>,
         models: &[Model],
         opts: SessionOptions,
-    ) -> Result<SyncSession<'t>, CoreError> {
+    ) -> Result<SyncSession, CoreError> {
+        let t = t.into();
         let check_opts = CheckOptions {
             memoize: true,
             max_violations: usize::MAX,
         };
         let checker =
-            DeltaChecker::with_options(t.hir(), models, check_opts).map_err(delta_core_err)?;
+            DeltaChecker::with_options(t.hir_arc(), models, check_opts).map_err(delta_core_err)?;
         let fp = state_fingerprint(checker.models(), DomSet::full(t.arity()));
         Ok(SyncSession {
             t,
@@ -202,9 +218,11 @@ impl<'t> SyncSession<'t> {
         })
     }
 
-    /// The transformation this session synchronizes against.
-    pub fn transformation(&self) -> &'t Transformation {
-        self.t
+    /// The transformation this session synchronizes against (a shared
+    /// handle — clone it to open sibling sessions over the same
+    /// specification).
+    pub fn transformation(&self) -> &Arc<Transformation> {
+        &self.t
     }
 
     /// The live model tuple, in model-space order.
@@ -231,7 +249,7 @@ impl<'t> SyncSession<'t> {
 
     /// The warm checker itself — a read-only view for callers that want
     /// the cached match state (e.g. to fork their own search roots).
-    pub fn checker(&self) -> &DeltaChecker<'t> {
+    pub fn checker(&self) -> &DeltaChecker {
         &self.checker
     }
 
@@ -297,7 +315,9 @@ impl<'t> SyncSession<'t> {
     /// tuple short-circuits to a cost-0 repair without running any
     /// engine.
     pub fn repair(&mut self, shape: Shape) -> Result<Option<SyncRepair>, CoreError> {
-        let targets = shape.targets();
+        let targets = shape
+            .checked_targets(self.t.arity())
+            .map_err(CoreError::Shape)?;
         if targets.is_empty() {
             return Err(CoreError::Repair(RepairError::NoTargets));
         }
@@ -418,7 +438,7 @@ impl<'t> SyncSession<'t> {
     }
 }
 
-impl std::fmt::Debug for SyncSession<'_> {
+impl std::fmt::Debug for SyncSession {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SyncSession")
             .field("arity", &self.t.arity())
@@ -528,6 +548,34 @@ mod tests {
             ..FeatureSpec::default()
         });
         (t, w)
+    }
+
+    /// The redesign's core guarantee, compile-asserted: a session is a
+    /// `'static + Send` handle (it owns its tuple and shares the
+    /// transformation behind `Arc`), so servers can hold it beyond the
+    /// opening stack frame and move it across threads.
+    #[test]
+    fn sessions_are_static_send_handles() {
+        fn assert_send<T: Send + 'static>() {}
+        assert_send::<SyncSession>();
+        assert_send::<SessionOptions>();
+        // And in practice: open on this thread, drive on another —
+        // impossible with the historical `SyncSession<'t>` borrow.
+        let (t, w) = fixture();
+        let session = t.session(&w.models).unwrap();
+        drop(t); // the opening transformation value can die first
+        let handle = std::thread::spawn(move || {
+            let mut session = session;
+            let fm = session.transformation().metamodels()[2].clone();
+            let feature = fm.class_named("Feature").unwrap();
+            let id = ObjId(session.models()[2].id_bound() as u32);
+            session
+                .apply(DomIdx(2), EditOp::AddObj { id, class: feature })
+                .unwrap();
+            session.rollback_all().unwrap();
+            session.status()
+        });
+        assert!(handle.join().unwrap().consistent);
     }
 
     #[test]
@@ -664,7 +712,7 @@ mod tests {
         assert_eq!(session.journal().len(), journal_len);
         // And the empty shape errors like the engines do.
         assert!(matches!(
-            session.repair(Shape(DomSet::EMPTY)),
+            session.repair(Shape::from_targets(DomSet::EMPTY)),
             Err(CoreError::Repair(RepairError::NoTargets))
         ));
     }

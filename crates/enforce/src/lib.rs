@@ -28,7 +28,7 @@
 //! let cf = parse_metamodel("metamodel CF { class Feature { attr name: Str; } }").unwrap();
 //! let fm = parse_metamodel(
 //!     "metamodel FM { class Feature { attr name: Str; attr mandatory: Bool; } }").unwrap();
-//! let hir = parse_and_resolve(r#"
+//! let hir = std::sync::Arc::new(parse_and_resolve(r#"
 //! transformation F(cf1 : CF, fm : FM) {
 //!   top relation Sel {
 //!     n : Str;
@@ -37,7 +37,7 @@
 //!     depend cf1 -> fm;
 //!     depend fm -> cf1;
 //!   }
-//! }"#, &[cf.clone(), fm.clone()]).unwrap();
+//! }"#, &[cf.clone(), fm.clone()]).unwrap());
 //! // The configuration selects `engine`; the feature model doesn't know it.
 //! let m_cf = parse_model(r#"model cf1 : CF { f = Feature { name = "engine" } }"#, &cf).unwrap();
 //! let m_fm = parse_model(r#"model fm : FM { }"#, &fm).unwrap();
@@ -64,6 +64,7 @@ use mmt_ground::{GroundError, GroundOptions, GroundProblem, Scope};
 use mmt_model::{Model, ModelError};
 use mmt_qvtr::Hir;
 use std::fmt;
+use std::sync::Arc;
 
 /// Options shared by the repair engines.
 ///
@@ -279,9 +280,14 @@ pub trait RepairEngine: Sync {
     /// Repairs `models` so that every directional check of `hir` holds,
     /// changing only the models in `targets`. Returns `None` when no
     /// repair exists within the engine's bounds.
+    ///
+    /// The transformation is passed as a shared [`Arc`] handle: engines
+    /// that build long-lived oracle state (the incremental search keeps
+    /// a [`DeltaChecker`] per explored state) clone the handle instead
+    /// of borrowing the caller's stack frame.
     fn repair(
         &self,
-        hir: &Hir,
+        hir: &Arc<Hir>,
         models: &[Model],
         targets: DomSet,
     ) -> Result<Option<RepairOutcome>, RepairError>;
@@ -301,7 +307,7 @@ pub trait RepairEngine: Sync {
     /// let cf = parse_metamodel("metamodel CF { class Feature { attr name: Str; } }").unwrap();
     /// let fm = parse_metamodel(
     ///     "metamodel FM { class Feature { attr name: Str; attr mandatory: Bool; } }").unwrap();
-    /// let hir = parse_and_resolve(r#"
+    /// let hir = std::sync::Arc::new(parse_and_resolve(r#"
     /// transformation F(cf1 : CF, fm : FM) {
     ///   top relation Sel {
     ///     n : Str;
@@ -310,7 +316,7 @@ pub trait RepairEngine: Sync {
     ///     depend cf1 -> fm;
     ///     depend fm -> cf1;
     ///   }
-    /// }"#, &[cf.clone(), fm.clone()]).unwrap();
+    /// }"#, &[cf.clone(), fm.clone()]).unwrap());
     /// let m_fm = parse_model(r#"model fm : FM { }"#, &fm).unwrap();
     /// // Two independent sync requests against the same specification.
     /// let requests: Vec<RepairRequest> = ["engine", "gps"].iter().map(|name| {
@@ -329,7 +335,7 @@ pub trait RepairEngine: Sync {
     /// ```
     fn repair_batch(
         &self,
-        hir: &Hir,
+        hir: &Arc<Hir>,
         requests: &[RepairRequest],
     ) -> Vec<Result<Option<RepairOutcome>, RepairError>> {
         pooled_map(requests, self.jobs(), |_, r| {
@@ -354,19 +360,19 @@ pub trait RepairEngine: Sync {
     /// to seed the incremental search from the forked root.
     fn repair_warm(
         &self,
-        root: &DeltaChecker<'_>,
+        root: &DeltaChecker,
         targets: DomSet,
     ) -> Result<Option<RepairOutcome>, RepairError> {
-        self.repair(root.hir(), root.models(), targets)
+        self.repair(root.hir_arc(), root.models(), targets)
     }
 
     /// As [`RepairEngine::repair_batch`], but over pre-warmed roots:
     /// each `(checker, targets)` pair is one independent request, fanned
     /// across [`RepairEngine::jobs`] workers. Slot `i` is exactly what
     /// [`RepairEngine::repair_warm`] returns for pair `i`.
-    fn repair_batch_warm<'h>(
+    fn repair_batch_warm(
         &self,
-        roots: &[(DeltaChecker<'h>, DomSet)],
+        roots: &[(DeltaChecker, DomSet)],
     ) -> Vec<Result<Option<RepairOutcome>, RepairError>> {
         pooled_map(roots, self.jobs(), |_, (root, targets)| {
             self.repair_warm(root, *targets)
@@ -429,7 +435,7 @@ pub(crate) fn pooled_map<T: Sync, R: Send>(
 /// let cf = parse_metamodel("metamodel CF { class Feature { attr name: Str; } }").unwrap();
 /// let fm = parse_metamodel(
 ///     "metamodel FM { class Feature { attr name: Str; attr mandatory: Bool; } }").unwrap();
-/// let hir = parse_and_resolve(r#"
+/// let hir = std::sync::Arc::new(parse_and_resolve(r#"
 /// transformation F(cf1 : CF, fm : FM) {
 ///   top relation Sel {
 ///     n : Str;
@@ -438,7 +444,7 @@ pub(crate) fn pooled_map<T: Sync, R: Send>(
 ///     depend cf1 -> fm;
 ///     depend fm -> cf1;
 ///   }
-/// }"#, &[cf.clone(), fm.clone()]).unwrap();
+/// }"#, &[cf.clone(), fm.clone()]).unwrap());
 /// let m_cf = parse_model(r#"model cf1 : CF { f = Feature { name = "gps" } }"#, &cf).unwrap();
 /// let m_fm = parse_model(r#"model fm : FM { f = Feature { name = "radio" } }"#, &fm).unwrap();
 ///
@@ -477,7 +483,7 @@ impl RepairEngine for SearchEngine {
 
     fn repair(
         &self,
-        hir: &Hir,
+        hir: &Arc<Hir>,
         models: &[Model],
         targets: DomSet,
     ) -> Result<Option<RepairOutcome>, RepairError> {
@@ -499,7 +505,7 @@ impl RepairEngine for SearchEngine {
     /// overhead. Outcomes are identical either way.
     fn repair_batch(
         &self,
-        hir: &Hir,
+        hir: &Arc<Hir>,
         requests: &[RepairRequest],
     ) -> Vec<Result<Option<RepairOutcome>, RepairError>> {
         let inner = SearchEngine::new(RepairOptions {
@@ -520,14 +526,14 @@ impl RepairEngine for SearchEngine {
     /// cold-start price.
     fn repair_warm(
         &self,
-        root: &DeltaChecker<'_>,
+        root: &DeltaChecker,
         targets: DomSet,
     ) -> Result<Option<RepairOutcome>, RepairError> {
         if targets.is_empty() {
             return Err(RepairError::NoTargets);
         }
         if !self.opts.incremental_oracle {
-            return self.repair(root.hir(), root.models(), targets);
+            return self.repair(root.hir_arc(), root.models(), targets);
         }
         let mut opts = self.opts.clone();
         opts.tuple = opts
@@ -539,9 +545,9 @@ impl RepairEngine for SearchEngine {
 
     /// As [`SearchEngine::repair_batch`]: request-level fan-out with
     /// `jobs = 1` inside each warm search.
-    fn repair_batch_warm<'h>(
+    fn repair_batch_warm(
         &self,
-        roots: &[(DeltaChecker<'h>, DomSet)],
+        roots: &[(DeltaChecker, DomSet)],
     ) -> Vec<Result<Option<RepairOutcome>, RepairError>> {
         let inner = SearchEngine::new(RepairOptions {
             jobs: 1,
@@ -569,7 +575,7 @@ impl RepairEngine for SearchEngine {
 /// let cf = parse_metamodel("metamodel CF { class Feature { attr name: Str; } }").unwrap();
 /// let fm = parse_metamodel(
 ///     "metamodel FM { class Feature { attr name: Str; attr mandatory: Bool; } }").unwrap();
-/// let hir = parse_and_resolve(r#"
+/// let hir = std::sync::Arc::new(parse_and_resolve(r#"
 /// transformation F(cf1 : CF, fm : FM) {
 ///   top relation Sel {
 ///     n : Str;
@@ -577,7 +583,7 @@ impl RepairEngine for SearchEngine {
 ///     domain fm  f : Feature { name = n, mandatory = true };
 ///     depend cf1 -> fm;
 ///   }
-/// }"#, &[cf.clone(), fm.clone()]).unwrap();
+/// }"#, &[cf.clone(), fm.clone()]).unwrap());
 /// let m_cf = parse_model(r#"model cf1 : CF { f = Feature { name = "engine" } }"#, &cf).unwrap();
 /// let m_fm = parse_model(
 ///     r#"model fm : FM { f = Feature { name = "engine", mandatory = false } }"#, &fm).unwrap();
@@ -613,7 +619,7 @@ impl RepairEngine for SatEngine {
 
     fn repair(
         &self,
-        hir: &Hir,
+        hir: &Arc<Hir>,
         models: &[Model],
         targets: DomSet,
     ) -> Result<Option<RepairOutcome>, RepairError> {
@@ -725,7 +731,7 @@ transformation F(cf1 : CF, cf2 : CF, fm : FM) {
     #[test]
     fn consistent_input_costs_zero_on_both_engines() {
         let (cf, fm) = metamodels();
-        let hir = parse_and_resolve(F_SRC, &[cf.clone(), fm.clone()]).unwrap();
+        let hir = Arc::new(parse_and_resolve(F_SRC, &[cf.clone(), fm.clone()]).unwrap());
         let models = [
             cf_model(&cf, "cf1", &["engine"]),
             cf_model(&cf, "cf2", &["engine"]),
@@ -748,7 +754,7 @@ transformation F(cf1 : CF, cf2 : CF, fm : FM) {
     #[test]
     fn single_target_fails_multi_target_succeeds() {
         let (cf, fm) = metamodels();
-        let hir = parse_and_resolve(F_SRC, &[cf.clone(), fm.clone()]).unwrap();
+        let hir = Arc::new(parse_and_resolve(F_SRC, &[cf.clone(), fm.clone()]).unwrap());
         let models = [
             cf_model(&cf, "cf1", &["engine"]),
             cf_model(&cf, "cf2", &["engine"]),
@@ -772,7 +778,7 @@ transformation F(cf1 : CF, cf2 : CF, fm : FM) {
     #[test]
     fn repair_towards_fm_is_minimal() {
         let (cf, fm) = metamodels();
-        let hir = parse_and_resolve(F_SRC, &[cf.clone(), fm.clone()]).unwrap();
+        let hir = Arc::new(parse_and_resolve(F_SRC, &[cf.clone(), fm.clone()]).unwrap());
         let models = [
             cf_model(&cf, "cf1", &["engine", "gps"]),
             cf_model(&cf, "cf2", &["engine", "gps"]),
@@ -794,7 +800,7 @@ transformation F(cf1 : CF, cf2 : CF, fm : FM) {
     #[test]
     fn rename_propagates_to_remaining_models() {
         let (cf, fm) = metamodels();
-        let hir = parse_and_resolve(F_SRC, &[cf.clone(), fm.clone()]).unwrap();
+        let hir = Arc::new(parse_and_resolve(F_SRC, &[cf.clone(), fm.clone()]).unwrap());
         // cf1 renamed engine → motor; fm and cf2 still say engine.
         let models = [
             cf_model(&cf, "cf1", &["motor"]),
@@ -824,7 +830,7 @@ transformation F(cf1 : CF, cf2 : CF, fm : FM) {
     #[test]
     fn engines_agree_on_minimal_cost() {
         let (cf, fm) = metamodels();
-        let hir = parse_and_resolve(F_SRC, &[cf.clone(), fm.clone()]).unwrap();
+        let hir = Arc::new(parse_and_resolve(F_SRC, &[cf.clone(), fm.clone()]).unwrap());
         let scenarios: Vec<([Model; 3], DomSet)> = vec![
             (
                 [
@@ -876,7 +882,7 @@ transformation F(cf1 : CF, cf2 : CF, fm : FM) {
     #[test]
     fn empty_target_set_rejected() {
         let (cf, fm) = metamodels();
-        let hir = parse_and_resolve(F_SRC, &[cf.clone(), fm.clone()]).unwrap();
+        let hir = Arc::new(parse_and_resolve(F_SRC, &[cf.clone(), fm.clone()]).unwrap());
         let models = [
             cf_model(&cf, "cf1", &[]),
             cf_model(&cf, "cf2", &[]),
@@ -909,7 +915,7 @@ transformation G(cf1 : CF, fm : FM) {
   }
 }
 "#;
-        let hir = parse_and_resolve(src, &[cf.clone(), fm.clone()]).unwrap();
+        let hir = Arc::new(parse_and_resolve(src, &[cf.clone(), fm.clone()]).unwrap());
         let models = [
             cf_model(&cf, "cf1", &["engine"]),
             fm_model(&fm, &[("radio", false)]),
@@ -951,7 +957,7 @@ transformation G(cf1 : CF, fm : FM) {
   }
 }
 "#;
-        let hir = parse_and_resolve(src, &[cf.clone(), fm.clone()]).unwrap();
+        let hir = Arc::new(parse_and_resolve(src, &[cf.clone(), fm.clone()]).unwrap());
         let models = [
             cf_model(&cf, "cf1", &["engine"]),
             fm_model(&fm, &[("radio", false)]),

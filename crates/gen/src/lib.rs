@@ -52,8 +52,10 @@ pub struct FeatureWorkload {
     pub cf: Arc<Metamodel>,
     /// The FM metamodel.
     pub fm: Arc<Metamodel>,
-    /// The resolved `F = MF ∧ OF` transformation over `k + 1` models.
-    pub hir: Hir,
+    /// The resolved `F = MF ∧ OF` transformation over `k + 1` models,
+    /// behind the shared handle the un-borrowed stack consumes
+    /// (`DeltaChecker`/engines clone it instead of borrowing).
+    pub hir: Arc<Hir>,
     /// Models in model-space order: `cf_1 … cf_k, fm`.
     pub models: Vec<Model>,
     /// The spec that produced this workload.
@@ -112,11 +114,13 @@ pub const FM_METAMODEL: &str =
 pub fn feature_workload(spec: FeatureSpec) -> FeatureWorkload {
     let cf = parse_metamodel(CF_METAMODEL).expect("static metamodel");
     let fm = parse_metamodel(FM_METAMODEL).expect("static metamodel");
-    let hir = parse_and_resolve(
-        &transformation_source(spec.k_configs),
-        &[cf.clone(), fm.clone()],
-    )
-    .expect("static transformation");
+    let hir = Arc::new(
+        parse_and_resolve(
+            &transformation_source(spec.k_configs),
+            &[cf.clone(), fm.clone()],
+        )
+        .expect("static transformation"),
+    );
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let names: Vec<String> = (0..spec.n_features).map(|i| format!("feat{i}")).collect();
     let mut mandatory: Vec<bool> = (0..spec.n_features)

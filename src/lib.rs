@@ -64,7 +64,10 @@ pub use mmt_sat as sat;
 /// The most common imports, re-exported flat.
 pub mod prelude {
     pub use mmt_check::{CheckOptions, CheckReport, Checker};
-    pub use mmt_core::{CoreError, EngineKind, Shape, Transformation};
+    pub use mmt_core::{
+        CoreError, EngineKind, HubError, SessionOptions, Shape, ShapeError, SyncHub, SyncSession,
+        Transformation,
+    };
     pub use mmt_deps::{Dep, DepSet, DomIdx, DomSet};
     pub use mmt_dist::{CostModel, Delta, EditOp, TupleCost};
     pub use mmt_enforce::{

@@ -18,7 +18,7 @@ const OPTS: CheckOptions = CheckOptions {
 };
 
 /// Incremental and from-scratch reports agree on `models`.
-fn assert_agrees(checker: &DeltaChecker<'_>, models: &[Model], ctx: &str) {
+fn assert_agrees(checker: &DeltaChecker, models: &[Model], ctx: &str) {
     let scratch = Checker::with_options(checker.hir(), models, OPTS)
         .unwrap()
         .check()
@@ -47,7 +47,13 @@ fn assert_agrees(checker: &DeltaChecker<'_>, models: &[Model], ctx: &str) {
 
 /// Runs one random edit sequence against `target`, checking agreement
 /// after every single op.
-fn run_sequence(hir: &Hir, models: &[Model], target: usize, n_edits: usize, seed: u64) {
+fn run_sequence(
+    hir: &std::sync::Arc<Hir>,
+    models: &[Model],
+    target: usize,
+    n_edits: usize,
+    seed: u64,
+) {
     let mut models = models.to_vec();
     let mut checker = DeltaChecker::with_options(hir, &models, OPTS).unwrap();
     let edits = random_edits(&models[target], n_edits, seed);
@@ -114,7 +120,7 @@ transformation C2T(uml : UML, rdb : RDB) {
   }
 }
 "#;
-    let hir = parse_and_resolve(src, &[uml.clone(), rdb.clone()]).unwrap();
+    let hir = std::sync::Arc::new(parse_and_resolve(src, &[uml.clone(), rdb.clone()]).unwrap());
     let m_uml = parse_model(
         r#"model u : UML {
             a1 = Attribute { name = "id" }

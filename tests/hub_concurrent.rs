@@ -1,0 +1,155 @@
+//! Concurrency coverage for the multi-tenant [`SyncHub`] (ISSUE 5):
+//!
+//! * N threads drive **distinct** named sessions over one shared
+//!   `Arc<Transformation>` — every session's outcome (fingerprint,
+//!   status, journal, printed tuple) is byte-identical to a
+//!   single-threaded reference run of the same script;
+//! * open/close races on one name resolve to exactly one winner per
+//!   round, and a handle closed under a client keeps working.
+//!
+//! The suite is run under `RUST_TEST_THREADS=4` in CI (the
+//! `concurrent-tests` job), stacking test-level parallelism on top of
+//! the threads spawned here.
+
+use mmtf::core::{HubError, SyncHub, Transformation};
+use mmtf::gen::{feature_workload, FeatureSpec, SessionScriptGen, SessionStep};
+use mmtf::model::text::print_model;
+use mmtf::model::Model;
+use mmtf::prelude::{DomIdx, DomSet, Shape};
+use std::sync::Arc;
+
+const N_SESSIONS: usize = 8;
+
+fn fixture() -> (Transformation, Vec<Model>) {
+    let t = Transformation::from_sources(
+        &mmtf::gen::transformation_source(2),
+        &[mmtf::gen::CF_METAMODEL, mmtf::gen::FM_METAMODEL],
+    )
+    .unwrap();
+    let w = feature_workload(FeatureSpec {
+        n_features: 5,
+        ..FeatureSpec::default()
+    });
+    (t, w.models)
+}
+
+/// One deterministic per-session workload: seeded drift with repair
+/// checkpoints, exactly what a client would pump through the serve
+/// protocol. Returns the session's observable outcome.
+fn drive(session: &mut mmtf::core::SyncSession, seed: u64) -> (u64, bool, usize, Vec<String>) {
+    let targets = DomSet::from_iter([DomIdx(0), DomIdx(1)]);
+    let mut gen = SessionScriptGen::new(targets, 3, seed);
+    for _ in 0..12 {
+        match gen.next_step(session.models()) {
+            SessionStep::Edit { model, op } => {
+                session.apply(model, op).unwrap();
+            }
+            SessionStep::Repair { targets } => {
+                let _ = session.repair(Shape::from_targets(targets)).unwrap();
+            }
+        }
+    }
+    (
+        session.fingerprint(),
+        session.status().consistent,
+        session.journal().len(),
+        session.models().iter().map(print_model).collect(),
+    )
+}
+
+/// N threads, N distinct sessions, one shared transformation: results
+/// equal the single-threaded reference byte for byte.
+#[test]
+fn concurrent_sessions_match_single_threaded_reference() {
+    let (t, models) = fixture();
+
+    // Reference pass: the same N scripts, driven sequentially.
+    let reference: Vec<_> = (0..N_SESSIONS)
+        .map(|i| {
+            let mut session = t.session(&models).unwrap();
+            drive(&mut session, 1000 + i as u64)
+        })
+        .collect();
+
+    let hub = Arc::new(SyncHub::new());
+    let shared = hub.register("F", t).unwrap();
+    let outcomes: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..N_SESSIONS)
+            .map(|i| {
+                let hub = Arc::clone(&hub);
+                let models = &models;
+                s.spawn(move || {
+                    let name = format!("client-{i}");
+                    let handle = hub.open(&name, "F", models).unwrap();
+                    handle.with(|session| drive(session, 1000 + i as u64))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (i, (got, want)) in outcomes.iter().zip(&reference).enumerate() {
+        assert_eq!(got, want, "session {i} diverged from the reference run");
+    }
+    assert_eq!(hub.len(), N_SESSIONS);
+    // Every session shares the one registered transformation.
+    for name in hub.list() {
+        let h = hub.get(&name).unwrap();
+        assert!(Arc::ptr_eq(h.transformation(), &shared));
+    }
+}
+
+/// Racing opens of one name admit exactly one winner; racing closes
+/// admit exactly one closer; a closed handle keeps serving its holder.
+#[test]
+fn open_close_races_resolve_to_one_winner() {
+    let (t, models) = fixture();
+    let hub = Arc::new(SyncHub::new());
+    hub.register("F", t).unwrap();
+
+    for round in 0..6 {
+        let opened: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let hub = Arc::clone(&hub);
+                    let models = &models;
+                    s.spawn(move || match hub.open("contested", "F", models) {
+                        Ok(_) => true,
+                        Err(HubError::DuplicateSession(_)) => false,
+                        Err(e) => panic!("unexpected open error: {e}"),
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .filter(|&won| won)
+                .count()
+        });
+        assert_eq!(opened, 1, "round {round}: exactly one open wins");
+        assert_eq!(hub.list(), ["contested"]);
+
+        let survivor = hub.get("contested").unwrap();
+        let closed: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let hub = Arc::clone(&hub);
+                    s.spawn(move || match hub.close("contested") {
+                        Ok(_) => true,
+                        Err(HubError::UnknownSession(_)) => false,
+                        Err(e) => panic!("unexpected close error: {e}"),
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .filter(|&won| won)
+                .count()
+        });
+        assert_eq!(closed, 1, "round {round}: exactly one close wins");
+        assert!(hub.is_empty());
+        // The drained handle still answers after its slot is gone.
+        assert!(survivor.with(|session| session.status().consistent));
+    }
+}

@@ -10,7 +10,7 @@ use mmtf::prelude::*;
 
 /// The PR 2 random-edit scenarios: seeded feature workloads driven into
 /// arbitrary states by seeded random edit scripts on every component.
-fn random_edit_requests() -> (Hir, Vec<RepairRequest>) {
+fn random_edit_requests() -> (std::sync::Arc<Hir>, Vec<RepairRequest>) {
     let mut requests = Vec::new();
     let mut hir = None;
     for seed in 0..8u64 {

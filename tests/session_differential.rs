@@ -79,7 +79,7 @@ fn assert_session_matches_stateless(
                 d.apply(&mut stateless[model.index()]).unwrap();
             }
             SessionStep::Repair { targets } => {
-                let shape = Shape(targets);
+                let shape = Shape::from_targets(targets);
                 let warm = session.repair(shape);
                 let cold = t.enforce_with(&stateless, shape, engine, repair.clone());
                 match (warm, cold) {
@@ -167,7 +167,7 @@ fn journal_replays_and_rolls_back_exactly() {
                 SessionStep::Repair { targets } => {
                     // May be unrepairable within bounds; both outcomes
                     // are fine for the replay property.
-                    let _ = session.repair(Shape(targets)).unwrap();
+                    let _ = session.repair(Shape::from_targets(targets)).unwrap();
                 }
             }
         }
@@ -226,7 +226,7 @@ fn warm_batch_matches_stateless_batch() {
         });
         let warm = engine.repair_batch_warm(&roots);
         for (i, (out, tuple)) in warm.iter().zip(&tuples).enumerate() {
-            let cold = engine.repair(t.hir(), tuple, targets);
+            let cold = engine.repair(t.hir_arc(), tuple, targets);
             match (out, &cold) {
                 (Ok(None), Ok(None)) => {}
                 (Ok(Some(w)), Ok(Some(c))) => {
