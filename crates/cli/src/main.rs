@@ -5,8 +5,8 @@
 //! mmt check   -t F.qvtr -M CF.mm FM.mm -m cf1.model cf2.model fm.model
 //! mmt enforce -t F.qvtr -M CF.mm FM.mm -m ... --targets cf1,cf2 [--engine sat]
 //! mmt repair  -t F.qvtr -M CF.mm FM.mm --batch reqs/ --targets cf1,cf2 --jobs 4
-//! mmt sync    session.mmts -t F.qvtr -M CF.mm FM.mm -m ... [--json]
-//! mmt serve   -t F.qvtr -M CF.mm FM.mm -m ... [--out dir]
+//! mmt sync    session.mmts -t F.qvtr -M CF.mm FM.mm -m ... [--json] [--store dir]
+//! mmt serve   -t F.qvtr -M CF.mm FM.mm -m ... [--out dir] [--store dir]
 //! mmt deps    -t F.qvtr -M CF.mm FM.mm
 //! ```
 
@@ -17,6 +17,7 @@ use mmt_dist::{EditOp, TupleCost};
 use mmt_enforce::RepairOptions;
 use mmt_model::text::{parse_metamodel, parse_model, print_model};
 use mmt_model::{AttrType, Metamodel, Model, ObjId, Sym, Value};
+use mmt_store::PersistentSession;
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -94,6 +95,7 @@ USAGE:
   mmt sync <script> -t <spec.qvtr> -M <mm>... -m <model>...
            [--json] [--engine sat|search] [--max-cost <n>]
            [--weights <w,...>] [--jobs <n>] [--out <dir>]
+           [--store <dir>]
 
 Opens one warm synchronization session over the model tuple (one cold
 start, then O(|edit|) per command) and executes the script line by
@@ -118,6 +120,13 @@ With `--json`, `status` dumps a JSON object instead of text. The repair
 engine defaults to `search` (it reuses the warm state). With
 `--out <dir>` the final tuple is written as `<dir>/<param>.model`.
 Exits 0 when the final state is consistent, 1 otherwise.
+
+With `--store <dir>`, the session is durable: every journal entry is
+written to a write-ahead log (fsynced after each script line), and if
+<dir> already holds a store, the session *resumes* from it — the seed
+tuple and journal are recovered from disk (the `-m` models are ignored)
+and the script continues where the previous run stopped. A crashed run
+recovers to exactly its last committed script line.
 "#;
 
 const USAGE_SERVE: &str = r#"mmt serve — serve concurrent sessions over a JSON line protocol
@@ -125,7 +134,7 @@ const USAGE_SERVE: &str = r#"mmt serve — serve concurrent sessions over a JSON
 USAGE:
   mmt serve -t <spec.qvtr> -M <mm>... -m <model>...
             [--engine sat|search] [--max-cost <n>] [--weights <w,...>]
-            [--jobs <n>] [--out <dir>]
+            [--jobs <n>] [--out <dir>] [--store <dir>]
 
 Loads the transformation once, then reads one JSON request per line
 from stdin and writes one JSON response per line to stdout, serving
@@ -147,6 +156,14 @@ the leading `edit` keyword, and `status`/`journal` results are byte-
 identical to `mmt sync --json` output for the same commands. With
 `--out <dir>`, `close` writes the session's final tuple to
 `<dir>/<session>/<param>.model`. EOF on stdin exits 0.
+
+With `--store <dir>`, sessions are durable: `open` snapshots the seed
+tuple, every `edit`/`repair`/`rollback` appends to (or rewinds) a
+per-session write-ahead log before answering, and `close` retires the
+session's store. A restarted `mmt serve --store <dir>` recovers every
+session that was open when the previous process died, with identical
+`status`/`journal` answers. Durable session names must carry no
+whitespace.
 "#;
 
 const USAGE_DEPS: &str = r#"mmt deps — print the resolved transformation
@@ -179,6 +196,7 @@ struct Parsed {
     max_cost: u64,
     weights: Option<Vec<u64>>,
     out: Option<String>,
+    store: Option<String>,
     jobs: usize,
     batch: Option<String>,
     script: Option<String>,
@@ -197,6 +215,7 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
         max_cost: 16,
         weights: None,
         out: None,
+        store: None,
         jobs: 1,
         batch: None,
         script: None,
@@ -256,6 +275,10 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
             "--out" | "-o" => {
                 i += 1;
                 p.out = Some(args.get(i).ok_or("missing value for --out")?.clone());
+            }
+            "--store" => {
+                i += 1;
+                p.store = Some(args.get(i).ok_or("missing value for --store")?.clone());
             }
             "--jobs" | "-j" => {
                 i += 1;
@@ -627,18 +650,36 @@ fn run_sync(p: &Parsed) -> Result<ExitCode, String> {
         (script_path, src)
     };
     let (t, models) = load(p, "sync")?;
-    if models.len() != t.arity() {
-        return Err(format!(
-            "transformation expects {} models, got {}",
-            t.arity(),
-            models.len()
-        ));
-    }
+    let t = Arc::new(t);
     let opts = SessionOptions {
         engine: p.engine.unwrap_or(EngineKind::Search),
         repair: repair_options(&t, p)?,
     };
-    let mut session = t.session_with(&models, opts).map_err(|e| e.to_string())?;
+    // With --store, a directory that already holds a session store wins
+    // over -m: the session resumes from its persisted seed + journal.
+    let store_dir = p.store.as_ref().map(Path::new);
+    let (mut store, mut session) = match store_dir {
+        Some(dir) if PersistentSession::exists(dir) => {
+            let (ps, s) = PersistentSession::open(dir, &t, opts).map_err(|e| e.to_string())?;
+            (Some(ps), s)
+        }
+        _ => {
+            if models.len() != t.arity() {
+                return Err(format!(
+                    "transformation expects {} models, got {}",
+                    t.arity(),
+                    models.len()
+                ));
+            }
+            let s = SyncSession::with_options(Arc::clone(&t), &models, opts)
+                .map_err(|e| e.to_string())?;
+            let ps = store_dir
+                .map(|dir| PersistentSession::create(dir, &s))
+                .transpose()
+                .map_err(|e| e.to_string())?;
+            (ps, s)
+        }
+    };
     for (lineno, raw) in script_src.lines().enumerate() {
         let line = strip_comment(raw).trim();
         if line.is_empty() {
@@ -646,6 +687,13 @@ fn run_sync(p: &Parsed) -> Result<ExitCode, String> {
         }
         exec_sync_line(&t, &mut session, line, p.json)
             .map_err(|e| format!("{script_path}:{}: {e}", lineno + 1))?;
+        // Commit point: each script line is durable before the next one
+        // runs (a no-op when the line didn't touch the journal).
+        if let Some(store) = &mut store {
+            store
+                .commit(&session)
+                .map_err(|e| format!("{script_path}:{}: store: {e}", lineno + 1))?;
+        }
     }
     let status = session.status();
     if !p.json {

@@ -26,10 +26,12 @@ use crate::{
     apply_session_edit, journal_json, json_str, load, repair_options, shape_of_names, status_json,
     write_models_quiet, Parsed,
 };
-use mmt_core::{EngineKind, SessionOptions, SyncHub, Transformation};
+use mmt_core::{EngineKind, SessionHandle, SessionOptions, SyncHub, Transformation};
 use mmt_model::Model;
+use mmt_store::{write_hub_manifest, HubStore, PersistentSession};
+use std::collections::HashMap;
 use std::io::{BufRead, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// A parsed JSON value — the minimal self-contained reader the request
@@ -67,10 +69,16 @@ impl Json {
     }
 }
 
+/// Hard ceiling on container nesting. Real requests nest two levels;
+/// without a cap a hostile line of `[[[[…` recurses once per bracket
+/// and takes the whole serve loop down with a stack overflow.
+const MAX_DEPTH: usize = 64;
+
 /// Recursive-descent JSON reader over one request line.
 struct JsonReader<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> JsonReader<'a> {
@@ -78,6 +86,7 @@ impl<'a> JsonReader<'a> {
         JsonReader {
             bytes: src.as_bytes(),
             pos: 0,
+            depth: 0,
         }
     }
 
@@ -109,8 +118,22 @@ impl<'a> JsonReader<'a> {
 
     fn value(&mut self) -> Result<Json, String> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(c @ (b'{' | b'[')) => {
+                if self.depth >= MAX_DEPTH {
+                    return Err(format!(
+                        "nesting deeper than {MAX_DEPTH} levels at byte {}",
+                        self.pos
+                    ));
+                }
+                self.depth += 1;
+                let v = if c == b'{' {
+                    self.object()
+                } else {
+                    self.array()
+                };
+                self.depth -= 1;
+                v
+            }
             Some(b'"') => Ok(Json::Str(self.string()?)),
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
@@ -276,6 +299,37 @@ fn str_field(obj: &[(String, Json)], key: &str) -> Result<String, String> {
     }
 }
 
+/// The durable side of a serving hub: the store directory plus the open
+/// per-session stores the loop commits to after every mutating request.
+struct ServeStore {
+    dir: PathBuf,
+    sessions: HashMap<String, PersistentSession>,
+}
+
+impl ServeStore {
+    /// Rewrites the hub manifest from the hub's current registry — the
+    /// visibility point for `open`/`close` under `--store`.
+    fn sync_manifest(&self, hub: &SyncHub) -> Result<(), String> {
+        let entries: Vec<(String, String)> = hub
+            .sessions()
+            .iter()
+            .map(|h| (h.name().to_string(), h.transformation_id().to_string()))
+            .collect();
+        write_hub_manifest(&self.dir, &entries).map_err(|e| format!("store: {e}"))
+    }
+
+    /// Commits the named session's journal to its WAL (the commit point
+    /// of one mutating request).
+    fn commit(&mut self, name: &str, handle: &SessionHandle) -> Result<(), String> {
+        if let Some(ps) = self.sessions.get_mut(name) {
+            handle
+                .with(|s| ps.commit(s))
+                .map_err(|e| format!("store: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
 /// The serve loop: reads one JSON request per stdin line, writes one
 /// JSON response per stdout line. See [`crate::USAGE_SERVE`] and the
 /// module docs for the protocol.
@@ -294,14 +348,52 @@ pub(crate) fn run_serve(p: &Parsed) -> Result<ExitCode, String> {
     };
     let hub = SyncHub::new();
     let t = hub.register("default", t).map_err(|e| e.to_string())?;
+    // With --store, recover every session the previous process left
+    // behind before serving the first request.
+    let mut store = match &p.store {
+        None => None,
+        Some(dir) => {
+            let dir = PathBuf::from(dir);
+            std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            let mut sessions = HashMap::new();
+            if dir.join("hub").is_file() {
+                for (handle, ps) in hub
+                    .restore_from(&dir, &opts)
+                    .map_err(|e| format!("store: {e}"))?
+                {
+                    sessions.insert(handle.name().to_string(), ps);
+                }
+            }
+            Some(ServeStore { dir, sessions })
+        }
+    };
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout().lock();
-    for line in stdin.lock().lines() {
-        let line = line.map_err(|e| format!("stdin: {e}"))?;
-        if line.trim().is_empty() {
-            continue;
+    // Read raw byte lines: a line that is not UTF-8 is a bad request to
+    // answer, not a reason to kill the loop.
+    for raw in stdin.lock().split(b'\n') {
+        let mut raw = raw.map_err(|e| format!("stdin: {e}"))?;
+        if raw.last() == Some(&b'\r') {
+            raw.pop();
         }
-        let response = respond(&hub, &t, &models, &opts, p.out.as_deref(), &line);
+        let response = match String::from_utf8(raw) {
+            Ok(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                respond(
+                    &hub,
+                    &t,
+                    &models,
+                    &opts,
+                    p.out.as_deref(),
+                    &mut store,
+                    &line,
+                )
+            }
+            Err(_) => "{\"id\":null,\"ok\":false,\"error\":\"bad request: line is not UTF-8\"}"
+                .to_string(),
+        };
         writeln!(stdout, "{response}").map_err(|e| format!("stdout: {e}"))?;
         stdout.flush().map_err(|e| format!("stdout: {e}"))?;
     }
@@ -317,13 +409,17 @@ fn respond(
     seed_models: &[Model],
     opts: &SessionOptions,
     out_dir: Option<&str>,
+    store: &mut Option<ServeStore>,
     line: &str,
 ) -> String {
     let (id, outcome) = match JsonReader::parse_request(line) {
         Err(e) => (Json::Null, Err(format!("bad request: {e}"))),
         Ok(obj) => {
             let id = field(&obj, "id").cloned().unwrap_or(Json::Null);
-            (id, dispatch(hub, t, seed_models, opts, out_dir, &obj))
+            (
+                id,
+                dispatch(hub, t, seed_models, opts, out_dir, store, &obj),
+            )
         }
     };
     let id = id.render();
@@ -341,6 +437,7 @@ fn dispatch(
     seed_models: &[Model],
     opts: &SessionOptions,
     out_dir: Option<&str>,
+    store: &mut Option<ServeStore>,
     obj: &[(String, Json)],
 ) -> Result<String, String> {
     let cmd = str_field(obj, "cmd")?;
@@ -360,9 +457,33 @@ fn dispatch(
                     json_str(&name)
                 ));
             }
+            // Durable names additionally become store manifest tokens.
+            if store.is_some() && name.chars().any(char::is_whitespace) {
+                return Err(format!(
+                    "invalid session name {}: durable session names must carry no whitespace",
+                    json_str(&name)
+                ));
+            }
             let handle = hub
                 .open_with(&name, "default", seed_models, opts.clone())
                 .map_err(|e| e.to_string())?;
+            if let Some(st) = store {
+                // Snapshot the fresh session; if the store cannot hold
+                // it, the open fails as a whole (close the hub slot so
+                // memory and disk never disagree about what exists).
+                let created = handle
+                    .with(|s| PersistentSession::create(&st.dir.join("sessions").join(&name), s))
+                    .map_err(|e| format!("store: {e}"))
+                    .and_then(|ps| {
+                        st.sessions.insert(name.clone(), ps);
+                        st.sync_manifest(hub)
+                    });
+                if let Err(e) = created {
+                    let _ = hub.close(&name);
+                    st.sessions.remove(&name);
+                    return Err(e);
+                }
+            }
             Ok(handle.with(|s| status_json(s)))
         }
         "status" => {
@@ -372,13 +493,18 @@ fn dispatch(
         "edit" => {
             let spec = str_field(obj, "edit")?;
             let handle = hub.get(&name).map_err(|e| e.to_string())?;
-            handle.with(|s| apply_session_edit(t, s, &spec).map(|_| status_json(s)))
+            let result =
+                handle.with(|s| apply_session_edit(t, s, &spec).map(|_| status_json(s)))?;
+            if let Some(st) = store {
+                st.commit(&name, &handle)?;
+            }
+            Ok(result)
         }
         "repair" => {
             let shape = shape_of_names(t, &str_field(obj, "targets")?)?;
             let handle = hub.get(&name).map_err(|e| e.to_string())?;
-            handle.with(|s| match s.repair(shape).map_err(|e| e.to_string())? {
-                None => Ok("{\"repaired\":false}".to_string()),
+            let result = handle.with(|s| match s.repair(shape).map_err(|e| e.to_string())? {
+                None => Ok::<String, String>("{\"repaired\":false}".to_string()),
                 Some(out) => {
                     let deltas: Vec<String> = out
                         .deltas
@@ -391,7 +517,11 @@ fn dispatch(
                         deltas.join(",")
                     ))
                 }
-            })
+            })?;
+            if let Some(st) = store {
+                st.commit(&name, &handle)?;
+            }
+            Ok(result)
         }
         "rollback" => {
             let n = match field(obj, "n") {
@@ -401,12 +531,16 @@ fn dispatch(
                 None => return Err("missing field \"n\"".into()),
             };
             let handle = hub.get(&name).map_err(|e| e.to_string())?;
-            handle.with(|s| {
+            let result = handle.with(|s| {
                 // `rollback` saturates at the journal length itself, so
                 // the "all" sentinel needs no pre-clamping here.
                 let undone = s.rollback(n).map_err(|e| e.to_string())?;
-                Ok(format!("{{\"undone\":{undone}}}"))
-            })
+                Ok::<String, String>(format!("{{\"undone\":{undone}}}"))
+            })?;
+            if let Some(st) = store {
+                st.commit(&name, &handle)?;
+            }
+            Ok(result)
         }
         "journal" => {
             let handle = hub.get(&name).map_err(|e| e.to_string())?;
@@ -421,6 +555,17 @@ fn dispatch(
                 handle.with(|s| write_models_quiet(&Path::new(dir).join(&name), t, s.models()))?;
             }
             hub.close(&name).map_err(|e| e.to_string())?;
+            if let Some(st) = store {
+                // A closed session's story is over: retire its store and
+                // drop it from the manifest.
+                st.sessions.remove(&name);
+                let dir = st.dir.join("sessions").join(&name);
+                if dir.exists() {
+                    std::fs::remove_dir_all(&dir)
+                        .map_err(|e| format!("store: {}: {e}", dir.display()))?;
+                }
+                st.sync_manifest(hub)?;
+            }
             Ok(format!("{{\"closed\":{}}}", json_str(&name)))
         }
         other => Err(format!("unknown cmd `{other}`")),

@@ -659,3 +659,149 @@ fn sync_reads_script_from_stdin() {
         "{stderr}"
     );
 }
+
+// --- ISSUE 6: `--store` durability across invocations ---
+
+/// `mmt sync --store` persists the session; a second invocation picks
+/// it up where the first left off (the `-m` tuple is ignored on
+/// resume) and sees the identical status JSON.
+#[test]
+fn sync_store_resumes_across_invocations() {
+    let store = std::env::temp_dir().join(format!("mmt-cli-sync-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+
+    // First life: drift the session, dump status, crash (exit).
+    let script1 = write_script("store-life1", "edit cf1 set @0.name = \"motor\"\nstatus\n");
+    let mut args1 = vec![
+        "sync".to_string(),
+        script1.to_string_lossy().into_owned(),
+        "--json".into(),
+    ];
+    args1.extend(data_args());
+    args1.push("--store".into());
+    args1.push(store.to_string_lossy().into_owned());
+    let argrefs: Vec<&str> = args1.iter().map(String::as_str).collect();
+    let (out1, err1, code1) = mmt(&argrefs);
+    // Exit 1: the drifted tuple is (deliberately) left inconsistent.
+    assert_eq!(code1, Some(1), "{out1}\n{err1}");
+    let last_status = out1
+        .lines()
+        .rfind(|l| l.starts_with('{'))
+        .unwrap()
+        .to_string();
+
+    // Second life: `status` alone must reproduce the first life's
+    // final status byte for byte, then keep editing and roll back —
+    // proof the journal (not just the tuple) survived.
+    let script2 = write_script(
+        "store-life2",
+        "status\nedit fm add Feature @2\nrollback 2\nstatus\n",
+    );
+    let mut args2 = vec![
+        "sync".to_string(),
+        script2.to_string_lossy().into_owned(),
+        "--json".into(),
+    ];
+    args2.extend(data_args());
+    args2.push("--store".into());
+    args2.push(store.to_string_lossy().into_owned());
+    let argrefs: Vec<&str> = args2.iter().map(String::as_str).collect();
+    let (out2, err2, code2) = mmt(&argrefs);
+    // Exit 1 again: the rollback lands on the (inconsistent) seed.
+    assert_eq!(code2, Some(1), "{out2}\n{err2}");
+    let mut lines = out2.lines().filter(|l| l.starts_with('{'));
+    assert_eq!(lines.next().unwrap(), last_status, "resume diverged");
+    // rollback 2 unwound both the new edit and the first life's edit.
+    let final_status = lines.next().unwrap();
+    assert!(final_status.contains("\"journal\":0"), "{final_status}");
+
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+/// The crash half of the durability story: `mmt serve --store` is
+/// SIGKILLed mid-session after an edit was acknowledged; a second
+/// invocation recovers the session and answers `status` with the
+/// identical payload.
+#[test]
+fn serve_store_recovers_after_kill() {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    use std::process::Stdio;
+
+    let store = std::env::temp_dir().join(format!("mmt-cli-serve-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let mut args = vec!["serve".to_string()];
+    args.extend(data_args());
+    args.push("--store".into());
+    args.push(store.to_string_lossy().into_owned());
+    let argrefs: Vec<&str> = args.iter().map(String::as_str).collect();
+
+    // First life: open + edit + status, then SIGKILL — no close, no
+    // clean shutdown, no EOF.
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_mmt"))
+        .args(&argrefs)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("binary runs");
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    stdin
+        .write_all(
+            b"{\"id\":1,\"cmd\":\"open\",\"session\":\"s\"}\n\
+              {\"id\":2,\"cmd\":\"edit\",\"session\":\"s\",\"edit\":\"cf1 set @0.name = \\\"motor\\\"\"}\n\
+              {\"id\":3,\"cmd\":\"status\",\"session\":\"s\"}\n",
+        )
+        .unwrap();
+    stdin.flush().unwrap();
+    let mut first_life = Vec::new();
+    for _ in 0..3 {
+        let mut line = String::new();
+        stdout.read_line(&mut line).unwrap();
+        first_life.push(line.trim_end().to_string());
+    }
+    // The edit was acknowledged — and therefore committed — before
+    // the kill.
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    // Second life: no open — recovery must have done it.
+    let (out2, err2, code2) = mmt_with_stdin(
+        &argrefs,
+        "{\"id\":3,\"cmd\":\"status\",\"session\":\"s\"}\n{\"id\":4,\"cmd\":\"journal\",\"session\":\"s\"}\n",
+    );
+    assert_eq!(code2, Some(0), "{out2}\n{err2}");
+    assert_eq!(
+        serve_result(&out2, 3),
+        serve_result(&first_life.join("\n"), 3),
+        "recovered status diverged from the killed session's"
+    );
+    // The journal carries the acknowledged edit.
+    assert!(serve_result(&out2, 4).contains("motor"), "{out2}");
+
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+/// Durable session names must be filesystem- and manifest-safe:
+/// whitespace is rejected up front (only when a store is attached).
+#[test]
+fn serve_store_rejects_unsafe_names() {
+    let store = std::env::temp_dir().join(format!("mmt-cli-serve-names-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let mut args = vec!["serve".to_string()];
+    args.extend(data_args());
+    args.push("--store".into());
+    args.push(store.to_string_lossy().into_owned());
+    let argrefs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (stdout, stderr, code) = mmt_with_stdin(
+        &argrefs,
+        "{\"id\":1,\"cmd\":\"open\",\"session\":\"a b\"}\n{\"id\":2,\"cmd\":\"open\",\"session\":\"ok\"}\n",
+    );
+    assert_eq!(code, Some(0), "{stdout}\n{stderr}");
+    assert!(
+        stdout.contains("{\"id\":1,\"ok\":false,\"error\":\"invalid session name"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("{\"id\":2,\"ok\":true"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&store);
+}

@@ -109,6 +109,7 @@ impl From<CoreError> for HubError {
 /// drain) its work.
 pub struct SessionHandle {
     name: String,
+    transformation_id: String,
     transformation: Arc<Transformation>,
     session: Mutex<SyncSession>,
 }
@@ -117,6 +118,13 @@ impl SessionHandle {
     /// The name this session was opened under.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The registry id of the transformation this session was opened
+    /// against — what a durable snapshot records so a restore can
+    /// re-bind the session to the same registered specification.
+    pub fn transformation_id(&self) -> &str {
+        &self.transformation_id
     }
 
     /// The shared transformation this session synchronizes against.
@@ -244,8 +252,36 @@ impl SyncHub {
             return Err(HubError::DuplicateSession(name.to_string()));
         }
         let session = SyncSession::with_options(Arc::clone(&t), models, opts)?;
+        self.insert(name, transformation_id, t, session)
+    }
+
+    /// Adopts an already-running session into the registry under `name`,
+    /// stamped with the id of the (registered) transformation it
+    /// synchronizes against. This is the restore path of durable
+    /// snapshots: the session was rebuilt elsewhere (seed + journal
+    /// replay) and must land in the hub *without* a second cold start.
+    /// Errors like [`SyncHub::open`] on an unknown transformation id or
+    /// a taken name.
+    pub fn adopt(
+        &self,
+        name: &str,
+        transformation_id: &str,
+        session: SyncSession,
+    ) -> Result<Arc<SessionHandle>, HubError> {
+        let t = self.transformation(transformation_id)?;
+        self.insert(name, transformation_id, t, session)
+    }
+
+    fn insert(
+        &self,
+        name: &str,
+        transformation_id: &str,
+        t: Arc<Transformation>,
+        session: SyncSession,
+    ) -> Result<Arc<SessionHandle>, HubError> {
         let handle = Arc::new(SessionHandle {
             name: name.to_string(),
+            transformation_id: transformation_id.to_string(),
             transformation: t,
             session: Mutex::new(session),
         });
@@ -281,6 +317,20 @@ impl SyncHub {
             .unwrap_or_else(PoisonError::into_inner)
             .remove(name)
             .ok_or_else(|| HubError::UnknownSession(name.to_string()))
+    }
+
+    /// Handles of every open session, sorted by name — the enumeration
+    /// a whole-hub snapshot walks.
+    pub fn sessions(&self) -> Vec<Arc<SessionHandle>> {
+        let mut handles: Vec<Arc<SessionHandle>> = self
+            .sessions
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+            .cloned()
+            .collect();
+        handles.sort_by(|a, b| a.name.cmp(&b.name));
+        handles
     }
 
     /// Names of every open session, sorted.

@@ -392,6 +392,62 @@ impl SyncSession {
         self.rollback(self.journal.len())
     }
 
+    /// Replays one **already-expanded** journal entry — the exact form
+    /// [`SyncSession::journal`] stores and a durable store persists —
+    /// through the incremental path, then pushes the entry onto the
+    /// journal verbatim.
+    ///
+    /// Unlike [`SyncSession::apply`], ops are *not* re-expanded or
+    /// no-op-filtered: expanded entries are fixpoints of expansion, so
+    /// re-running them op by op reproduces the original session's
+    /// checker state, fingerprint, and journal bytes exactly. That is
+    /// the recovery ≡ replay contract crash recovery (`mmt-store`)
+    /// builds on. Empty entries are skipped (the live path never
+    /// journals them).
+    ///
+    /// On error the entry is not journaled but the checker may have
+    /// absorbed a prefix of it — discard the session, as with
+    /// [`CoreError::Eval`] poisoning.
+    pub fn replay_entry(&mut self, entry: JournalEntry) -> Result<SyncStatus, CoreError> {
+        assert_eq!(
+            entry.deltas.len(),
+            self.t.arity(),
+            "journal entry arity matches the session"
+        );
+        for (i, delta) in entry.deltas.iter().enumerate() {
+            let model = DomIdx(i as u8);
+            for op in delta.ops() {
+                let next = fingerprint_step(self.checker.models(), self.fp, model, op);
+                self.checker.apply(model, op).map_err(delta_core_err)?;
+                if let Some(next) = next {
+                    self.fp = next;
+                }
+            }
+        }
+        if entry.deltas.iter().any(|d| !d.is_empty()) {
+            self.journal.push(entry);
+        }
+        Ok(self.status())
+    }
+
+    /// Reconstructs the tuple this session was opened over by replaying
+    /// the journal's exact inverse over a copy of the live tuple —
+    /// possible because entries are stored in expanded, exactly
+    /// invertible form. Durable stores use this to write an id-faithful
+    /// seed without having kept the original models around.
+    pub fn seed_models(&self) -> Result<Vec<Model>, CoreError> {
+        let mut models = self.checker.models().to_vec();
+        for entry in self.journal.iter().rev() {
+            for (i, delta) in entry.deltas.iter().enumerate() {
+                delta
+                    .inverse()
+                    .apply(&mut models[i])
+                    .map_err(CoreError::Model)?;
+            }
+        }
+        Ok(models)
+    }
+
     /// Flattens the journal into one per-model script, in entry order.
     /// Applying slot `i` to the seed tuple's model `i` reproduces the
     /// live model byte for byte — the replay invariant the differential

@@ -1,0 +1,595 @@
+//! Text codec for journal entries and seed tuples.
+//!
+//! WAL record payloads reuse the session's own `journal_script` line
+//! format — the [`mmt_dist::EditOp`] `Display` form (`+ @5 : class#1`,
+//! `@5.attr#0 = "x" (was "")`, `+ @0 --ref#1--> @2`) — under a one-line
+//! header naming the entry kind:
+//!
+//! ```text
+//! repair 0,1 3      (or: edit)
+//! m0                (per-model blocks, empty models omitted)
+//! + @4 : class#0
+//! @4.attr#0 = "brakes" (was "")
+//! m2
+//! - @1 --ref#0--> @0
+//! ```
+//!
+//! Seeds use the same op lines (an add-only script reconstructing the
+//! model) under `model <name>` / `bound <id_bound>` headers; the
+//! recorded id bound keeps the seed **id-faithful** — trailing
+//! tombstones are re-padded on load, because journal replay and fresh-id
+//! allocation are both id-sensitive and a dense re-numbering (what the
+//! plain model text format would do) would be silent divergence.
+
+use mmt_core::{JournalEntry, JournalKind, Shape};
+use mmt_dist::{Delta, EditOp};
+use mmt_model::{AttrId, ClassId, Metamodel, Model, ObjId, RefId, Value};
+use std::sync::Arc;
+
+/// Renders one journal entry as a WAL record payload.
+pub fn render_entry(entry: &JournalEntry) -> String {
+    let mut out = String::new();
+    match &entry.kind {
+        JournalKind::Edit => out.push_str("edit\n"),
+        JournalKind::Repair { shape, cost } => {
+            let idx: Vec<String> = shape
+                .targets()
+                .iter()
+                .map(|d| d.index().to_string())
+                .collect();
+            out.push_str("repair ");
+            out.push_str(&idx.join(","));
+            out.push(' ');
+            out.push_str(&cost.to_string());
+            out.push('\n');
+        }
+    }
+    for (i, delta) in entry.deltas.iter().enumerate() {
+        if delta.is_empty() {
+            continue;
+        }
+        out.push('m');
+        out.push_str(&i.to_string());
+        out.push('\n');
+        for op in delta.ops() {
+            out.push_str(&op.to_string());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parses one WAL record payload back into a journal entry over a
+/// tuple with parameter metamodels `metas`. Inverse of [`render_entry`].
+/// Every class/attr/ref id is bounds-checked against its model's
+/// metamodel, so garbage that happens to carry a valid checksum still
+/// surfaces as a parse error rather than an index panic downstream.
+pub fn parse_entry(src: &str, metas: &[Arc<Metamodel>]) -> Result<JournalEntry, String> {
+    let arity = metas.len();
+    let mut lines = src.lines();
+    let header = lines.next().ok_or("empty record")?;
+    let kind = if header == "edit" {
+        JournalKind::Edit
+    } else if let Some(rest) = header.strip_prefix("repair ") {
+        let (targets, cost) = rest
+            .rsplit_once(' ')
+            .ok_or("repair header needs `repair <targets> <cost>`")?;
+        let cost: u64 = cost.parse().map_err(|e| format!("bad repair cost: {e}"))?;
+        let mut indices = Vec::new();
+        for tok in targets.split(',') {
+            let i: usize = tok.parse().map_err(|e| format!("bad repair target: {e}"))?;
+            if i >= arity {
+                return Err(format!("repair target {i} out of range (arity {arity})"));
+            }
+            indices.push(i);
+        }
+        JournalKind::Repair {
+            shape: Shape::of(&indices),
+            cost,
+        }
+    } else {
+        return Err(format!("bad entry header {header:?}"));
+    };
+    let mut deltas = vec![Delta::new(); arity];
+    let mut cur: Option<usize> = None;
+    for line in lines {
+        if let Some(idx) = model_header(line) {
+            if idx >= arity {
+                return Err(format!("model index {idx} out of range (arity {arity})"));
+            }
+            cur = Some(idx);
+            continue;
+        }
+        let slot = cur.ok_or_else(|| format!("op line {line:?} before any model header"))?;
+        let op = parse_op(line)?;
+        check_op(&op, &metas[slot])?;
+        deltas[slot].push(op);
+    }
+    Ok(JournalEntry { kind, deltas })
+}
+
+/// Bounds-checks the metamodel ids an op names (object ids are dynamic
+/// and left to `apply`, which rejects bad ones with a typed error
+/// instead of panicking).
+fn check_op(op: &EditOp, meta: &Metamodel) -> Result<(), String> {
+    let (class, attr, r) = match *op {
+        EditOp::AddObj { class, .. } | EditOp::DelObj { class, .. } => (Some(class), None, None),
+        EditOp::SetAttr { attr, .. } => (None, Some(attr), None),
+        EditOp::AddLink { r, .. } | EditOp::DelLink { r, .. } => (None, None, Some(r)),
+    };
+    if let Some(c) = class {
+        if c.index() >= meta.class_count() {
+            return Err(format!("class#{} out of range for metamodel", c.0));
+        }
+    }
+    if let Some(a) = attr {
+        if a.index() >= meta.attr_count() {
+            return Err(format!("attr#{} out of range for metamodel", a.0));
+        }
+    }
+    if let Some(r) = r {
+        if r.index() >= meta.ref_count() {
+            return Err(format!("ref#{} out of range for metamodel", r.0));
+        }
+    }
+    Ok(())
+}
+
+/// `m<digits>` — a per-model block header. Op lines always start with
+/// `+`, `-`, or `@`, so the two line shapes cannot collide.
+fn model_header(line: &str) -> Option<usize> {
+    let digits = line.strip_prefix('m')?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Parses one [`EditOp`] `Display` line.
+pub(crate) fn parse_op(line: &str) -> Result<EditOp, String> {
+    let mut c = Cursor::new(line);
+    let op = if c.eat("+ @") {
+        let id = ObjId(c.int()? as u32);
+        if c.eat(" : class#") {
+            EditOp::AddObj {
+                id,
+                class: ClassId(c.int()? as u32),
+            }
+        } else if c.eat(" --ref#") {
+            let r = RefId(c.int()? as u32);
+            c.expect("--> @")?;
+            EditOp::AddLink {
+                src: id,
+                r,
+                dst: ObjId(c.int()? as u32),
+            }
+        } else {
+            return Err(format!("bad op line {line:?}"));
+        }
+    } else if c.eat("- @") {
+        let id = ObjId(c.int()? as u32);
+        if c.eat(" : class#") {
+            EditOp::DelObj {
+                id,
+                class: ClassId(c.int()? as u32),
+            }
+        } else if c.eat(" --ref#") {
+            let r = RefId(c.int()? as u32);
+            c.expect("--> @")?;
+            EditOp::DelLink {
+                src: id,
+                r,
+                dst: ObjId(c.int()? as u32),
+            }
+        } else {
+            return Err(format!("bad op line {line:?}"));
+        }
+    } else if c.eat("@") {
+        let id = ObjId(c.int()? as u32);
+        c.expect(".attr#")?;
+        let attr = AttrId(c.int()? as u32);
+        c.expect(" = ")?;
+        let value = c.value()?;
+        c.expect(" (was ")?;
+        let old = c.value()?;
+        c.expect(")")?;
+        EditOp::SetAttr {
+            id,
+            attr,
+            value,
+            old,
+        }
+    } else {
+        return Err(format!("bad op line {line:?}"));
+    };
+    if !c.rest().is_empty() {
+        return Err(format!(
+            "trailing garbage {:?} in op line {line:?}",
+            c.rest()
+        ));
+    }
+    Ok(op)
+}
+
+/// Renders an id-faithful seed script of one model: its name, its total
+/// id-space size, and an add-only op script reconstructing every live
+/// object, attribute, and link.
+pub fn render_seed(model: &Model) -> String {
+    let name = model.name.resolve();
+    let empty = Model::new(&name, Arc::clone(model.metamodel()));
+    let delta = Delta::between(&empty, model).expect("same metamodel instance");
+    let mut out = format!("model {name}\nbound {}\n", model.id_bound());
+    for op in delta.ops() {
+        out.push_str(&op.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a seed script back into a model over `meta`. Inverse of
+/// [`render_seed`]: the returned model is `graph_eq` to the original
+/// **and** agrees on `id_bound` (trailing tombstones re-padded), so
+/// journal replay and fresh-id allocation behave identically.
+pub fn parse_seed(src: &str, meta: &Arc<Metamodel>) -> Result<Model, String> {
+    let mut lines = src.lines();
+    let name = lines
+        .next()
+        .and_then(|l| l.strip_prefix("model "))
+        .ok_or("seed must start with `model <name>`")?;
+    let bound: usize = lines
+        .next()
+        .and_then(|l| l.strip_prefix("bound "))
+        .ok_or("seed needs a `bound <n>` line")?
+        .parse()
+        .map_err(|e| format!("bad seed bound: {e}"))?;
+    let mut delta = Delta::new();
+    for line in lines {
+        let op = parse_op(line)?;
+        check_op(&op, meta)?;
+        delta.push(op);
+    }
+    let mut model = Model::new(name, Arc::clone(meta));
+    delta
+        .apply(&mut model)
+        .map_err(|e| format!("seed script refused to apply: {e}"))?;
+    if model.id_bound() < bound {
+        // Trailing tombstones: occupy the last id, then free it again —
+        // the id space grows to `bound` with every new slot dead.
+        let pad = ObjId((bound - 1) as u32);
+        let class = meta
+            .classes()
+            .find(|(_, c)| !c.is_abstract)
+            .map(|(id, _)| id)
+            .ok_or("seed has tombstones but the metamodel has no concrete class")?;
+        model
+            .add_at(pad, class)
+            .and_then(|()| model.delete(pad))
+            .map_err(|e| format!("seed tombstone padding failed: {e}"))?;
+    }
+    if model.id_bound() != bound {
+        return Err(format!(
+            "seed declares id bound {bound} but its script reaches {}",
+            model.id_bound()
+        ));
+    }
+    Ok(model)
+}
+
+/// A tiny cursor over one op line.
+struct Cursor<'a> {
+    s: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str) -> Cursor<'a> {
+        Cursor { s }
+    }
+
+    fn rest(&self) -> &'a str {
+        self.s
+    }
+
+    /// Consumes `prefix` if present.
+    fn eat(&mut self, prefix: &str) -> bool {
+        match self.s.strip_prefix(prefix) {
+            Some(rest) => {
+                self.s = rest;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Consumes `prefix` or errors.
+    fn expect(&mut self, prefix: &str) -> Result<(), String> {
+        if self.eat(prefix) {
+            Ok(())
+        } else {
+            Err(format!("expected {prefix:?} before {:?}", self.s))
+        }
+    }
+
+    /// Consumes a decimal integer (optionally signed).
+    fn int(&mut self) -> Result<i64, String> {
+        let bytes = self.s.as_bytes();
+        let mut end = usize::from(bytes.first() == Some(&b'-'));
+        while bytes.get(end).is_some_and(u8::is_ascii_digit) {
+            end += 1;
+        }
+        let (tok, rest) = self.s.split_at(end);
+        let n = tok
+            .parse::<i64>()
+            .map_err(|e| format!("bad number {tok:?}: {e}"))?;
+        self.s = rest;
+        Ok(n)
+    }
+
+    /// Consumes one attribute value in its `Display` form: a
+    /// Rust-debug-quoted string, `true`/`false`, or an integer.
+    fn value(&mut self) -> Result<Value, String> {
+        if self.s.starts_with('"') {
+            return self.quoted().map(|s| Value::str(&s));
+        }
+        if self.eat("true") {
+            return Ok(Value::Bool(true));
+        }
+        if self.eat("false") {
+            return Ok(Value::Bool(false));
+        }
+        self.int().map(Value::Int)
+    }
+
+    /// Consumes a `{s:?}`-quoted string, undoing Rust debug escaping.
+    fn quoted(&mut self) -> Result<String, String> {
+        let mut chars = self.s.char_indices();
+        match chars.next() {
+            Some((_, '"')) => {}
+            other => return Err(format!("expected opening quote, found {other:?}")),
+        }
+        let mut out = String::new();
+        while let Some((i, ch)) = chars.next() {
+            match ch {
+                '"' => {
+                    self.s = &self.s[i + 1..];
+                    return Ok(out);
+                }
+                '\\' => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, '0')) => out.push('\0'),
+                    Some((_, '\'')) => out.push('\''),
+                    Some((_, 'u')) => {
+                        match chars.next() {
+                            Some((_, '{')) => {}
+                            other => return Err(format!("bad \\u escape at {other:?}")),
+                        }
+                        let mut hex = String::new();
+                        loop {
+                            match chars.next() {
+                                Some((_, '}')) => break,
+                                Some((_, h)) if h.is_ascii_hexdigit() && hex.len() < 6 => {
+                                    hex.push(h)
+                                }
+                                other => return Err(format!("bad \\u escape at {other:?}")),
+                            }
+                        }
+                        let code = u32::from_str_radix(&hex, 16)
+                            .map_err(|e| format!("bad \\u escape: {e}"))?;
+                        out.push(char::from_u32(code).ok_or("bad \\u escape: not a scalar")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_model::{AttrType, MetamodelBuilder, Sym, Upper};
+
+    fn mm() -> Arc<Metamodel> {
+        let mut b = MetamodelBuilder::new("FM");
+        let f = b.class("Feature").unwrap();
+        b.attr(f, "name", AttrType::Str).unwrap();
+        b.attr(f, "mandatory", AttrType::Bool).unwrap();
+        b.attr(f, "rank", AttrType::Int).unwrap();
+        let m = b.class("FeatureModel").unwrap();
+        b.reference(m, "features", f, 0, Upper::Many, true).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn op_lines_round_trip() {
+        let ops = [
+            EditOp::AddObj {
+                id: ObjId(5),
+                class: ClassId(1),
+            },
+            EditOp::DelObj {
+                id: ObjId(0),
+                class: ClassId(0),
+            },
+            EditOp::AddLink {
+                src: ObjId(0),
+                r: RefId(1),
+                dst: ObjId(2),
+            },
+            EditOp::DelLink {
+                src: ObjId(7),
+                r: RefId(0),
+                dst: ObjId(7),
+            },
+            EditOp::SetAttr {
+                id: ObjId(3),
+                attr: AttrId(2),
+                value: Value::Int(-41),
+                old: Value::Int(0),
+            },
+            EditOp::SetAttr {
+                id: ObjId(3),
+                attr: AttrId(1),
+                value: Value::Bool(true),
+                old: Value::Bool(false),
+            },
+            EditOp::SetAttr {
+                id: ObjId(3),
+                attr: AttrId(0),
+                value: Value::str("plain"),
+                old: Value::str(""),
+            },
+        ];
+        for op in ops {
+            assert_eq!(parse_op(&op.to_string()).unwrap(), op, "{op}");
+        }
+    }
+
+    #[test]
+    fn adversarial_strings_round_trip() {
+        // Values that stress the Rust-debug escaping: quotes,
+        // backslashes, the `(was ` delimiter itself, newlines, tabs,
+        // NUL, and non-ASCII.
+        for s in [
+            "a\"b",
+            "back\\slash",
+            "x (was y)",
+            "\" (was \"",
+            "line\nbreak\ttab\rcr",
+            "\0nul",
+            "päper ▷ ü",
+            "",
+        ] {
+            let op = EditOp::SetAttr {
+                id: ObjId(1),
+                attr: AttrId(0),
+                value: Value::str(s),
+                old: Value::str("old \" (was \\ tricky)"),
+            };
+            assert_eq!(parse_op(&op.to_string()).unwrap(), op, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_op_lines_are_rejected() {
+        for bad in [
+            "",
+            "+ @x : class#1",
+            "+ @1 :class#1",
+            "+ @1 : class#1 extra",
+            "? @1 : class#1",
+            "@1.attr#0 = \"unterminated (was \"\")",
+            "@1.attr#0 = \"a\" (was \"b\"",
+            "@1.attr#0 = maybe (was true)",
+            "m0",
+        ] {
+            assert!(parse_op(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn entries_round_trip() {
+        let mut d0 = Delta::new();
+        d0.push(EditOp::AddObj {
+            id: ObjId(4),
+            class: ClassId(0),
+        });
+        d0.push(EditOp::SetAttr {
+            id: ObjId(4),
+            attr: AttrId(0),
+            value: Value::str("brakes"),
+            old: Value::str(""),
+        });
+        let mut d2 = Delta::new();
+        d2.push(EditOp::DelLink {
+            src: ObjId(1),
+            r: RefId(0),
+            dst: ObjId(0),
+        });
+        let entry = JournalEntry {
+            kind: JournalKind::Repair {
+                shape: Shape::of(&[0, 1]),
+                cost: 3,
+            },
+            deltas: vec![d0, Delta::new(), d2],
+        };
+        let metas = vec![mm(), mm(), mm()];
+        let text = render_entry(&entry);
+        let back = parse_entry(&text, &metas).unwrap();
+        assert!(matches!(
+            back.kind,
+            JournalKind::Repair { shape, cost: 3 } if shape.targets() == Shape::of(&[0, 1]).targets()
+        ));
+        assert_eq!(back.deltas.len(), 3);
+        for (a, b) in back.deltas.iter().zip(&entry.deltas) {
+            assert_eq!(a.ops(), b.ops());
+        }
+        // And the rendering is stable under a round trip.
+        assert_eq!(render_entry(&back), text);
+    }
+
+    #[test]
+    fn malformed_entries_are_rejected() {
+        let metas = vec![mm(), mm()];
+        assert!(parse_entry("", &metas).is_err());
+        assert!(parse_entry("repair 0,1\nm0\n", &metas).is_err()); // no cost
+        assert!(parse_entry("repair 5 1\n", &metas).is_err()); // target out of range
+        assert!(parse_entry("edit\nm7\n+ @0 : class#0\n", &metas).is_err()); // model out of range
+        assert!(parse_entry("edit\n+ @0 : class#0\n", &metas).is_err()); // op before header
+        assert!(parse_entry("banana\n", &metas).is_err());
+        // Metamodel ids that pass the grammar but index out of range.
+        assert!(parse_entry("edit\nm0\n+ @0 : class#99\n", &metas).is_err());
+        assert!(parse_entry("edit\nm0\n@0.attr#99 = 1 (was 0)\n", &metas).is_err());
+        assert!(parse_entry("edit\nm0\n+ @0 --ref#99--> @1\n", &metas).is_err());
+    }
+
+    #[test]
+    fn seed_round_trips_with_tombstones() {
+        let meta = mm();
+        let mut m = Model::new("fm", Arc::clone(&meta));
+        let feature = meta.class_named("Feature").unwrap();
+        let fm = meta.class_named("FeatureModel").unwrap();
+        let features = meta.ref_of(fm, Sym::new("features")).unwrap();
+        let root = m.add(fm).unwrap();
+        let a = m.add(feature).unwrap();
+        let b = m.add(feature).unwrap();
+        let c = m.add(feature).unwrap();
+        m.set_attr_named(a, "name", Value::str("a\"b")).unwrap();
+        m.set_attr_named(b, "rank", Value::Int(-3)).unwrap();
+        m.add_link(root, features, a).unwrap();
+        m.add_link(root, features, b).unwrap();
+        // Interior gap at `b`, trailing tombstone at `c`.
+        m.delete(b).unwrap();
+        m.delete(c).unwrap();
+
+        let text = render_seed(&m);
+        let back = parse_seed(&text, &meta).unwrap();
+        assert!(back.graph_eq(&m));
+        assert_eq!(back.id_bound(), m.id_bound());
+        assert_eq!(back.name, m.name);
+        assert_eq!(
+            mmt_model::text::print_model(&back),
+            mmt_model::text::print_model(&m)
+        );
+        // Fresh-id allocation agrees — the property journal replay needs.
+        assert_eq!(back.id_bound(), 4);
+        assert!(!back.contains(ObjId(2)) && !back.contains(ObjId(3)));
+    }
+
+    #[test]
+    fn malformed_seeds_are_rejected() {
+        let meta = mm();
+        assert!(parse_seed("", &meta).is_err());
+        assert!(parse_seed("model x\n", &meta).is_err()); // no bound
+        assert!(parse_seed("model x\nbound z\n", &meta).is_err());
+        // Bound smaller than the script's id space.
+        assert!(parse_seed("model x\nbound 0\n+ @3 : class#0\n", &meta).is_err());
+        // Script that cannot apply (abstract-free metamodel, bad class).
+        assert!(parse_seed("model x\nbound 1\n+ @0 : class#99\n", &meta).is_err());
+    }
+}

@@ -1,0 +1,361 @@
+//! One session on disk: manifest + seed tuple + WAL.
+//!
+//! ```text
+//! <dir>/manifest      mmt-store 1 / spec <hex> / arity <n>
+//! <dir>/seed/<i>.seed id-faithful seed script per model
+//! <dir>/wal           journal entries, one WAL record each
+//! ```
+//!
+//! The manifest is written **last** during [`PersistentSession::create`]
+//! (after seeds and WAL are on disk and the directory is fsynced), so a
+//! store is either visibly absent or complete — a crash mid-create
+//! leaves no half-store that [`PersistentSession::open`] would trust.
+
+use crate::wal::Wal;
+use crate::{
+    io_err, parse_entry, parse_seed, render_entry, render_seed, spec_fingerprint, sync_dir,
+    StoreError,
+};
+use mmt_core::{SessionOptions, SyncSession, Transformation};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const MANIFEST_VERSION: &str = "mmt-store 1";
+
+/// The durable shadow of one [`SyncSession`]: owns the store directory
+/// and its open WAL, and keeps them in sync with the live session via
+/// [`PersistentSession::commit`].
+#[derive(Debug)]
+pub struct PersistentSession {
+    dir: PathBuf,
+    wal: Wal,
+    arity: usize,
+}
+
+impl PersistentSession {
+    /// True iff `dir` holds a completed session store (its manifest —
+    /// the last file `create` writes — exists).
+    pub fn exists(dir: &Path) -> bool {
+        dir.join("manifest").is_file()
+    }
+
+    /// Snapshots `session` into a fresh store at `dir`: seed scripts
+    /// reconstructed via [`SyncSession::seed_models`], one WAL record
+    /// per journal entry, and the manifest last. Refuses to overwrite an
+    /// existing store.
+    pub fn create(dir: &Path, session: &SyncSession) -> Result<PersistentSession, StoreError> {
+        let manifest = dir.join("manifest");
+        if manifest.exists() {
+            return Err(io_err(
+                &manifest,
+                std::io::Error::new(
+                    std::io::ErrorKind::AlreadyExists,
+                    "a session store already exists here",
+                ),
+            ));
+        }
+        let seed_dir = dir.join("seed");
+        fs::create_dir_all(&seed_dir).map_err(|e| io_err(&seed_dir, e))?;
+        for (i, model) in session.seed_models()?.iter().enumerate() {
+            let path = seed_dir.join(format!("{i}.seed"));
+            write_sync(&path, render_seed(model).as_bytes())?;
+        }
+        sync_dir(&seed_dir)?;
+        let mut wal = Wal::create(&dir.join("wal"))?;
+        for entry in session.journal() {
+            wal.append(&render_entry(entry))?;
+        }
+        wal.sync()?;
+        let manifest_text = format!(
+            "{MANIFEST_VERSION}\nspec {}\narity {}\n",
+            spec_fingerprint(session.transformation()),
+            session.transformation().arity()
+        );
+        write_sync(&manifest, manifest_text.as_bytes())?;
+        sync_dir(dir)?;
+        Ok(PersistentSession {
+            dir: dir.to_path_buf(),
+            wal,
+            arity: session.transformation().arity(),
+        })
+    }
+
+    /// Crash recovery: reload the seed tuple, cold-start a session over
+    /// it, then replay the committed WAL prefix verbatim through
+    /// [`SyncSession::replay_entry`] into the warm checker. The result
+    /// is fingerprint-, status-, and journal-identical to the session
+    /// that last committed — or a typed [`StoreError`]; never a
+    /// silently diverged session.
+    pub fn open(
+        dir: &Path,
+        t: &Arc<Transformation>,
+        opts: SessionOptions,
+    ) -> Result<(PersistentSession, SyncSession), StoreError> {
+        let manifest = dir.join("manifest");
+        let (spec, arity) = read_manifest(&manifest)?;
+        let expected = spec_fingerprint(t);
+        if spec != expected || arity != t.arity() {
+            return Err(StoreError::SpecMismatch {
+                path: manifest,
+                expected: format!("{expected} (arity {})", t.arity()),
+                found: format!("{spec} (arity {arity})"),
+            });
+        }
+        let mut models = Vec::with_capacity(arity);
+        for (i, meta) in t.metamodels().iter().enumerate() {
+            let path = dir.join("seed").join(format!("{i}.seed"));
+            let text = fs::read_to_string(&path).map_err(|e| io_err(&path, e))?;
+            models.push(
+                parse_seed(&text, meta).map_err(|detail| StoreError::Corrupt {
+                    path: path.clone(),
+                    offset: 0,
+                    detail,
+                })?,
+            );
+        }
+        let mut session = SyncSession::with_options(Arc::clone(t), &models, opts)?;
+        let wal_path = dir.join("wal");
+        let wal = Wal::open(&wal_path)?;
+        for (record, payload) in wal.payloads().iter().enumerate() {
+            let entry =
+                parse_entry(payload, t.metamodels()).map_err(|detail| StoreError::Corrupt {
+                    path: wal_path.clone(),
+                    offset: wal.end_of(record),
+                    detail,
+                })?;
+            session
+                .replay_entry(entry)
+                .map_err(|source| StoreError::Replay { record, source })?;
+        }
+        Ok((
+            PersistentSession {
+                dir: dir.to_path_buf(),
+                wal,
+                arity,
+            },
+            session,
+        ))
+    }
+
+    /// The store directory this session persists to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Makes the WAL agree with `session`'s journal, then fsyncs — the
+    /// commit point. Diffs by longest common prefix, so the ordinary
+    /// edit/repair case is a pure append and a rollback (possibly
+    /// followed by new edits) truncates once and appends the divergent
+    /// tail.
+    pub fn commit(&mut self, session: &SyncSession) -> Result<(), StoreError> {
+        assert_eq!(
+            session.transformation().arity(),
+            self.arity,
+            "committed session matches the store arity"
+        );
+        let target: Vec<String> = session.journal().iter().map(render_entry).collect();
+        let keep = self
+            .wal
+            .payloads()
+            .iter()
+            .zip(&target)
+            .take_while(|(a, b)| a == b)
+            .count();
+        if keep == self.wal.payloads().len() && keep == target.len() {
+            return Ok(()); // nothing moved since the last commit
+        }
+        self.wal.truncate_to(keep)?;
+        for payload in &target[keep..] {
+            self.wal.append(payload)?;
+        }
+        self.wal.sync()
+    }
+}
+
+/// Writes a whole file and fsyncs it before returning.
+pub(crate) fn write_sync(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let mut f = fs::File::create(path).map_err(|e| io_err(path, e))?;
+    f.write_all(bytes)
+        .and_then(|()| f.sync_all())
+        .map_err(|e| io_err(path, e))
+}
+
+/// Parses the manifest into (spec fingerprint, arity).
+fn read_manifest(path: &Path) -> Result<(String, usize), StoreError> {
+    let text = fs::read_to_string(path).map_err(|e| io_err(path, e))?;
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or("");
+    if header != MANIFEST_VERSION {
+        if text.len() < MANIFEST_VERSION.len() {
+            return Err(StoreError::ShortRead {
+                path: path.to_path_buf(),
+                len: text.len() as u64,
+            });
+        }
+        return Err(StoreError::Version {
+            path: path.to_path_buf(),
+            found: header.to_string(),
+        });
+    }
+    let corrupt = |detail: &str| StoreError::Corrupt {
+        path: path.to_path_buf(),
+        offset: 0,
+        detail: detail.to_string(),
+    };
+    let spec = lines
+        .next()
+        .and_then(|l| l.strip_prefix("spec "))
+        .ok_or_else(|| corrupt("manifest needs a `spec <fingerprint>` line"))?;
+    let arity: usize = lines
+        .next()
+        .and_then(|l| l.strip_prefix("arity "))
+        .ok_or_else(|| corrupt("manifest needs an `arity <n>` line"))?
+        .parse()
+        .map_err(|_| corrupt("manifest arity is not a number"))?;
+    Ok((spec.to_string(), arity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_core::Transformation;
+    use mmt_deps::DomIdx;
+    use mmt_dist::EditOp;
+    use mmt_gen::{feature_workload, FeatureSpec, CF_METAMODEL, FM_METAMODEL};
+    use mmt_model::{ObjId, Value};
+
+    fn fixture() -> (Arc<Transformation>, mmt_gen::FeatureWorkload) {
+        let t = Transformation::from_sources(
+            &mmt_gen::transformation_source(2),
+            &[CF_METAMODEL, FM_METAMODEL],
+        )
+        .unwrap();
+        (Arc::new(t), feature_workload(FeatureSpec::default()))
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mmt-store-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn drift(session: &mut SyncSession) {
+        let fm = session.transformation().metamodels()[2].clone();
+        let feature = fm.class_named("Feature").unwrap();
+        let name = fm.attr_of(feature, mmt_model::Sym::new("name")).unwrap();
+        let id = ObjId(session.models()[2].id_bound() as u32);
+        session
+            .apply(DomIdx(2), EditOp::AddObj { id, class: feature })
+            .unwrap();
+        session
+            .apply(
+                DomIdx(2),
+                EditOp::SetAttr {
+                    id,
+                    attr: name,
+                    value: Value::str("brakes"),
+                    old: Value::str(""),
+                },
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn create_open_reproduces_the_session() {
+        let (t, w) = fixture();
+        let mut session = t.session(&w.models).unwrap();
+        drift(&mut session);
+        let dir = tmp("roundtrip");
+        let mut store = PersistentSession::create(&dir, &session).unwrap();
+        drift(&mut session);
+        store.commit(&session).unwrap();
+
+        let (_, back) = PersistentSession::open(&dir, &t, SessionOptions::default()).unwrap();
+        assert_eq!(back.fingerprint(), session.fingerprint());
+        assert_eq!(back.status(), session.status());
+        assert_eq!(back.journal().len(), session.journal().len());
+        for (a, b) in back.journal().iter().zip(session.journal()) {
+            assert_eq!(render_entry(a), render_entry(b));
+        }
+        // The recovered tuple is printed-form identical (graph_eq would
+        // additionally demand metamodel Arc identity, which a recovered
+        // session cannot share with one opened from parsed files).
+        for (a, b) in back.models().iter().zip(session.models()) {
+            assert_eq!(
+                mmt_model::text::print_model(a),
+                mmt_model::text::print_model(b)
+            );
+            assert_eq!(a.id_bound(), b.id_bound());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_refuses_to_overwrite() {
+        let (t, w) = fixture();
+        let session = t.session(&w.models).unwrap();
+        let dir = tmp("overwrite");
+        PersistentSession::create(&dir, &session).unwrap();
+        let err = PersistentSession::create(&dir, &session).unwrap_err();
+        assert!(matches!(err, StoreError::Io { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spec_mismatch_is_typed() {
+        let (t, w) = fixture();
+        let session = t.session(&w.models).unwrap();
+        let dir = tmp("spec");
+        PersistentSession::create(&dir, &session).unwrap();
+        let other = Arc::new(
+            Transformation::from_sources(
+                &mmt_gen::transformation_source(3),
+                &[CF_METAMODEL, CF_METAMODEL, FM_METAMODEL],
+            )
+            .unwrap(),
+        );
+        let err = PersistentSession::open(&dir, &other, SessionOptions::default()).unwrap_err();
+        assert!(matches!(err, StoreError::SpecMismatch { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn commit_handles_rollback_then_new_edits() {
+        let (t, w) = fixture();
+        let mut session = t.session(&w.models).unwrap();
+        let dir = tmp("rollback");
+        let mut store = PersistentSession::create(&dir, &session).unwrap();
+        drift(&mut session);
+        store.commit(&session).unwrap();
+        session.rollback(1).unwrap();
+        drift(&mut session);
+        store.commit(&session).unwrap();
+
+        let (_, back) = PersistentSession::open(&dir, &t, SessionOptions::default()).unwrap();
+        assert_eq!(back.fingerprint(), session.fingerprint());
+        assert_eq!(back.journal().len(), session.journal().len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_errors_are_typed() {
+        let (t, w) = fixture();
+        let session = t.session(&w.models).unwrap();
+        let dir = tmp("manifest");
+        PersistentSession::create(&dir, &session).unwrap();
+        let manifest = dir.join("manifest");
+        std::fs::write(&manifest, "mmt-store 99\nspec x\narity 3\n").unwrap();
+        assert!(matches!(
+            PersistentSession::open(&dir, &t, SessionOptions::default()).unwrap_err(),
+            StoreError::Version { .. }
+        ));
+        std::fs::write(&manifest, "mm").unwrap();
+        assert!(matches!(
+            PersistentSession::open(&dir, &t, SessionOptions::default()).unwrap_err(),
+            StoreError::ShortRead { .. }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

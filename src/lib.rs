@@ -20,6 +20,7 @@
 //! | least-change repair engines | [`enforce`] |
 //! | synthetic workloads | [`gen`] |
 //! | the framework facade | [`core`] |
+//! | durable sessions (WAL, crash recovery) | [`store`] |
 //!
 //! ## Quick start
 //!
@@ -60,6 +61,7 @@ pub use mmt_ground as ground;
 pub use mmt_model as model;
 pub use mmt_qvtr as qvtr;
 pub use mmt_sat as sat;
+pub use mmt_store as store;
 
 /// The most common imports, re-exported flat.
 pub mod prelude {
@@ -76,4 +78,5 @@ pub mod prelude {
     pub use mmt_model::text::{parse_metamodel, parse_model, print_metamodel, print_model};
     pub use mmt_model::{Metamodel, MetamodelBuilder, Model, ObjId, Sym, Value};
     pub use mmt_qvtr::{parse_and_resolve, Hir};
+    pub use mmt_store::{HubStore, PersistentSession, StoreError};
 }
