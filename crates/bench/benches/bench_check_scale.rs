@@ -4,6 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mmt_bench::{consistent_workload, paper_transformation};
 use mmt_check::CheckOptions;
+use mmt_core::Transformation;
+use mmt_gen::scenario::all_scenarios;
 
 fn bench_check(c: &mut Criterion) {
     let mut group = c.benchmark_group("check");
@@ -43,5 +45,24 @@ fn bench_check(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_check);
+/// Checking wall-time per corpus scenario (ISSUE 7): the same
+/// full-check measurement over every `Scenario`'s seeded consistent
+/// tuple, so a checker regression localized to one metamodel shape
+/// (reference-heavy class↔RDBMS vs attribute-only Company HR) shows up
+/// by name.
+fn bench_check_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("check_scenarios");
+    group.sample_size(20);
+    for sc in all_scenarios() {
+        let w = sc.workload(13);
+        let t = Transformation::from_hir(w.hir.clone());
+        assert!(t.check(&w.models).unwrap().consistent(), "{}", sc.name());
+        group.bench_with_input(BenchmarkId::new("check", sc.name()), &w, |b, w| {
+            b.iter(|| t.check(&w.models).unwrap().consistent())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_check, bench_check_scenarios);
 criterion_main!(benches);

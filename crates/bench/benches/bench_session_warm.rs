@@ -32,9 +32,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mmt_bench::{consistent_workload, paper_transformation};
 use mmt_core::{EngineKind, SessionOptions, Shape, Transformation};
-use mmt_deps::DomIdx;
+use mmt_deps::{DomIdx, DomSet};
 use mmt_dist::{Delta, EditOp};
 use mmt_enforce::RepairOptions;
+use mmt_gen::scenario::all_scenarios;
+use mmt_gen::{SessionScriptGen, SessionStep};
 use mmt_model::{Model, ObjId, Sym, Value};
 
 /// The 16-step script: `Some(d)` = drift action `d`, `None` = repair
@@ -168,6 +170,92 @@ fn run_cold(t: &Transformation, seed_models: &[Model]) -> u64 {
     total_cost
 }
 
+/// The warm loop over an arbitrary corpus scenario: a seeded
+/// [`SessionScriptGen`] drives 16 steps of drift and repair
+/// checkpoints against one live session. Returns the summed repair
+/// cost so the cold mirror can be asserted identical before timing.
+fn run_warm_scenario(t: &Transformation, seed_models: &[Model], targets: DomSet, seed: u64) -> u64 {
+    let mut session = t
+        .session_with(
+            seed_models,
+            SessionOptions {
+                engine: EngineKind::Search,
+                repair: RepairOptions::default(),
+            },
+        )
+        .expect("session opens");
+    let mut gen = SessionScriptGen::new(targets, 3, seed);
+    let mut total_cost = 0u64;
+    for _ in 0..16 {
+        match gen.next_step(session.models()) {
+            SessionStep::Edit { model, op } => {
+                session.apply(model, op).expect("drift applies");
+            }
+            SessionStep::Repair { targets } => {
+                if let Some(out) = session.repair(Shape::from_targets(targets)).expect("runs") {
+                    total_cost += out.cost;
+                }
+            }
+        }
+    }
+    total_cost
+}
+
+/// The cold mirror: the same generated script, every checkpoint a
+/// from-scratch `enforce_with`.
+fn run_cold_scenario(t: &Transformation, seed_models: &[Model], targets: DomSet, seed: u64) -> u64 {
+    let mut models: Vec<Model> = seed_models.to_vec();
+    let mut gen = SessionScriptGen::new(targets, 3, seed);
+    let mut total_cost = 0u64;
+    for _ in 0..16 {
+        match gen.next_step(&models) {
+            SessionStep::Edit { model, op } => {
+                let mut d = Delta::new();
+                d.push(op);
+                d.apply(&mut models[model.index()]).expect("drift applies");
+            }
+            SessionStep::Repair { targets } => {
+                let out = t
+                    .enforce_with(
+                        &models,
+                        Shape::from_targets(targets),
+                        EngineKind::Search,
+                        RepairOptions::default(),
+                    )
+                    .expect("engine runs");
+                if let Some(out) = out {
+                    total_cost += out.cost;
+                    models = out.models;
+                }
+            }
+        }
+    }
+    total_cost
+}
+
+/// EXP-S1 per corpus scenario (ISSUE 7): the warm-vs-cold gap on every
+/// `Scenario`'s seeded tuple under a generated drift script. Both
+/// loops must agree on the summed repair cost before either is timed.
+fn bench_session_warm_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_warm_scenarios");
+    group.sample_size(10);
+    for sc in all_scenarios() {
+        let w = sc.workload(9);
+        let t = Transformation::from_hir(w.hir.clone());
+        let targets = sc.repair_targets();
+        let warm = run_warm_scenario(&t, &w.models, targets, 9);
+        let cold = run_cold_scenario(&t, &w.models, targets, 9);
+        assert_eq!(warm, cold, "{}: warm and cold loops diverged", sc.name());
+        group.bench_with_input(BenchmarkId::new("warm", sc.name()), &w, |b, w| {
+            b.iter(|| run_warm_scenario(&t, &w.models, targets, 9))
+        });
+        group.bench_with_input(BenchmarkId::new("cold", sc.name()), &w, |b, w| {
+            b.iter(|| run_cold_scenario(&t, &w.models, targets, 9))
+        });
+    }
+    group.finish();
+}
+
 fn bench_session_warm(c: &mut Criterion) {
     let t = paper_transformation(2);
     let mut group = c.benchmark_group("session_warm");
@@ -188,5 +276,5 @@ fn bench_session_warm(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_session_warm);
+criterion_group!(benches, bench_session_warm, bench_session_warm_scenarios);
 criterion_main!(benches);

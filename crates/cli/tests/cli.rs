@@ -232,6 +232,152 @@ fn weights_validation() {
     assert!(stderr.contains("--weights needs 3"));
 }
 
+// --- Scenario corpus fixtures (ISSUE 7): every corpus scenario is
+// CLI-drivable from checked-in examples/data files. ---
+
+fn fixture_args(spec: &str, mms: &[&str], models: &[&str]) -> Vec<String> {
+    let mut args = vec![
+        "-t".to_string(),
+        repo_file(&format!("examples/data/{spec}")),
+    ];
+    args.push("-M".into());
+    args.extend(mms.iter().map(|m| repo_file(&format!("examples/data/{m}"))));
+    args.push("-m".into());
+    args.extend(
+        models
+            .iter()
+            .map(|m| repo_file(&format!("examples/data/{m}"))),
+    );
+    args
+}
+
+fn company_args() -> Vec<String> {
+    fixture_args(
+        "W2C.qvtr",
+        &["World.mm", "Company.mm"],
+        &["world.model", "company.model"],
+    )
+}
+
+fn class2rdbms_args() -> Vec<String> {
+    fixture_args(
+        "C2T.qvtr",
+        &["UML.mm", "RDB.mm"],
+        &["uml.model", "rdb.model"],
+    )
+}
+
+fn run(mut args: Vec<String>, extra: &[&str]) -> (String, String, Option<i32>) {
+    args.extend(extra.iter().map(|s| s.to_string()));
+    let argrefs: Vec<&str> = args.iter().map(String::as_str).collect();
+    mmt(&argrefs)
+}
+
+/// The Company HR fixture tuple: bob exists in the world but not in the
+/// company, so both relations flag him; the repair materializes him in
+/// one direction and retracts him in the other.
+#[test]
+fn company_fixtures_check_and_enforce_both_directions() {
+    let mut args = vec!["check".to_string()];
+    args.extend(company_args());
+    let (stdout, _, code) = run(args, &[]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(
+        stdout.contains("PersonToEmployee M0 → M1: VIOLATED"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("SalaryCap M0 → M1: VIOLATED"), "{stdout}");
+    assert!(stdout.contains(r#"[n = "bob""#), "{stdout}");
+
+    let mut args = vec!["enforce".to_string()];
+    args.extend(company_args());
+    let (stdout, _, code) = run(args, &["--targets", "company"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("repaired at distance 2"), "{stdout}");
+    assert!(stdout.contains(r#"@1.attr#0 = "bob""#), "{stdout}");
+
+    let mut args = vec!["enforce".to_string()];
+    args.extend(company_args());
+    let (stdout, _, code) = run(args, &["--targets", "world"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("repaired at distance 1"), "{stdout}");
+    assert!(stdout.contains("- @1 : class#0"), "{stdout}");
+}
+
+/// The class↔RDBMS fixture: the `age` attribute has no column. The
+/// forward repair grows a linked Column (distance 3: object + name +
+/// link); the backward repair just unhooks the attribute (distance 1).
+/// Both engines agree through the CLI.
+#[test]
+fn class2rdbms_fixtures_round_trip() {
+    let mut args = vec!["check".to_string()];
+    args.extend(class2rdbms_args());
+    let (stdout, _, code) = run(args, &[]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("AttrToCol M0 → M1: VIOLATED"), "{stdout}");
+    assert!(stdout.contains(r#"an = "age""#), "{stdout}");
+    assert!(stdout.contains("ClassToTable M0 → M1: holds"), "{stdout}");
+
+    for engine in ["search", "sat"] {
+        let mut args = vec!["enforce".to_string()];
+        args.extend(class2rdbms_args());
+        let (stdout, _, code) = run(args, &["--targets", "rdb", "--engine", engine]);
+        assert_eq!(code, Some(0), "{engine}: {stdout}");
+        assert!(
+            stdout.contains("repaired at distance 3"),
+            "{engine}: {stdout}"
+        );
+        assert!(stdout.contains(r#"= "age""#), "{engine}: {stdout}");
+
+        let mut args = vec!["enforce".to_string()];
+        args.extend(class2rdbms_args());
+        let (stdout, _, code) = run(args, &["--targets", "uml", "--engine", engine]);
+        // Two cost-1 repairs exist (drop the link, drop the whole
+        // attribute); the tie-break is engine-internal, so only the
+        // distance is pinned.
+        assert_eq!(code, Some(0), "{engine}: {stdout}");
+        assert!(
+            stdout.contains("repaired at distance 1"),
+            "{engine}: {stdout}"
+        );
+        assert!(stdout.contains("--- uml ---"), "{engine}: {stdout}");
+    }
+}
+
+/// The snippet-2 HR history as one warm `mmt sync` session: repair the
+/// missing hire, push the salary beyond the cap, watch the least-change
+/// clamp bring it back.
+#[test]
+fn sync_company_salary_clamp_loop() {
+    let script = write_script(
+        "company",
+        "status\nrepair company\nedit company set @1.salary = 12\nstatus\nrepair company\nstatus\n",
+    );
+    let mut args = vec!["sync".to_string(), script.to_string_lossy().into_owned()];
+    args.extend(company_args());
+    let (stdout, _, code) = run(args, &[]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(
+        stdout.contains("status: INCONSISTENT (2 violations)"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("repair company: repaired at distance 2"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("status: INCONSISTENT (1 violations)"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("repair company: repaired at distance 1"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("@1.attr#1 = 3 (was 12)"), "{stdout}");
+    assert!(stdout.contains("final: consistent"), "{stdout}");
+    std::fs::remove_file(&script).ok();
+}
+
 // --- ISSUE 4: `mmt sync`, --version, per-subcommand usage ---
 
 fn write_script(name: &str, body: &str) -> std::path::PathBuf {

@@ -18,25 +18,50 @@ fn repo_file(rel: &str) -> String {
     p.to_string_lossy().into_owned()
 }
 
-fn serve_args() -> Vec<String> {
-    vec![
-        "serve".into(),
+/// The scenario corpus as served fixture tuples: `(spec, metamodels,
+/// models)`, all under `examples/data`. The fuzz driver picks one per
+/// seeded round so every scenario's session state goes through the
+/// mutation gauntlet, not just the feature-model one.
+const SCENARIOS: &[(&str, &[&str], &[&str])] = &[
+    (
+        "F.qvtr",
+        &["CF.mm", "FM.mm"],
+        &["cf1.model", "cf2.model", "fm.model"],
+    ),
+    (
+        "W2C.qvtr",
+        &["World.mm", "Company.mm"],
+        &["world.model", "company.model"],
+    ),
+    (
+        "C2T.qvtr",
+        &["UML.mm", "RDB.mm"],
+        &["uml.model", "rdb.model"],
+    ),
+];
+
+fn serve_args(scenario: usize) -> Vec<String> {
+    let (spec, mms, models) = SCENARIOS[scenario];
+    let mut args = vec![
+        "serve".to_string(),
         "-t".into(),
-        repo_file("examples/data/F.qvtr"),
+        repo_file(&format!("examples/data/{spec}")),
         "-M".into(),
-        repo_file("examples/data/CF.mm"),
-        repo_file("examples/data/FM.mm"),
-        "-m".into(),
-        repo_file("examples/data/cf1.model"),
-        repo_file("examples/data/cf2.model"),
-        repo_file("examples/data/fm.model"),
-    ]
+    ];
+    args.extend(mms.iter().map(|m| repo_file(&format!("examples/data/{m}"))));
+    args.push("-m".into());
+    args.extend(
+        models
+            .iter()
+            .map(|m| repo_file(&format!("examples/data/{m}"))),
+    );
+    args
 }
 
 /// Runs `mmt serve` over raw stdin bytes (the mutants are not all
 /// UTF-8) and returns stdout.
-fn serve_bytes(input: &[u8]) -> String {
-    let args = serve_args();
+fn serve_bytes_on(scenario: usize, input: &[u8]) -> String {
+    let args = serve_args(scenario);
     let argrefs: Vec<&str> = args.iter().map(String::as_str).collect();
     let mut child = Command::new(env!("CARGO_BIN_EXE_mmt"))
         .args(&argrefs)
@@ -147,54 +172,60 @@ fn mutate(line: &str, rng: &mut Rng) -> Vec<u8> {
 #[test]
 fn mutated_requests_never_poison_the_next_one() {
     const SEED: u64 = 0x6d6d_7466_2d36; // printed in failures via step index
-    const ROUNDS: usize = 48;
+    const ROUNDS: usize = 16; // per scenario
 
-    // Baseline: what `status` answers in an undisturbed session.
-    let baseline = serve_bytes(
-        b"{\"id\":1,\"cmd\":\"open\",\"session\":\"s\"}\n{\"id\":2,\"cmd\":\"status\",\"session\":\"s\"}\n",
-    );
-    let want = serve_result(&baseline, 2);
-
-    // One long-lived serve process: open once, then alternate mutants
-    // with probe requests.
-    let status_line = "{\"id\":9,\"cmd\":\"status\",\"session\":\"s\"}";
-    let mut rng = Rng(SEED);
-    let mut input: Vec<u8> = b"{\"id\":1,\"cmd\":\"open\",\"session\":\"s\"}\n".to_vec();
-    let mut probes = Vec::new();
-    for round in 0..ROUNDS {
-        input.extend(mutate(status_line, &mut rng));
-        input.push(b'\n');
-        let probe_id = 100 + round as u64;
-        input.extend(
-            format!("{{\"id\":{probe_id},\"cmd\":\"status\",\"session\":\"s\"}}\n").as_bytes(),
+    for (scenario, &(name, _, _)) in SCENARIOS.iter().enumerate() {
+        // Baseline: what `status` answers in an undisturbed session of
+        // this scenario.
+        let baseline = serve_bytes_on(
+            scenario,
+            b"{\"id\":1,\"cmd\":\"open\",\"session\":\"s\"}\n{\"id\":2,\"cmd\":\"status\",\"session\":\"s\"}\n",
         );
-        probes.push(probe_id);
-    }
-    let stdout = serve_bytes(&input);
+        let want = serve_result(&baseline, 2);
 
-    // Every mutant was answered with ok:false — none were dropped,
-    // none crashed the loop, and none were mistaken for a command.
-    let rejected = stdout
-        .lines()
-        .filter(|l| l.contains("\"ok\":false"))
-        .count();
-    assert_eq!(
-        rejected, ROUNDS,
-        "expected {ROUNDS} rejections, got {rejected}:\n{stdout}"
-    );
-    // And every probe right after a mutant sees the untouched session.
-    for (round, id) in probes.iter().enumerate() {
+        // One long-lived serve process per scenario: open once, then
+        // alternate mutants with probe requests. The schedule is seeded
+        // per scenario so the corpus does not share one mutation path.
+        let status_line = "{\"id\":9,\"cmd\":\"status\",\"session\":\"s\"}";
+        let mut rng = Rng(SEED.wrapping_add(scenario as u64));
+        let mut input: Vec<u8> = b"{\"id\":1,\"cmd\":\"open\",\"session\":\"s\"}\n".to_vec();
+        let mut probes = Vec::new();
+        for round in 0..ROUNDS {
+            input.extend(mutate(status_line, &mut rng));
+            input.push(b'\n');
+            let probe_id = 100 + round as u64;
+            input.extend(
+                format!("{{\"id\":{probe_id},\"cmd\":\"status\",\"session\":\"s\"}}\n").as_bytes(),
+            );
+            probes.push(probe_id);
+        }
+        let stdout = serve_bytes_on(scenario, &input);
+
+        // Every mutant was answered with ok:false — none were dropped,
+        // none crashed the loop, and none were mistaken for a command.
+        let rejected = stdout
+            .lines()
+            .filter(|l| l.contains("\"ok\":false"))
+            .count();
         assert_eq!(
-            serve_result(&stdout, *id),
-            want,
-            "probe after mutant #{round} saw a poisoned session"
+            rejected, ROUNDS,
+            "{name}: expected {ROUNDS} rejections, got {rejected}:\n{stdout}"
         );
+        // And every probe right after a mutant sees the untouched session.
+        for (round, id) in probes.iter().enumerate() {
+            assert_eq!(
+                serve_result(&stdout, *id),
+                want,
+                "{name}: probe after mutant #{round} saw a poisoned session"
+            );
+        }
     }
 }
 
 /// The depth cap itself: a single line with tens of thousands of
 /// brackets must come back as a plain `ok:false`, not a stack
-/// overflow (which would kill the child and fail `serve_bytes`).
+/// overflow (which would kill the child and fail `serve_bytes_on`).
+/// Served over the Company scenario — the cap is tuple-independent.
 #[test]
 fn pathological_nesting_is_rejected_flat() {
     let mut input: Vec<u8> = Vec::new();
@@ -202,7 +233,7 @@ fn pathological_nesting_is_rejected_flat() {
     input.extend(std::iter::repeat_n(b'[', 100_000));
     input.push(b'\n');
     input.extend_from_slice(b"{\"id\":1,\"cmd\":\"open\",\"session\":\"s\"}\n");
-    let stdout = serve_bytes(&input);
+    let stdout = serve_bytes_on(1, &input);
     assert!(
         stdout
             .lines()
@@ -218,21 +249,22 @@ fn pathological_nesting_is_rejected_flat() {
 }
 
 /// Raw invalid UTF-8 on stdin is answered (id `null`) and the loop
-/// keeps serving.
+/// keeps serving. Served over the class↔RDBMS scenario.
 #[test]
 fn invalid_utf8_lines_are_answered_not_fatal() {
     let mut input: Vec<u8> = Vec::new();
     input.extend_from_slice(b"\xff\xfe\x80 not text\n");
     input.extend_from_slice(b"{\"id\":1,\"cmd\":\"open\",\"session\":\"s\"}\n");
     input.extend_from_slice(b"{\"id\":2,\"cmd\":\"status\",\"session\":\"s\"}\n");
-    let stdout = serve_bytes(&input);
+    let stdout = serve_bytes_on(2, &input);
     assert!(
         stdout
             .lines()
             .any(|l| l.starts_with("{\"id\":null,\"ok\":false") && l.contains("UTF-8")),
         "no UTF-8 rejection in:\n{stdout}"
     );
-    let baseline = serve_bytes(
+    let baseline = serve_bytes_on(
+        2,
         b"{\"id\":1,\"cmd\":\"open\",\"session\":\"s\"}\n{\"id\":2,\"cmd\":\"status\",\"session\":\"s\"}\n",
     );
     assert_eq!(serve_result(&stdout, 2), serve_result(&baseline, 2));

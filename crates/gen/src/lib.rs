@@ -5,8 +5,15 @@
 //! synthetic workloads with the same shape at controllable scale —
 //! consistent by construction, with injectable inconsistencies matching
 //! the paper's §1/§3 update scenarios.
+//!
+//! Beyond the running example, the [`scenario`] module carries the
+//! ported exemplar catalog (Company HR, class↔RDBMS) behind the
+//! [`Scenario`](scenario::Scenario) abstraction the differential
+//! suites and benches sweep over.
 
 #![deny(missing_docs)]
+
+pub mod scenario;
 
 use mmt_deps::{Dep, DepSet, DomIdx, DomSet};
 use mmt_dist::EditOp;

@@ -393,8 +393,12 @@ impl<'a> Grounder<'a> {
         if !strs.contains(&empty) {
             strs.push(empty);
         }
-        if ints.is_empty() {
-            ints.push(Value::Int(0));
+        // Likewise the Int default: a fresh object keeping its zeroed
+        // attribute must cost nothing, so 0 has to be in the domain even
+        // when every observed value (model or literal) is non-zero.
+        let zero = Value::Int(0);
+        if !ints.contains(&zero) {
+            ints.push(zero);
         }
         self.str_domain = strs;
         self.int_domain = ints;

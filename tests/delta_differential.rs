@@ -7,6 +7,7 @@
 use mmtf::check::{CheckOptions, Checker, DeltaChecker};
 use mmtf::deps::DomIdx;
 use mmtf::dist::{Delta, EditOp};
+use mmtf::gen::scenario::scenario_named;
 use mmtf::gen::{feature_workload, random_edits, FeatureSpec};
 use mmtf::model::text::{parse_metamodel, parse_model};
 use mmtf::model::Model;
@@ -146,6 +147,40 @@ transformation C2T(uml : UML, rdb : RDB) {
             run_sequence(&hir, &models, target, 10, seed * 31 + target as u64);
         }
     }
+}
+
+/// The scenario sweep: the incremental ≡ from-scratch property over
+/// one named corpus scenario, seeded random edit sequences against
+/// every model of the tuple, agreement checked after every single op.
+fn scenario_sweep(name: &str) {
+    let sc = scenario_named(name).expect("known scenario");
+    for seed in 0..4u64 {
+        let w = sc.workload(seed);
+        for target in 0..w.models.len() {
+            run_sequence(
+                &w.hir,
+                &w.models,
+                target,
+                6,
+                seed * 101 + target as u64 * 17 + 5,
+            );
+        }
+    }
+}
+
+#[test]
+fn scenario_fm2cfs_incremental_matches_scratch() {
+    scenario_sweep("fm2cfs");
+}
+
+#[test]
+fn scenario_company_incremental_matches_scratch() {
+    scenario_sweep("company");
+}
+
+#[test]
+fn scenario_class2rdbms_incremental_matches_scratch() {
+    scenario_sweep("class2rdbms");
 }
 
 /// Batch application: a whole [`Delta`] applied via `apply_delta`

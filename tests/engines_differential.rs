@@ -1,7 +1,9 @@
 //! Randomized differential testing of the two enforcement engines and
 //! the checking engine, across seeded workloads and injections.
 
-use mmtf::gen::{feature_workload, inject, FeatureSpec, Injection};
+use mmtf::dist::Delta;
+use mmtf::gen::scenario::scenario_named;
+use mmtf::gen::{feature_workload, inject, random_edits, FeatureSpec, Injection};
 use mmtf::prelude::*;
 
 /// Both engines agree on repairability and minimal cost across a grid of
@@ -58,6 +60,119 @@ fn engines_agree_across_random_workloads() {
             }
         }
     }
+}
+
+/// The scenario sweep: search ≡ SAT (repairability + minimal cost)
+/// over one named corpus scenario. Each seed drifts one model with
+/// random edits and repairs under both `all` and `all_but` shapes;
+/// repair of the undrifted seed tuple must additionally be a cost-0
+/// no-op on both engines.
+fn scenario_sweep(name: &str) {
+    let sc = scenario_named(name).expect("known scenario");
+    for seed in 0..4u64 {
+        let w = sc.workload(seed);
+        let arity = w.models.len();
+        let t = Transformation::from_hir(w.hir.clone());
+
+        // Idempotence on the consistent seed tuple.
+        for engine in [EngineKind::Search, EngineKind::Sat] {
+            let out = t
+                .enforce(&w.models, Shape::all(arity), engine)
+                .unwrap()
+                .expect("consistent tuple repairs trivially");
+            assert_eq!(out.cost, 0, "{name} seed={seed} {engine:?}");
+            for (orig, new) in w.models.iter().zip(&out.models) {
+                assert!(orig.graph_eq(new), "{name} seed={seed} {engine:?}");
+            }
+        }
+
+        // Drift one model, then compare engines across shapes.
+        let target = (seed as usize) % arity;
+        let mut models = w.models.clone();
+        let mut drift = Delta::new();
+        for op in random_edits(&models[target], 1 + (seed as usize % 2), seed * 7 + 3) {
+            drift.push(op);
+        }
+        drift.apply(&mut models[target]).unwrap();
+        for shape in [Shape::all(arity), Shape::all_but(target, arity)] {
+            let ctx = format!("{name} seed={seed} target={target} shape={shape:?}");
+            let a = t
+                .enforce(&models, shape, EngineKind::Search)
+                .expect("search runs");
+            let b = t
+                .enforce(&models, shape, EngineKind::Sat)
+                .expect("sat runs");
+            match (&a, &b) {
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.cost, y.cost, "{ctx}: minimal costs differ");
+                    for out in [x, y] {
+                        assert!(t.check(&out.models).unwrap().consistent(), "{ctx}");
+                        for m in &out.models {
+                            assert!(mmtf::model::conformance::is_conformant(m), "{ctx}");
+                        }
+                    }
+                }
+                (None, None) => {}
+                _ => panic!(
+                    "{ctx}: engines disagree ({:?} vs {:?})",
+                    a.as_ref().map(|o| o.cost),
+                    b.as_ref().map(|o| o.cost)
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn scenario_fm2cfs_engines_agree() {
+    scenario_sweep("fm2cfs");
+}
+
+#[test]
+fn scenario_company_engines_agree() {
+    scenario_sweep("company");
+}
+
+#[test]
+fn scenario_class2rdbms_engines_agree() {
+    scenario_sweep("class2rdbms");
+}
+
+/// Regression: porting the Company scenario surfaced a SAT-side pricing
+/// gap — the grounded Int domain only contained the default 0 when no
+/// other Int value was observed, so a fresh object could not *keep* its
+/// zeroed attribute and SAT charged a phantom `SetAttr` (cost 3 vs the
+/// search engine's 2 on the hire-forward repair). The domain now always
+/// includes the default, mirroring the empty-string rule.
+#[test]
+fn fresh_objects_keep_default_int_attrs_on_both_engines() {
+    use mmtf::gen::scenario::Scenario;
+    use mmtf::model::Value;
+    let sc = mmtf::gen::scenario::CompanyHr;
+    let w = sc.workload(5);
+    let t = Transformation::from_hir(w.hir.clone());
+    let mut hired = w.models.clone();
+    let person = hired[0].metamodel().clone().class_named("Person").unwrap();
+    let id = hired[0].add(person).unwrap();
+    hired[0]
+        .set_attr_named(id, "name", Value::str("dana"))
+        .unwrap();
+    let search = t
+        .enforce(&hired, Shape::towards(1), EngineKind::Search)
+        .unwrap()
+        .expect("repairable");
+    let sat = t
+        .enforce(&hired, Shape::towards(1), EngineKind::Sat)
+        .unwrap()
+        .expect("repairable");
+    assert_eq!(
+        search.cost, 2,
+        "AddObj + SetAttr name; default salary is free"
+    );
+    assert_eq!(sat.cost, search.cost, "SAT must not price the Int default");
+    let texts =
+        |out: &RepairOutcome| -> Vec<String> { out.deltas.iter().map(|d| d.to_string()).collect() };
+    assert_eq!(texts(&search), texts(&sat));
 }
 
 /// The checker's memoized and unmemoized modes agree on every directional

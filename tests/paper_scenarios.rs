@@ -1,10 +1,12 @@
 //! End-to-end reproduction of every claim in the paper, exercised through
 //! the public facade only. Each test cites the section it reproduces.
 
+use mmtf::gen::scenario::{scenario_named, COMPANY_METAMODEL, WORLD_METAMODEL};
 use mmtf::gen::{
     feature_workload, inject, transformation_source, FeatureSpec, Injection, CF_METAMODEL,
     FM_METAMODEL,
 };
+use mmtf::model::Value;
 use mmtf::prelude::*;
 
 fn paper_t(k: usize) -> Transformation {
@@ -241,4 +243,171 @@ fn s3_weighted_distance() {
         .expect("repairable");
     assert!(out.deltas[2].is_empty(), "expensive FM must stay untouched");
     assert!(t.check(&out.models).unwrap().consistent());
+}
+
+/// The Company HR synchronization history (the classic bx example the
+/// scenario corpus ports): hire a person, repair in both directions,
+/// then push a salary beyond the cap and watch the least-change repair
+/// clamp it — while the reverse direction is provably unrepairable.
+/// Exact minimal costs are asserted on both engines.
+#[test]
+fn company_hr_history_repairs_both_directions() {
+    let sc = scenario_named("company").expect("corpus scenario");
+    let w = sc.workload(5);
+    let t = Transformation::from_hir(w.hir.clone());
+    assert!(t.check(&w.models).unwrap().consistent(), "seed tuple");
+
+    // Step 1: hire "dana" on the world side only.
+    let mut hired = w.models.clone();
+    let person = hired[0].metamodel().clone().class_named("Person").unwrap();
+    let id = hired[0].add(person).unwrap();
+    hired[0]
+        .set_attr_named(id, "name", Value::str("dana"))
+        .unwrap();
+    assert!(!t.check(&hired).unwrap().consistent(), "hire breaks sync");
+
+    let mut accepted = None;
+    for engine in [EngineKind::Search, EngineKind::Sat] {
+        // Forward: materialize dana as an Employee. Cost 2 = AddObj +
+        // SetAttr name; the salary stays at its Int default (0), which
+        // both engines must price as free.
+        let fwd = t
+            .enforce(&hired, Shape::towards(1), engine)
+            .unwrap()
+            .expect("hire propagates");
+        assert_eq!(fwd.cost, 2, "{engine:?} hire forward");
+        assert!(fwd.deltas[0].is_empty(), "{engine:?}: world is frozen");
+        assert!(t.check(&fwd.models).unwrap().consistent(), "{engine:?}");
+        // Backward: the cheapest world-side fix is to retract the hire.
+        let back = t
+            .enforce(&hired, Shape::towards(0), engine)
+            .unwrap()
+            .expect("hire retracts");
+        assert_eq!(back.cost, 1, "{engine:?} hire backward");
+        assert!(
+            back.models[0].graph_eq(&w.models[0]),
+            "{engine:?}: back to seed"
+        );
+        if engine == EngineKind::Search {
+            accepted = Some(fwd.models);
+        }
+    }
+
+    // Step 2: accept the hire, then promote emp0 beyond the salary cap.
+    let mut promoted = accepted.unwrap();
+    let emp = promoted[1]
+        .metamodel()
+        .clone()
+        .class_named("Employee")
+        .unwrap();
+    let eid = {
+        let m = &promoted[1];
+        m.objects()
+            .find(|(oid, o)| {
+                o.class == emp && m.attr_named(*oid, "name").unwrap() == Value::str("emp0")
+            })
+            .map(|(oid, _)| oid)
+            .unwrap()
+    };
+    promoted[1]
+        .set_attr_named(eid, "salary", Value::Int(12))
+        .unwrap();
+    assert!(!t.check(&promoted).unwrap().consistent(), "over the cap");
+    let opts = RepairOptions {
+        max_cost: 4,
+        ..RepairOptions::default()
+    };
+    for engine in [EngineKind::Search, EngineKind::Sat] {
+        // Towards company: one SetAttr clamps the salary back in range.
+        let clamp = t
+            .enforce_with(&promoted, Shape::towards(1), engine, opts.clone())
+            .unwrap()
+            .expect("clamp works");
+        assert_eq!(clamp.cost, 1, "{engine:?} clamp");
+        let fixed = clamp.models[1].attr_named(eid, "salary").unwrap();
+        match fixed {
+            Value::Int(s) => assert!((0..=9).contains(&s), "{engine:?}: clamped to {s}"),
+            other => panic!("{engine:?}: salary became {other:?}"),
+        }
+        assert!(t.check(&clamp.models).unwrap().consistent(), "{engine:?}");
+        // Towards world: SalaryCap only depends world → company, and
+        // PersonToEmployee pins every Employee to a Person, so no edit
+        // of the world model alone can absorb an over-cap salary.
+        let stuck = t
+            .enforce_with(&promoted, Shape::towards(0), engine, opts.clone())
+            .unwrap();
+        assert!(stuck.is_none(), "{engine:?}: no world-side fix exists");
+    }
+}
+
+/// Negative-pattern expressiveness probe (cf. arXiv:0805.4745 on
+/// negative application conditions): domain templates in this QVT-R
+/// fragment are strictly positive — objects are only ever bound by
+/// matching, never by *absence*. Negation exists solely as the `not`
+/// expression operator over already-bound witnesses. This test pins
+/// both halves of that boundary.
+#[test]
+fn negative_patterns_are_out_of_the_positive_fragment() {
+    // (a) `not` over bound attribute values parses, resolves and
+    // checks: "no employee may be named like their salary cap" style
+    // constraints are in the fragment.
+    let src = r#"
+transformation N(world : World, company : Company) {
+  top relation NotForbidden {
+    n : Str;
+    domain world p : Person { name = n };
+    domain company e : Employee { name = n };
+    where { not (n = "forbidden") }
+    depend world -> company;
+    depend company -> world;
+  }
+}
+"#;
+    let t = Transformation::from_sources(src, &[WORLD_METAMODEL, COMPANY_METAMODEL]).unwrap();
+    let world_mm = parse_metamodel(WORLD_METAMODEL).unwrap();
+    let company_mm = parse_metamodel(COMPANY_METAMODEL).unwrap();
+    let ok = [
+        parse_model(
+            r#"model w : World { p = Person { name = "ada" } }"#,
+            &world_mm,
+        )
+        .unwrap(),
+        parse_model(
+            r#"model c : Company { e = Employee { name = "ada", salary = 1 } }"#,
+            &company_mm,
+        )
+        .unwrap(),
+    ];
+    assert!(t.check(&ok).unwrap().consistent());
+    let bad = [
+        parse_model(
+            r#"model w : World { p = Person { name = "forbidden" } }"#,
+            &world_mm,
+        )
+        .unwrap(),
+        parse_model(
+            r#"model c : Company { e = Employee { name = "forbidden", salary = 1 } }"#,
+            &company_mm,
+        )
+        .unwrap(),
+    ];
+    assert!(!t.check(&bad).unwrap().consistent(), "`not` must bite");
+
+    // (b) A negative *object template* — "a Person for which no
+    // Employee exists" — has no syntax: `not` is an expression
+    // operator, not a domain qualifier, so the natural NAC spelling is
+    // a front-end error rather than a silently positive match.
+    let nac = r#"
+transformation N(world : World, company : Company) {
+  top relation NoGhosts {
+    n : Str;
+    domain world p : Person { name = n };
+    not domain company e : Employee { name = n };
+  }
+}
+"#;
+    assert!(
+        Transformation::from_sources(nac, &[WORLD_METAMODEL, COMPANY_METAMODEL]).is_err(),
+        "negative domain templates must be rejected, not misread"
+    );
 }

@@ -15,6 +15,7 @@ use mmtf::core::{SessionOptions, Shape, Transformation};
 use mmtf::dist::Delta;
 use mmtf::enforce::search::state_fingerprint;
 use mmtf::enforce::RepairOptions;
+use mmtf::gen::scenario::scenario_named;
 use mmtf::gen::{feature_workload, FeatureSpec, SessionScriptGen, SessionStep};
 use mmtf::model::text::print_model;
 use mmtf::model::Model;
@@ -53,6 +54,29 @@ fn assert_session_matches_stateless(
     seed: u64,
 ) {
     let (t, seed_models) = fixture(seed);
+    let targets = DomSet::from_iter([mmtf::deps::DomIdx(0), mmtf::deps::DomIdx(1)]);
+    assert_session_matches_stateless_on(
+        &t,
+        &seed_models,
+        targets,
+        engine,
+        incremental_oracle,
+        jobs,
+        seed,
+    );
+}
+
+/// The scenario-generic core of the warmth differential: any
+/// transformation, any seed tuple, any repair-target set.
+fn assert_session_matches_stateless_on(
+    t: &Transformation,
+    seed_models: &[Model],
+    targets: DomSet,
+    engine: EngineKind,
+    incremental_oracle: bool,
+    jobs: usize,
+    seed: u64,
+) {
     let repair = RepairOptions {
         incremental_oracle,
         jobs,
@@ -62,9 +86,8 @@ fn assert_session_matches_stateless(
         engine,
         repair: repair.clone(),
     };
-    let mut session = t.session_with(&seed_models, opts).unwrap();
-    let mut stateless: Vec<Model> = seed_models.clone();
-    let targets = DomSet::from_iter([mmtf::deps::DomIdx(0), mmtf::deps::DomIdx(1)]);
+    let mut session = t.session_with(seed_models, opts).unwrap();
+    let mut stateless: Vec<Model> = seed_models.to_vec();
     let mut gen = SessionScriptGen::new(targets, 3, seed.wrapping_mul(31).wrapping_add(7));
     let full = DomSet::full(t.arity());
     let ctx = |step: usize| {
@@ -147,6 +170,62 @@ fn warm_incremental_search_over_more_seeds() {
     for seed in [4u64, 5, 6, 7, 8] {
         assert_session_matches_stateless(EngineKind::Search, true, 1, seed);
     }
+}
+
+/// The scenario sweep: warm ≡ cold byte-identity over one named
+/// corpus scenario, under both search oracles and the SAT engine.
+fn scenario_sweep(name: &str) {
+    let sc = scenario_named(name).expect("known scenario");
+    for seed in [1u64, 2] {
+        let w = sc.workload(seed);
+        let t = Transformation::from_hir(w.hir.clone());
+        let targets = sc.repair_targets();
+        assert_session_matches_stateless_on(
+            &t,
+            &w.models,
+            targets,
+            EngineKind::Search,
+            true,
+            1,
+            seed,
+        );
+        assert_session_matches_stateless_on(
+            &t,
+            &w.models,
+            targets,
+            EngineKind::Search,
+            false,
+            1,
+            seed,
+        );
+    }
+    // One SAT pass per scenario (grounding is the expensive path).
+    let w = sc.workload(1);
+    let t = Transformation::from_hir(w.hir.clone());
+    assert_session_matches_stateless_on(
+        &t,
+        &w.models,
+        sc.repair_targets(),
+        EngineKind::Sat,
+        true,
+        1,
+        1,
+    );
+}
+
+#[test]
+fn scenario_fm2cfs_warm_equals_cold() {
+    scenario_sweep("fm2cfs");
+}
+
+#[test]
+fn scenario_company_warm_equals_cold() {
+    scenario_sweep("company");
+}
+
+#[test]
+fn scenario_class2rdbms_warm_equals_cold() {
+    scenario_sweep("class2rdbms");
 }
 
 /// Journal replay + rollback: over random scripts with repair

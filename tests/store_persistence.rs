@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use mmtf::core::{SessionOptions, Shape, SyncSession, SyncStatus, Transformation};
 use mmtf::enforce::RepairOptions;
+use mmtf::gen::scenario::scenario_named;
 use mmtf::gen::{feature_workload, FeatureSpec, SessionScriptGen, SessionStep};
 use mmtf::model::text::print_model;
 use mmtf::model::Model;
@@ -72,6 +73,30 @@ fn assert_persisted_equals_uninterrupted(
     tag: &str,
 ) {
     let (t, seed_models) = fixture(seed);
+    let targets = DomSet::from_iter([mmtf::deps::DomIdx(0), mmtf::deps::DomIdx(1)]);
+    assert_persisted_equals_uninterrupted_on(
+        &t,
+        &seed_models,
+        targets,
+        engine,
+        incremental_oracle,
+        seed,
+        tag,
+    );
+}
+
+/// The scenario-generic core of the persistence differential: any
+/// transformation, any seed tuple, any repair-target set.
+#[allow(clippy::too_many_arguments)]
+fn assert_persisted_equals_uninterrupted_on(
+    t: &Arc<Transformation>,
+    seed_models: &[Model],
+    targets: DomSet,
+    engine: EngineKind,
+    incremental_oracle: bool,
+    seed: u64,
+    tag: &str,
+) {
     let opts = SessionOptions {
         engine,
         repair: RepairOptions {
@@ -79,13 +104,11 @@ fn assert_persisted_equals_uninterrupted(
             ..RepairOptions::default()
         },
     };
-    let mut live = SyncSession::with_options(Arc::clone(&t), &seed_models, opts.clone()).unwrap();
-    let mut durable =
-        SyncSession::with_options(Arc::clone(&t), &seed_models, opts.clone()).unwrap();
+    let mut live = SyncSession::with_options(Arc::clone(t), seed_models, opts.clone()).unwrap();
+    let mut durable = SyncSession::with_options(Arc::clone(t), seed_models, opts.clone()).unwrap();
     let dir = scratch(tag);
     let mut store = PersistentSession::create(&dir, &durable).unwrap();
 
-    let targets = DomSet::from_iter([mmtf::deps::DomIdx(0), mmtf::deps::DomIdx(1)]);
     let mut gen = SessionScriptGen::new(targets, 3, seed.wrapping_mul(31).wrapping_add(7));
     let ctx = |step: usize| {
         format!("engine={engine:?} incremental={incremental_oracle} seed={seed} step={step}")
@@ -118,7 +141,7 @@ fn assert_persisted_equals_uninterrupted(
             // from disk.
             drop(durable);
             drop(store);
-            let (s, recovered) = PersistentSession::open(&dir, &t, opts.clone())
+            let (s, recovered) = PersistentSession::open(&dir, t, opts.clone())
                 .unwrap_or_else(|e| panic!("{}: reopen failed: {e}", ctx(step_no)));
             store = s;
             durable = recovered;
@@ -155,6 +178,52 @@ fn sat_engine_survives_reopen() {
     for seed in [3, 17] {
         assert_persisted_equals_uninterrupted(EngineKind::Sat, true, seed, "sat");
     }
+}
+
+/// The scenario sweep: persist-reopen ≡ uninterrupted over one named
+/// corpus scenario, crash-recovering mid-script, under the warm search
+/// oracle and the SAT engine.
+fn scenario_sweep(name: &str) {
+    let sc = scenario_named(name).expect("known scenario");
+    for seed in [3u64, 17] {
+        let w = sc.workload(seed);
+        let t = Arc::new(Transformation::from_hir(w.hir.clone()));
+        assert_persisted_equals_uninterrupted_on(
+            &t,
+            &w.models,
+            sc.repair_targets(),
+            EngineKind::Search,
+            true,
+            seed,
+            &format!("scn-{name}-search-{seed}"),
+        );
+    }
+    let w = sc.workload(3);
+    let t = Arc::new(Transformation::from_hir(w.hir.clone()));
+    assert_persisted_equals_uninterrupted_on(
+        &t,
+        &w.models,
+        sc.repair_targets(),
+        EngineKind::Sat,
+        true,
+        3,
+        &format!("scn-{name}-sat"),
+    );
+}
+
+#[test]
+fn scenario_fm2cfs_survives_reopen() {
+    scenario_sweep("fm2cfs");
+}
+
+#[test]
+fn scenario_company_survives_reopen() {
+    scenario_sweep("company");
+}
+
+#[test]
+fn scenario_class2rdbms_survives_reopen() {
+    scenario_sweep("class2rdbms");
 }
 
 /// Applies `n` deterministic generated edit steps (repair steps are
