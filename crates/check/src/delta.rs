@@ -78,12 +78,13 @@
 //! ```
 
 use crate::eval::{plan_check, Binding, CheckPlan, EvalCtx, EvalError, EvalStats, Slot};
+use crate::footprint::{footprints_for, var_model, Footprint};
 use crate::index::ModelIndex;
 use crate::{CheckError, CheckOptions, CheckReport, DirectionalOutcome, ViolationBinding};
 use mmt_deps::{Dep, DomIdx};
 use mmt_dist::{Delta, EditOp};
-use mmt_model::{AttrId, ClassId, Metamodel, Model, ModelError, ObjId, RefId};
-use mmt_qvtr::{Constraint, Hir, HirExpr, HirRelation, RelId, VarId, VarTy};
+use mmt_model::{ClassId, Model, ModelError, ObjId, RefId};
+use mmt_qvtr::{Constraint, Hir, HirRelation, RelId, VarId};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -140,58 +141,6 @@ pub struct DeltaStats {
     pub partial_updates: u64,
     /// Full single-check re-evaluations (call-reachable edits).
     pub full_reevals: u64,
-}
-
-/// What one side of a check reads in one model: the classes whose
-/// extents it enumerates, the attributes it compares or navigates, and
-/// the references it traverses.
-#[derive(Clone, Debug, Default)]
-struct Footprint {
-    classes: Vec<ClassId>,
-    attrs: Vec<AttrId>,
-    refs: Vec<RefId>,
-}
-
-impl Footprint {
-    fn add_class(&mut self, c: ClassId) {
-        if !self.classes.contains(&c) {
-            self.classes.push(c);
-        }
-    }
-
-    fn add_attr(&mut self, a: AttrId) {
-        if !self.attrs.contains(&a) {
-            self.attrs.push(a);
-        }
-    }
-
-    fn add_ref(&mut self, r: RefId) {
-        if !self.refs.contains(&r) {
-            self.refs.push(r);
-        }
-    }
-
-    /// Does `op` (with `extent_class` the concrete class whose extent it
-    /// grows/shrinks, and `scrubbed` the references a deletion rewired)
-    /// intersect this footprint?
-    fn hits(
-        &self,
-        meta: &Metamodel,
-        op: &EditOp,
-        extent_class: Option<ClassId>,
-        scrubbed: &[RefId],
-    ) -> bool {
-        match op {
-            EditOp::AddObj { .. } | EditOp::DelObj { .. } => {
-                extent_class
-                    .map(|c| self.classes.iter().any(|&rc| meta.conforms(c, rc)))
-                    .unwrap_or(false)
-                    || scrubbed.iter().any(|r| self.refs.contains(r))
-            }
-            EditOp::SetAttr { attr, .. } => self.attrs.contains(attr),
-            EditOp::AddLink { r, .. } | EditOp::DelLink { r, .. } => self.refs.contains(r),
-        }
-    }
 }
 
 /// The static (model-independent) part of one directional check.
@@ -604,13 +553,6 @@ fn render(rel: &HirRelation, binding: &Binding) -> ViolationBinding {
     ViolationBinding { vars }
 }
 
-fn var_model(rel: &HirRelation, v: VarId) -> Option<DomIdx> {
-    match rel.vars[v.index()].ty {
-        VarTy::Obj { model, .. } => Some(model),
-        VarTy::Prim(_) => None,
-    }
-}
-
 /// Does `binding` bind one of `affected` (in `model`) through an object
 /// variable?
 fn binding_touches(
@@ -627,114 +569,17 @@ fn binding_touches(
     })
 }
 
-fn harvest_constraints(rel: &HirRelation, cs: &[Constraint], fps: &mut [Footprint]) {
-    for c in cs {
-        match *c {
-            Constraint::Obj { model, class, .. } => fps[model.index()].add_class(class),
-            Constraint::AttrEq { obj, attr, .. } => {
-                if let Some(m) = var_model(rel, obj) {
-                    fps[m.index()].add_attr(attr);
-                }
-            }
-            Constraint::RefContains { obj, r, .. } => {
-                if let Some(m) = var_model(rel, obj) {
-                    fps[m.index()].add_ref(r);
-                }
-            }
-        }
-    }
-}
-
-/// Harvests the attribute navigations of `e` into `fps` and everything
-/// reachable through relation calls into `call_fps`.
-fn harvest_expr(
-    hir: &Hir,
-    rel: &HirRelation,
-    e: &HirExpr,
-    fps: &mut [Footprint],
-    call_fps: &mut [Footprint],
-    visited: &mut Vec<RelId>,
-) {
-    match e {
-        HirExpr::Nav(v, attr) => {
-            if let Some(m) = var_model(rel, *v) {
-                fps[m.index()].add_attr(*attr);
-            }
-        }
-        HirExpr::Cmp(_, a, b) | HirExpr::And(a, b) | HirExpr::Or(a, b) | HirExpr::Implies(a, b) => {
-            harvest_expr(hir, rel, a, fps, call_fps, visited);
-            harvest_expr(hir, rel, b, fps, call_fps, visited);
-        }
-        HirExpr::Not(a) => harvest_expr(hir, rel, a, fps, call_fps, visited),
-        HirExpr::Call(rid, _) => harvest_call(hir, *rid, call_fps, visited),
-        HirExpr::Lit(_) | HirExpr::Var(_) => {}
-    }
-}
-
-/// Conservatively harvests everything a callee (transitively) reads.
-fn harvest_call(hir: &Hir, rid: RelId, call_fps: &mut [Footprint], visited: &mut Vec<RelId>) {
-    if visited.contains(&rid) {
-        return;
-    }
-    visited.push(rid);
-    let callee = hir.relation(rid);
-    for d in &callee.domains {
-        harvest_constraints(callee, &d.constraints, call_fps);
-    }
-    for e in [&callee.when, &callee.where_].into_iter().flatten() {
-        harvest_callee_expr(hir, callee, e, call_fps, visited);
-        // Free object variables may be enumerated over their extents.
-        let mut fv = Vec::new();
-        e.free_vars(&mut fv);
-        for v in fv {
-            if let VarTy::Obj { model, class } = callee.vars[v.index()].ty {
-                call_fps[model.index()].add_class(class);
-            }
-        }
-    }
-}
-
-/// As [`harvest_expr`], but inside a callee everything lands in the
-/// call footprint.
-fn harvest_callee_expr(
-    hir: &Hir,
-    rel: &HirRelation,
-    e: &HirExpr,
-    call_fps: &mut [Footprint],
-    visited: &mut Vec<RelId>,
-) {
-    match e {
-        HirExpr::Nav(v, attr) => {
-            if let Some(m) = var_model(rel, *v) {
-                call_fps[m.index()].add_attr(*attr);
-            }
-        }
-        HirExpr::Cmp(_, a, b) | HirExpr::And(a, b) | HirExpr::Or(a, b) | HirExpr::Implies(a, b) => {
-            harvest_callee_expr(hir, rel, a, call_fps, visited);
-            harvest_callee_expr(hir, rel, b, call_fps, visited);
-        }
-        HirExpr::Not(a) => harvest_callee_expr(hir, rel, a, call_fps, visited),
-        HirExpr::Call(rid, _) => harvest_call(hir, *rid, call_fps, visited),
-        HirExpr::Lit(_) | HirExpr::Var(_) => {}
-    }
-}
-
 fn compile_check(hir: &Hir, rid: RelId, dep: Dep, arity: usize) -> Result<CheckStatics, EvalError> {
     let rel = hir.relation(rid);
     let empty: Binding = vec![None; rel.vars.len()];
     let plan = plan_check(rel, dep, &empty)?;
-    let mut uni_fp = vec![Footprint::default(); arity];
-    let mut wit_fp = vec![Footprint::default(); arity];
-    let mut call_fp = vec![Footprint::default(); arity];
-    harvest_constraints(rel, &plan.src_constraints, &mut uni_fp);
-    harvest_constraints(rel, &plan.tgt_constraints, &mut wit_fp);
-    let mut visited = Vec::new();
-    if let Some(w) = &rel.when {
-        harvest_expr(hir, rel, w, &mut uni_fp, &mut call_fp, &mut visited);
-    }
-    if let Some(w) = &rel.where_ {
-        harvest_expr(hir, rel, w, &mut wit_fp, &mut call_fp, &mut visited);
-    }
+    let fps = footprints_for(
+        hir,
+        rel,
+        &plan.src_constraints,
+        &plan.tgt_constraints,
+        arity,
+    );
     let pins = |cs: &[Constraint]| {
         let mut out: Vec<(DomIdx, VarId)> = Vec::new();
         for c in cs {
@@ -754,7 +599,6 @@ fn compile_check(hir: &Hir, rid: RelId, dep: Dep, arity: usize) -> Result<CheckS
             w.free_vars(&mut fv);
         }
         fv.sort_unstable();
-        fv.dedup();
         fv.retain(|v| plan.src_vars.contains(v) && var_model(rel, *v).is_some());
         fv
     };
@@ -765,9 +609,9 @@ fn compile_check(hir: &Hir, rid: RelId, dep: Dep, arity: usize) -> Result<CheckS
         uni_pins,
         wit_pins,
         where_uni_vars,
-        uni_fp,
-        wit_fp,
-        call_fp,
+        uni_fp: fps.uni,
+        wit_fp: fps.wit,
+        call_fp: fps.call,
     })
 }
 

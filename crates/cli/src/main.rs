@@ -7,12 +7,16 @@
 //! mmt repair  -t F.qvtr -M CF.mm FM.mm --batch reqs/ --targets cf1,cf2 --jobs 4
 //! mmt sync    session.mmts -t F.qvtr -M CF.mm FM.mm -m ... [--json] [--store dir]
 //! mmt serve   -t F.qvtr -M CF.mm FM.mm -m ... [--out dir] [--store dir]
+//! mmt lint    -t F.qvtr -M CF.mm FM.mm [--json] [--allow MMT0xx,...]
 //! mmt deps    -t F.qvtr -M CF.mm FM.mm
 //! ```
 
 mod serve;
 
-use mmt_core::{EngineKind, RepairRequest, SessionOptions, Shape, SyncSession, Transformation};
+use mmt_core::{
+    EngineKind, LintCode, LintOptions, RepairRequest, SessionOptions, Shape, SyncSession,
+    Transformation,
+};
 use mmt_dist::{EditOp, TupleCost};
 use mmt_enforce::RepairOptions;
 use mmt_model::text::{parse_metamodel, parse_model, print_model};
@@ -46,6 +50,7 @@ COMMANDS:
   repair    enforce, or batch-enforce a directory of requests
   sync      drive a stateful session from an edit/repair script
   serve     serve concurrent sessions over a JSON line protocol on stdio
+  lint      static analysis of a transformation spec (no models needed)
   deps      print the resolved transformation and its dependency sets
 
 Models are bound to the transformation's parameters in order.
@@ -148,12 +153,16 @@ tuple given with -m). Requests:
   {"id":5,"cmd":"rollback","session":"a","n":2}        (or "n":"all")
   {"id":6,"cmd":"journal","session":"a"}
   {"id":7,"cmd":"close","session":"a"}
+  {"id":8,"cmd":"lint"}
 
 Responses echo the request id: {"id":1,"ok":true,"result":...} on
 success, {"id":1,"ok":false,"error":"..."} on failure (the loop keeps
 serving). The `edit` string is exactly a `mmt sync` edit line without
 the leading `edit` keyword, and `status`/`journal` results are byte-
-identical to `mmt sync --json` output for the same commands. With
+identical to `mmt sync --json` output for the same commands. The
+`lint` request needs no session and returns the static-analysis report
+recorded when the spec was registered (same JSON as `mmt lint --json`);
+a spec with lint errors refuses to serve at all. With
 `--out <dir>`, `close` writes the session's final tuple to
 `<dir>/<session>/<param>.model`. EOF on stdin exits 0.
 
@@ -164,6 +173,26 @@ session's store. A restarted `mmt serve --store <dir>` recovers every
 session that was open when the previous process died, with identical
 `status`/`journal` answers. Durable session names must carry no
 whitespace.
+"#;
+
+const USAGE_LINT: &str = r#"mmt lint — static analysis of a transformation spec
+
+USAGE:
+  mmt lint -t <spec.qvtr> -M <mm>... [--json] [--allow <codes>]
+
+Runs the static-analysis pass over the resolved spec (no models
+needed): well-formedness (unused/unbindable variables, unsatisfiable
+`when`/`where`, unreachable relations, call cycles, uninstantiable
+domains), repair-conflict analysis (relation pairs whose repairs write
+what another relation reads — possible repair ping-pong), and
+grounding-cost estimation (templates whose SAT grounding is
+exponential in degree). The same pass runs at hub registration:
+specs with error findings are rejected by `mmt serve`.
+
+Findings carry stable codes (MMT001...); `--allow <codes>` takes
+comma-separated codes to suppress (pinning intentional findings).
+With `--json` the report is one JSON object. Exits 0 when no errors
+(warnings allowed), 1 on error findings.
 "#;
 
 const USAGE_DEPS: &str = r#"mmt deps — print the resolved transformation
@@ -182,6 +211,7 @@ fn usage_for(cmd: &str) -> &'static str {
         "repair" => USAGE_REPAIR,
         "sync" => USAGE_SYNC,
         "serve" => USAGE_SERVE,
+        "lint" => USAGE_LINT,
         "deps" => USAGE_DEPS,
         _ => USAGE,
     }
@@ -200,6 +230,7 @@ struct Parsed {
     jobs: usize,
     batch: Option<String>,
     script: Option<String>,
+    allow: Vec<String>,
     json: bool,
     help: bool,
     version: bool,
@@ -219,6 +250,7 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
         jobs: 1,
         batch: None,
         script: None,
+        allow: Vec::new(),
         json: false,
         help: false,
         version: false,
@@ -298,6 +330,11 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
             "--script" => {
                 i += 1;
                 p.script = Some(args.get(i).ok_or("missing value for --script")?.clone());
+            }
+            "--allow" => {
+                i += 1;
+                let raw = args.get(i).ok_or("missing value for --allow")?;
+                p.allow.extend(raw.split(',').map(|s| s.trim().to_string()));
             }
             "--json" => p.json = true,
             "--help" | "-h" => p.help = true,
@@ -594,6 +631,27 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         "sync" => run_sync(&p),
         "serve" => serve::run_serve(&p),
+        "lint" => {
+            let (t, _) = load(&p, cmd)?;
+            let mut opts = LintOptions::default();
+            for code in &p.allow {
+                opts.allow.push(
+                    LintCode::parse(code)
+                        .ok_or_else(|| format!("unknown lint code `{code}` for --allow"))?,
+                );
+            }
+            let report = t.lint_with(&opts);
+            if p.json {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            Ok(if report.has_errors() {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
         "deps" => {
             let spec_path = p
                 .spec

@@ -347,7 +347,18 @@ pub(crate) fn run_serve(p: &Parsed) -> Result<ExitCode, String> {
         repair: repair_options(&t, p)?,
     };
     let hub = SyncHub::new();
+    // Registration lints the spec: error findings refuse to serve at
+    // all; warnings go to stderr (stdout is the protocol stream) and
+    // stay queryable through the `lint` verb.
     let t = hub.register("default", t).map_err(|e| e.to_string())?;
+    if let Ok(report) = hub.lint_report("default") {
+        if report.warnings() > 0 {
+            eprintln!(
+                "lint: {} warning(s) in the registered spec (send {{\"cmd\":\"lint\"}} or run `mmt lint` for details)",
+                report.warnings()
+            );
+        }
+    }
     // With --store, recover every session the previous process left
     // behind before serving the first request.
     let mut store = match &p.store {
@@ -441,6 +452,11 @@ fn dispatch(
     obj: &[(String, Json)],
 ) -> Result<String, String> {
     let cmd = str_field(obj, "cmd")?;
+    if cmd == "lint" {
+        // The report recorded when the spec was registered; no session.
+        let report = hub.lint_report("default").map_err(|e| e.to_string())?;
+        return Ok(report.render_json());
+    }
     let name = str_field(obj, "session")?;
     match cmd.as_str() {
         "open" => {

@@ -951,3 +951,138 @@ fn serve_store_rejects_unsafe_names() {
     assert!(stdout.contains("{\"id\":2,\"ok\":true"), "{stdout}");
     let _ = std::fs::remove_dir_all(&store);
 }
+
+// --- ISSUE 8: `mmt lint` and the serve `lint` verb ---
+
+/// Writes a throwaway spec/metamodel fixture and returns its path.
+fn write_fixture(name: &str, ext: &str, body: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("mmt-cli-{name}-{}.{ext}", std::process::id()));
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+/// Linting the shipped car/feature spec needs no models, reports the
+/// repair-conflict and coupling findings, and exits 0 (warnings only).
+#[test]
+fn lint_shipped_spec_warns_and_exits_zero() {
+    let args = [
+        "lint",
+        "-t",
+        &repo_file("examples/data/F.qvtr"),
+        "-M",
+        &repo_file("examples/data/CF.mm"),
+        &repo_file("examples/data/FM.mm"),
+    ];
+    let (stdout, stderr, code) = mmt(&args
+        .map(|s| s.to_string())
+        .iter()
+        .map(String::as_str)
+        .collect::<Vec<_>>());
+    assert_eq!(code, Some(0), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("MMT010"), "{stdout}");
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+}
+
+/// `--json` emits the machine-readable report; `--allow` suppresses the
+/// listed codes down to a clean report.
+#[test]
+fn lint_json_and_allow() {
+    let spec = repo_file("examples/data/F.qvtr");
+    let cf = repo_file("examples/data/CF.mm");
+    let fm = repo_file("examples/data/FM.mm");
+    let (stdout, _, code) = mmt(&["lint", "-t", &spec, "-M", &cf, &fm, "--json"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.starts_with("{\"errors\":0,"), "{stdout}");
+    assert!(stdout.contains("\"code\":\"MMT010\""), "{stdout}");
+    assert!(stdout.contains("\"severity\":\"warning\""), "{stdout}");
+
+    let (stdout, _, code) = mmt(&[
+        "lint",
+        "-t",
+        &spec,
+        "-M",
+        &cf,
+        &fm,
+        "--json",
+        "--allow",
+        "MMT010,MMT011",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(
+        stdout.starts_with("{\"errors\":0,\"warnings\":0,\"infos\":0"),
+        "{stdout}"
+    );
+}
+
+/// A statically broken spec (unsatisfiable `when`) exits 1 and names
+/// the offending relation.
+#[test]
+fn lint_broken_spec_exits_one() {
+    let mmf = write_fixture("lint-mm", "mm", "metamodel M { class A { attr x: Str; } }");
+    let spec = write_fixture(
+        "lint-bad",
+        "qvtr",
+        r#"transformation T(l : M, r : M) {
+          top relation R {
+            n : Str;
+            domain l a : A { x = "p" };
+            domain r b : A { x = n };
+            when { a.x = "q" }
+            depend l -> r;
+          }
+        }"#,
+    );
+    let (stdout, stderr, code) = mmt(&[
+        "lint",
+        "-t",
+        &spec.to_string_lossy(),
+        "-M",
+        &mmf.to_string_lossy(),
+    ]);
+    assert_eq!(code, Some(1), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("error[MMT003]"), "{stdout}");
+    assert!(stdout.contains("relation `R`"), "{stdout}");
+    std::fs::remove_file(&spec).ok();
+    std::fs::remove_file(&mmf).ok();
+}
+
+/// Unknown `--allow` codes are usage errors (exit 2), and `mmt help
+/// lint` documents the flag.
+#[test]
+fn lint_rejects_unknown_allow_code_and_has_help() {
+    let spec = repo_file("examples/data/F.qvtr");
+    let cf = repo_file("examples/data/CF.mm");
+    let fm = repo_file("examples/data/FM.mm");
+    let (_, stderr, code) = mmt(&["lint", "-t", &spec, "-M", &cf, &fm, "--allow", "MMT999"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("unknown lint code `MMT999`"), "{stderr}");
+
+    let (stdout, _, code) = mmt(&["help", "lint"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("--allow"), "{stdout}");
+    assert!(stdout.contains("Exits 0"), "{stdout}");
+}
+
+/// The serve protocol answers a session-less `lint` request with the
+/// registration-time report, and announces warnings on stderr without
+/// polluting the JSON stream on stdout.
+#[test]
+fn serve_answers_lint_requests() {
+    let requests = "{\"id\":1,\"cmd\":\"lint\"}\n{\"id\":2,\"cmd\":\"open\",\"session\":\"s\"}\n{\"id\":3,\"cmd\":\"close\",\"session\":\"s\"}\n";
+    let mut args = vec!["serve".to_string()];
+    args.extend(data_args());
+    let argrefs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (stdout, stderr, code) = mmt_with_stdin(&argrefs, requests);
+    assert_eq!(code, Some(0), "{stdout}\n{stderr}");
+    let report = serve_result(&stdout, 1);
+    assert!(report.starts_with("{\"errors\":0,"), "{report}");
+    assert!(report.contains("\"code\":\"MMT010\""), "{report}");
+    assert!(
+        stderr.contains("warning(s) in the registered spec"),
+        "{stderr}"
+    );
+    // Every stdout line is still a protocol response.
+    for line in stdout.lines() {
+        assert!(line.starts_with("{\"id\":"), "non-protocol stdout: {line}");
+    }
+}

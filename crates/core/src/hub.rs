@@ -44,7 +44,7 @@
 //! assert_eq!(hub.list(), ["alice"]);
 //! ```
 
-use crate::{CoreError, SessionOptions, SyncSession, Transformation};
+use crate::{CoreError, LintReport, SessionOptions, SyncSession, Transformation};
 use mmt_model::Model;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -166,6 +166,9 @@ impl fmt::Debug for SessionHandle {
 pub struct SyncHub {
     transformations: RwLock<HashMap<String, Arc<Transformation>>>,
     sessions: RwLock<HashMap<String, Arc<SessionHandle>>>,
+    /// The lint report of each registered transformation (non-error
+    /// findings; erroring specs never make it into the registry).
+    lint_reports: RwLock<HashMap<String, Arc<LintReport>>>,
 }
 
 impl SyncHub {
@@ -177,11 +180,22 @@ impl SyncHub {
     /// Registers a transformation under `id` and returns the shared
     /// handle every session opened against `id` will hold. Errors with
     /// [`HubError::DuplicateTransformation`] if the id is taken.
+    ///
+    /// Registration runs the static-analysis pass
+    /// ([`Transformation::lint`]) first, *outside* every hub lock:
+    /// error-severity findings reject the spec with [`CoreError::Lint`]
+    /// before any session can open against it; warnings are stored and
+    /// readable through [`SyncHub::lint_report`].
     pub fn register(
         &self,
         id: &str,
         t: impl Into<Arc<Transformation>>,
     ) -> Result<Arc<Transformation>, HubError> {
+        let t = t.into();
+        let report = t.lint();
+        if report.has_errors() {
+            return Err(HubError::Core(CoreError::Lint(report)));
+        }
         let mut map = self
             .transformations
             .write()
@@ -189,11 +203,26 @@ impl SyncHub {
         match map.entry(id.to_string()) {
             Entry::Occupied(_) => Err(HubError::DuplicateTransformation(id.to_string())),
             Entry::Vacant(v) => {
-                let t = t.into();
                 v.insert(Arc::clone(&t));
+                drop(map);
+                self.lint_reports
+                    .write()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(id.to_string(), Arc::new(report));
                 Ok(t)
             }
         }
+    }
+
+    /// The lint report recorded when `id` was registered (warnings and
+    /// infos only — erroring specs are rejected at registration).
+    pub fn lint_report(&self, id: &str) -> Result<Arc<LintReport>, HubError> {
+        self.lint_reports
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(id)
+            .cloned()
+            .ok_or_else(|| HubError::UnknownTransformation(id.to_string()))
     }
 
     /// The transformation registered under `id`.
@@ -413,6 +442,49 @@ mod tests {
         assert_eq!(hub.list(), ["alice"]);
         // A drained handle still works after close.
         assert!(closed.with(|s| s.status().consistent));
+    }
+
+    #[test]
+    fn register_rejects_statically_broken_specs() {
+        // Unsatisfiable `when` is an error-severity lint (MMT003):
+        // registration must refuse before any session can open.
+        let t = Transformation::from_sources(
+            r#"transformation T(l : M, r : M) {
+              top relation R {
+                n : Int;
+                domain l a : A { x = n };
+                domain r b : A { x = n };
+                when { n > 3 and n < 2 }
+                depend l -> r;
+              }
+            }"#,
+            &["metamodel M { class A { attr x: Int; } }"],
+        )
+        .unwrap();
+        let hub = SyncHub::new();
+        let err = hub.register("broken", t).unwrap_err();
+        assert!(
+            matches!(&err, HubError::Core(CoreError::Lint(r)) if r.has_errors()),
+            "{err}"
+        );
+        assert!(hub.transformations().is_empty());
+        assert!(hub.lint_report("broken").is_err());
+    }
+
+    #[test]
+    fn register_records_lint_warnings() {
+        let (t, _) = fixture();
+        let hub = SyncHub::new();
+        hub.register("F", t).unwrap();
+        let report = hub.lint_report("F").unwrap();
+        assert_eq!(report.errors(), 0);
+        // The paper's bidirectional MF/OF relations overlap on the
+        // feature model: the repair-conflict lint fires as a warning.
+        assert!(report.warnings() > 0, "{}", report.render_text());
+        assert!(matches!(
+            hub.lint_report("nope"),
+            Err(HubError::UnknownTransformation(_))
+        ));
     }
 
     #[test]

@@ -21,8 +21,6 @@
 //! assert!(t.check(&w.models).unwrap().consistent());
 //! ```
 
-#![deny(missing_docs)]
-
 pub mod hub;
 pub mod session;
 
@@ -35,6 +33,7 @@ pub use mmt_enforce::RepairRequest;
 use mmt_enforce::{
     RepairEngine, RepairError, RepairOptions, RepairOutcome, SatEngine, SearchEngine,
 };
+pub use mmt_lint::{Lint, LintCode, LintOptions, LintReport, Severity};
 use mmt_model::text::{parse_metamodel, ParseError};
 use mmt_model::{Metamodel, Model, ModelError, Sym};
 use mmt_qvtr::{parse_and_resolve, FrontendError, Hir};
@@ -197,6 +196,9 @@ pub enum CoreError {
     Model(ModelError),
     /// A repair shape referenced a model the transformation lacks.
     Shape(ShapeError),
+    /// The static-analysis pass rejected the specification (the report
+    /// carries every finding, errors first).
+    Lint(LintReport),
 }
 
 impl fmt::Display for CoreError {
@@ -209,6 +211,13 @@ impl fmt::Display for CoreError {
             CoreError::Repair(e) => write!(f, "repair: {e}"),
             CoreError::Model(e) => write!(f, "model: {e}"),
             CoreError::Shape(e) => write!(f, "shape: {e}"),
+            CoreError::Lint(report) => {
+                write!(f, "lint: {} error(s)", report.errors())?;
+                if let Some(first) = report.lints.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -226,6 +235,7 @@ impl std::error::Error for CoreError {
             CoreError::Repair(e) => Some(e),
             CoreError::Model(e) => Some(e),
             CoreError::Shape(e) => Some(e),
+            CoreError::Lint(_) => None,
         }
     }
 }
@@ -325,6 +335,21 @@ impl Transformation {
     /// Model parameter names, in model-space order.
     pub fn model_names(&self) -> Vec<Sym> {
         self.hir.models.iter().map(|m| m.name).collect()
+    }
+
+    /// Runs the static-analysis pass (`mmt-lint`) over the resolved
+    /// specification: well-formedness, repair-conflict, and
+    /// grounding-cost lints. Never fails — the report carries the
+    /// findings; [`SyncHub::register`] rejects on
+    /// [`LintReport::has_errors`].
+    pub fn lint(&self) -> LintReport {
+        self.lint_with(&LintOptions::default())
+    }
+
+    /// As [`Transformation::lint`] with explicit options (e.g. allowed
+    /// codes).
+    pub fn lint_with(&self, opts: &LintOptions) -> LintReport {
+        mmt_lint::lint(&self.hir, opts)
     }
 
     /// Runs checkonly evaluation (extended semantics, §2.2).

@@ -13,8 +13,6 @@
 //! Dowling–Gallier counter-based unit propagation, implemented in
 //! [`DepSet::entails`].
 
-#![deny(missing_docs)]
-
 use std::fmt;
 
 /// Index of a domain (model position) within a relation. Relations in this

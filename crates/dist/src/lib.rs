@@ -76,8 +76,6 @@
 //! vector built for the wrong tuple is an error, never a silently
 //! mispriced repair.
 
-#![deny(missing_docs)]
-
 use mmt_model::{AttrId, ClassId, Model, ModelError, ObjId, RefId, Value};
 use std::fmt;
 

@@ -11,8 +11,6 @@
 //! [`Scenario`](scenario::Scenario) abstraction the differential
 //! suites and benches sweep over.
 
-#![deny(missing_docs)]
-
 pub mod scenario;
 
 use mmt_deps::{Dep, DepSet, DomIdx, DomSet};

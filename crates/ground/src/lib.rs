@@ -16,8 +16,6 @@
 //! the bound `k = 0, 1, 2, …` — precisely the paper's "iterative process
 //! of searching for all consistent models at increasing distance".
 
-#![deny(missing_docs)]
-
 pub mod formula;
 
 use formula::{CnfBuilder, Formula};

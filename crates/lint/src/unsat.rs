@@ -1,0 +1,394 @@
+//! Conservative static satisfiability analysis over [`HirExpr`]
+//! conjunctions (the `MMT003`/`MMT004` engine).
+//!
+//! The analysis decides *definite* unsatisfiability only: it constant-
+//! folds literal subexpressions, then reasons about the top-level
+//! conjuncts of the clause conjoined with the domain-pattern facts
+//! (`obj.attr = lit` / `obj.attr = var` equalities the templates pin).
+//! Equalities are merged into union-find classes over the terms `v` and
+//! `v.attr`; each class carries at most one literal binding and an `Int`
+//! interval. A contradiction is reported when a class is bound to two
+//! different literals, an interval empties, a disequality collapses onto
+//! one class, or a conjunct appears alongside its own negation. Anything
+//! the analysis cannot decide is assumed satisfiable — lints built on
+//! this module never report a false unsatisfiability.
+
+use mmt_model::Value;
+use mmt_qvtr::{Atom, CmpOp, Constraint, HirExpr, HirRelation, VarId};
+
+/// A term tracked by the equality reasoning: a primitive variable or an
+/// attribute navigation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Term {
+    Var(VarId),
+    Nav(VarId, mmt_model::AttrId),
+}
+
+/// One side of a comparison after normalization.
+enum Operand {
+    Term(Term),
+    Lit(Value),
+    Other,
+}
+
+fn operand(e: &HirExpr) -> Operand {
+    match e {
+        HirExpr::Var(v) => Operand::Term(Term::Var(*v)),
+        HirExpr::Nav(v, a) => Operand::Term(Term::Nav(*v, *a)),
+        HirExpr::Lit(v) => Operand::Lit(*v),
+        _ => Operand::Other,
+    }
+}
+
+/// Constant-folds `e` to a boolean when every relevant leaf is a
+/// literal (with And/Or/Implies short-circuiting on one known side).
+fn fold_bool(e: &HirExpr) -> Option<bool> {
+    match e {
+        HirExpr::Lit(Value::Bool(b)) => Some(*b),
+        HirExpr::Cmp(op, a, b) => {
+            let (HirExpr::Lit(x), HirExpr::Lit(y)) = (a.as_ref(), b.as_ref()) else {
+                return None;
+            };
+            Some(match op {
+                CmpOp::Eq => x == y,
+                CmpOp::Neq => x != y,
+                CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                    let (Value::Int(x), Value::Int(y)) = (x, y) else {
+                        return None;
+                    };
+                    match op {
+                        CmpOp::Lt => x < y,
+                        CmpOp::Le => x <= y,
+                        CmpOp::Gt => x > y,
+                        _ => x >= y,
+                    }
+                }
+            })
+        }
+        HirExpr::And(a, b) => match (fold_bool(a), fold_bool(b)) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        },
+        HirExpr::Or(a, b) => match (fold_bool(a), fold_bool(b)) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
+        HirExpr::Implies(a, b) => match (fold_bool(a), fold_bool(b)) {
+            (Some(false), _) | (_, Some(true)) => Some(true),
+            (Some(true), Some(false)) => Some(false),
+            _ => None,
+        },
+        HirExpr::Not(a) => fold_bool(a).map(|v| !v),
+        _ => None,
+    }
+}
+
+/// Union-find classes over [`Term`]s, each carrying at most one literal
+/// binding and an integer interval.
+#[derive(Default)]
+struct Classes {
+    terms: Vec<Term>,
+    parent: Vec<usize>,
+    binding: Vec<Option<Value>>,
+    lo: Vec<Option<i64>>,
+    hi: Vec<Option<i64>>,
+}
+
+impl Classes {
+    fn node(&mut self, t: Term) -> usize {
+        if let Some(i) = self.terms.iter().position(|&x| x == t) {
+            return i;
+        }
+        self.terms.push(t);
+        self.parent.push(self.terms.len() - 1);
+        self.binding.push(None);
+        self.lo.push(None);
+        self.hi.push(None);
+        self.terms.len() - 1
+    }
+
+    fn find(&mut self, i: usize) -> usize {
+        if self.parent[i] == i {
+            i
+        } else {
+            let r = self.find(self.parent[i]);
+            self.parent[i] = r;
+            r
+        }
+    }
+
+    /// Merges the classes of `a` and `b`; `Err` carries the two
+    /// conflicting literals when the merge is contradictory.
+    fn union(&mut self, a: usize, b: usize) -> Result<(), (Value, Value)> {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return Ok(());
+        }
+        match (self.binding[ra], self.binding[rb]) {
+            (Some(x), Some(y)) if x != y => return Err((x, y)),
+            (None, Some(y)) => self.binding[ra] = Some(y),
+            _ => {}
+        }
+        self.lo[ra] = max_opt(self.lo[ra], self.lo[rb]);
+        self.hi[ra] = min_opt(self.hi[ra], self.hi[rb]);
+        self.parent[rb] = ra;
+        Ok(())
+    }
+
+    /// Binds the class of `i` to literal `v`; `Err` carries the
+    /// conflicting pair.
+    fn bind(&mut self, i: usize, v: Value) -> Result<(), (Value, Value)> {
+        let r = self.find(i);
+        match self.binding[r] {
+            Some(x) if x != v => Err((x, v)),
+            _ => {
+                self.binding[r] = Some(v);
+                Ok(())
+            }
+        }
+    }
+
+    fn narrow(&mut self, i: usize, lo: Option<i64>, hi: Option<i64>) {
+        let r = self.find(i);
+        self.lo[r] = max_opt(self.lo[r], lo);
+        self.hi[r] = min_opt(self.hi[r], hi);
+    }
+}
+
+fn max_opt(a: Option<i64>, b: Option<i64>) -> Option<i64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.max(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+fn min_opt(a: Option<i64>, b: Option<i64>) -> Option<i64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+fn fmt_term(rel: &HirRelation, t: Term) -> String {
+    match t {
+        Term::Var(v) => rel.vars[v.index()].name.to_string(),
+        Term::Nav(v, _) => format!("{}.<attr>", rel.vars[v.index()].name),
+    }
+}
+
+fn fmt_value(v: Value) -> String {
+    match v {
+        Value::Str(s) => format!("\"{s}\""),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+    }
+}
+
+/// Flattens the top-level conjunction of `e` into `out`.
+fn conjuncts<'a>(e: &'a HirExpr, out: &mut Vec<&'a HirExpr>) {
+    match e {
+        HirExpr::And(a, b) => {
+            conjuncts(a, out);
+            conjuncts(b, out);
+        }
+        _ => out.push(e),
+    }
+}
+
+/// Decides whether the conjunction of the pattern `facts` and the
+/// clauses `exprs` is *definitely* unsatisfiable. Returns a
+/// human-readable contradiction on success, `None` when satisfiability
+/// cannot be ruled out.
+pub(crate) fn contradiction(
+    rel: &HirRelation,
+    facts: &[&Constraint],
+    exprs: &[&HirExpr],
+) -> Option<String> {
+    let mut cls = Classes::default();
+
+    // Seed with the equalities the domain templates pin.
+    for c in facts {
+        if let Constraint::AttrEq { obj, attr, rhs } = c {
+            let n = cls.node(Term::Nav(*obj, *attr));
+            let res = match rhs {
+                Atom::Lit(v) => cls.bind(n, *v),
+                Atom::Var(p) => {
+                    let pn = cls.node(Term::Var(*p));
+                    cls.union(n, pn)
+                }
+            };
+            if let Err((x, y)) = res {
+                return Some(format!(
+                    "pattern binds {} to both {} and {}",
+                    fmt_term(rel, Term::Nav(*obj, *attr)),
+                    fmt_value(x),
+                    fmt_value(y)
+                ));
+            }
+        }
+    }
+
+    let mut flat: Vec<&HirExpr> = Vec::new();
+    for e in exprs {
+        conjuncts(e, &mut flat);
+    }
+
+    // A conjunct alongside its own negation is a contradiction no
+    // matter what the atoms mean.
+    for (i, a) in flat.iter().enumerate() {
+        for b in &flat[i + 1..] {
+            let neg = match (a, b) {
+                (HirExpr::Not(x), y) => x.as_ref() == *y,
+                (x, HirExpr::Not(y)) => *x == y.as_ref(),
+                _ => false,
+            };
+            if neg {
+                return Some("a conjunct appears alongside its own negation".into());
+            }
+        }
+    }
+
+    let mut neqs: Vec<(usize, usize)> = Vec::new();
+    let mut neq_lits: Vec<(usize, Value)> = Vec::new();
+
+    for e in &flat {
+        if let Some(b) = fold_bool(e) {
+            if !b {
+                return Some("a conjunct folds to the constant false".into());
+            }
+            continue;
+        }
+        let HirExpr::Cmp(op, a, b) = e else { continue };
+        match (op, operand(a), operand(b)) {
+            (CmpOp::Eq, Operand::Term(x), Operand::Term(y)) => {
+                let (nx, ny) = (cls.node(x), cls.node(y));
+                if let Err((u, v)) = cls.union(nx, ny) {
+                    return Some(format!(
+                        "{} = {} forces {} = {}",
+                        fmt_term(rel, x),
+                        fmt_term(rel, y),
+                        fmt_value(u),
+                        fmt_value(v)
+                    ));
+                }
+            }
+            (CmpOp::Eq, Operand::Term(x), Operand::Lit(v))
+            | (CmpOp::Eq, Operand::Lit(v), Operand::Term(x)) => {
+                let n = cls.node(x);
+                if let Err((u, w)) = cls.bind(n, v) {
+                    return Some(format!(
+                        "{} is equated with both {} and {}",
+                        fmt_term(rel, x),
+                        fmt_value(u),
+                        fmt_value(w)
+                    ));
+                }
+            }
+            (CmpOp::Neq, Operand::Term(x), Operand::Term(y)) => {
+                let (nx, ny) = (cls.node(x), cls.node(y));
+                neqs.push((nx, ny));
+            }
+            (CmpOp::Neq, Operand::Term(x), Operand::Lit(v))
+            | (CmpOp::Neq, Operand::Lit(v), Operand::Term(x)) => {
+                let n = cls.node(x);
+                neq_lits.push((n, v));
+            }
+            (CmpOp::Lt, Operand::Term(x), Operand::Lit(Value::Int(k))) => {
+                let n = cls.node(x);
+                cls.narrow(n, None, k.checked_sub(1));
+            }
+            (CmpOp::Le, Operand::Term(x), Operand::Lit(Value::Int(k))) => {
+                let n = cls.node(x);
+                cls.narrow(n, None, Some(k));
+            }
+            (CmpOp::Gt, Operand::Term(x), Operand::Lit(Value::Int(k))) => {
+                let n = cls.node(x);
+                cls.narrow(n, k.checked_add(1), None);
+            }
+            (CmpOp::Ge, Operand::Term(x), Operand::Lit(Value::Int(k))) => {
+                let n = cls.node(x);
+                cls.narrow(n, Some(k), None);
+            }
+            (CmpOp::Lt, Operand::Lit(Value::Int(k)), Operand::Term(x)) => {
+                let n = cls.node(x);
+                cls.narrow(n, k.checked_add(1), None);
+            }
+            (CmpOp::Le, Operand::Lit(Value::Int(k)), Operand::Term(x)) => {
+                let n = cls.node(x);
+                cls.narrow(n, Some(k), None);
+            }
+            (CmpOp::Gt, Operand::Lit(Value::Int(k)), Operand::Term(x)) => {
+                let n = cls.node(x);
+                cls.narrow(n, None, k.checked_sub(1));
+            }
+            (CmpOp::Ge, Operand::Lit(Value::Int(k)), Operand::Term(x)) => {
+                let n = cls.node(x);
+                cls.narrow(n, None, Some(k));
+            }
+            _ => {}
+        }
+    }
+
+    // Interval / binding consistency per class.
+    for i in 0..cls.terms.len() {
+        let r = cls.find(i);
+        if r != i {
+            continue;
+        }
+        let (lo, hi) = (cls.lo[r], cls.hi[r]);
+        if let (Some(l), Some(h)) = (lo, hi) {
+            if l > h {
+                return Some(format!(
+                    "{} is confined to the empty range [{l}, {h}]",
+                    fmt_term(rel, cls.terms[r])
+                ));
+            }
+        }
+        if let Some(Value::Int(v)) = cls.binding[r] {
+            if lo.map(|l| v < l).unwrap_or(false) || hi.map(|h| v > h).unwrap_or(false) {
+                return Some(format!(
+                    "{} = {v} falls outside its required range",
+                    fmt_term(rel, cls.terms[r])
+                ));
+            }
+        }
+    }
+
+    // Disequalities that collapsed onto one class or a matching literal.
+    for (a, b) in neqs {
+        let (ra, rb) = (cls.find(a), cls.find(b));
+        if ra == rb {
+            return Some(format!(
+                "{} != {} contradicts their required equality",
+                fmt_term(rel, cls.terms[a]),
+                fmt_term(rel, cls.terms[b])
+            ));
+        }
+        if let (Some(x), Some(y)) = (cls.binding[ra], cls.binding[rb]) {
+            if x == y {
+                return Some(format!(
+                    "{} != {} but both equal {}",
+                    fmt_term(rel, cls.terms[a]),
+                    fmt_term(rel, cls.terms[b]),
+                    fmt_value(x)
+                ));
+            }
+        }
+    }
+    for (n, v) in neq_lits {
+        let r = cls.find(n);
+        if cls.binding[r] == Some(v) {
+            return Some(format!(
+                "{} != {} but it is pinned to that value",
+                fmt_term(rel, cls.terms[n]),
+                fmt_value(v)
+            ));
+        }
+    }
+
+    None
+}

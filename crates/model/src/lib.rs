@@ -9,8 +9,6 @@
 //! Everything downstream — the QVT-R front-end, the checking engine, the
 //! enforcement engines — operates on these types.
 
-#![deny(missing_docs)]
-
 pub mod conformance;
 pub mod intern;
 pub mod meta;

@@ -141,12 +141,19 @@ pub enum HirExpr {
 }
 
 impl HirExpr {
-    /// Collects the variables free in this expression into `out`.
+    /// Collects the variables free in this expression into `out`,
+    /// **deduplicated**: each variable appears at most once (counting
+    /// entries already in `out`), in first-occurrence order.
     pub fn free_vars(&self, out: &mut Vec<VarId>) {
+        fn push(out: &mut Vec<VarId>, v: VarId) {
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
         match self {
             HirExpr::Lit(_) => {}
-            HirExpr::Var(v) => out.push(*v),
-            HirExpr::Nav(v, _) => out.push(*v),
+            HirExpr::Var(v) => push(out, *v),
+            HirExpr::Nav(v, _) => push(out, *v),
             HirExpr::Cmp(_, a, b) => {
                 a.free_vars(out);
                 b.free_vars(out);
@@ -156,11 +163,18 @@ impl HirExpr {
                 b.free_vars(out);
             }
             HirExpr::Not(a) => a.free_vars(out),
-            HirExpr::Call(_, args) => out.extend(args.iter().copied()),
+            HirExpr::Call(_, args) => {
+                for v in args {
+                    push(out, *v);
+                }
+            }
         }
     }
 
-    /// Collects every call in the expression.
+    /// Collects every call in the expression into `out`,
+    /// **deduplicated**: a syntactically repeated invocation (same callee,
+    /// same argument list, counting entries already in `out`) appears
+    /// once, in first-occurrence order.
     pub fn calls(&self, out: &mut Vec<(RelId, Vec<VarId>)>) {
         match self {
             HirExpr::Cmp(_, a, b) => {
@@ -172,7 +186,9 @@ impl HirExpr {
                 b.calls(out);
             }
             HirExpr::Not(a) => a.calls(out),
-            HirExpr::Call(r, args) => out.push((*r, args.clone())),
+            HirExpr::Call(r, args) if !out.iter().any(|(rid, a)| rid == r && a == args) => {
+                out.push((*r, args.clone()));
+            }
             _ => {}
         }
     }
@@ -300,5 +316,83 @@ impl fmt::Display for Hir {
             write!(f, "{} : {}", m.name, m.meta.name)?;
         }
         writeln!(f, ") — {} relations", self.relations.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(i: u32) -> HirExpr {
+        HirExpr::Var(VarId(i))
+    }
+
+    /// ISSUE 8 satellite: `free_vars` output is deduplicated in
+    /// first-occurrence order — callers no longer need the ad-hoc
+    /// `sort_unstable(); dedup();` dance (and the ones treating the
+    /// result as a set iterate each variable exactly once).
+    #[test]
+    fn free_vars_deduplicates_in_first_occurrence_order() {
+        // (v1 = v0) and (v0.a = v2) and not (v1 = v2)
+        let e = HirExpr::And(
+            Box::new(HirExpr::And(
+                Box::new(HirExpr::Cmp(CmpOp::Eq, Box::new(var(1)), Box::new(var(0)))),
+                Box::new(HirExpr::Cmp(
+                    CmpOp::Eq,
+                    Box::new(HirExpr::Nav(VarId(0), mmt_model::AttrId(0))),
+                    Box::new(var(2)),
+                )),
+            )),
+            Box::new(HirExpr::Not(Box::new(HirExpr::Cmp(
+                CmpOp::Eq,
+                Box::new(var(1)),
+                Box::new(var(2)),
+            )))),
+        );
+        let mut fv = Vec::new();
+        e.free_vars(&mut fv);
+        assert_eq!(fv, vec![VarId(1), VarId(0), VarId(2)]);
+    }
+
+    /// Entries already in `out` count as seen: pre-seeded vectors are
+    /// extended, never duplicated (the `plan_check` accumulation style).
+    #[test]
+    fn free_vars_respects_preexisting_entries() {
+        let e = HirExpr::And(
+            Box::new(var(3)),
+            Box::new(HirExpr::Call(RelId(0), vec![VarId(1), VarId(4)])),
+        );
+        let mut fv = vec![VarId(1), VarId(3)];
+        e.free_vars(&mut fv);
+        assert_eq!(fv, vec![VarId(1), VarId(3), VarId(4)]);
+    }
+
+    /// `calls` deduplicates syntactically identical invocations but keeps
+    /// same-callee calls with different argument lists distinct.
+    #[test]
+    fn calls_deduplicates_identical_invocations() {
+        let call = |r: u32, args: &[u32]| {
+            HirExpr::Call(RelId(r), args.iter().map(|&i| VarId(i)).collect())
+        };
+        let e = HirExpr::And(
+            Box::new(HirExpr::And(
+                Box::new(call(0, &[1, 2])),
+                Box::new(call(0, &[1, 2])),
+            )),
+            Box::new(HirExpr::Or(
+                Box::new(call(0, &[2, 1])),
+                Box::new(HirExpr::Not(Box::new(call(1, &[1, 2])))),
+            )),
+        );
+        let mut cs = Vec::new();
+        e.calls(&mut cs);
+        assert_eq!(
+            cs,
+            vec![
+                (RelId(0), vec![VarId(1), VarId(2)]),
+                (RelId(0), vec![VarId(2), VarId(1)]),
+                (RelId(1), vec![VarId(1), VarId(2)]),
+            ]
+        );
     }
 }

@@ -31,8 +31,6 @@
 //! assert_eq!(hir.arity(), 3);
 //! ```
 
-#![deny(missing_docs)]
-
 pub mod ast;
 pub mod hir;
 pub mod lexer;

@@ -1102,4 +1102,248 @@ transformation T(cf1 : CF, fm : FM) {
         let e = resolve(&parse(src).unwrap(), &fm_cf_metamodels()).unwrap_err();
         assert!(matches!(e.kind, ResolveErrorKind::Direction(_)));
     }
+
+    // --- ISSUE 8: exercise every structural error site. ---
+
+    #[test]
+    fn too_many_model_parameters_rejected() {
+        let params: Vec<String> = (0..=mmt_deps::MAX_DOMAINS)
+            .map(|i| format!("m{i} : CF"))
+            .collect();
+        let src = format!(
+            r#"
+transformation T({}) {{
+  top relation R {{
+    n : Str;
+    domain m0 a : Feature {{ name = n }};
+    domain m1 b : Feature {{ name = n }};
+  }}
+}}
+"#,
+            params.join(", ")
+        );
+        let e = resolve(&parse(&src).unwrap(), &fm_cf_metamodels()).unwrap_err();
+        assert!(matches!(e.kind, ResolveErrorKind::Dependency(_)), "{e}");
+        assert!(e.to_string().contains("at most"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_model_parameter_rejected() {
+        let src = r#"
+transformation T(cf1 : CF, cf1 : FM) {
+  top relation R {
+    domain cf1 a : Feature { };
+  }
+}
+"#;
+        let e = resolve(&parse(src).unwrap(), &fm_cf_metamodels()).unwrap_err();
+        assert!(matches!(e.kind, ResolveErrorKind::Duplicate(_)), "{e}");
+        assert!(e.to_string().contains("model parameter `cf1`"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_relation_name_rejected() {
+        let src = r#"
+transformation T(cf1 : CF, fm : FM) {
+  top relation R {
+    n : Str;
+    domain cf1 a : Feature { name = n };
+    domain fm b : Feature { name = n };
+  }
+  relation R {
+    m : Str;
+    domain cf1 c : Feature { name = m };
+    domain fm d : Feature { name = m };
+  }
+}
+"#;
+        let e = resolve(&parse(src).unwrap(), &fm_cf_metamodels()).unwrap_err();
+        assert!(matches!(e.kind, ResolveErrorKind::Duplicate(_)), "{e}");
+        assert!(e.to_string().contains("relation `R`"), "{e}");
+    }
+
+    #[test]
+    fn unknown_primitive_type_rejected() {
+        let src = r#"
+transformation T(cf1 : CF, fm : FM) {
+  top relation R {
+    n : Float;
+    domain cf1 a : Feature { };
+    domain fm b : Feature { };
+  }
+}
+"#;
+        let e = resolve(&parse(src).unwrap(), &fm_cf_metamodels()).unwrap_err();
+        assert!(matches!(e.kind, ResolveErrorKind::Unknown(_)), "{e}");
+        assert!(e.to_string().contains("primitive type `Float`"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_variable_rejected() {
+        let src = r#"
+transformation T(cf1 : CF, fm : FM) {
+  top relation R {
+    n : Str;
+    n : Int;
+    domain cf1 a : Feature { };
+    domain fm b : Feature { };
+  }
+}
+"#;
+        let e = resolve(&parse(src).unwrap(), &fm_cf_metamodels()).unwrap_err();
+        assert!(matches!(e.kind, ResolveErrorKind::Duplicate(_)), "{e}");
+        assert!(e.to_string().contains("variable `n`"), "{e}");
+    }
+
+    #[test]
+    fn unknown_domain_model_rejected() {
+        let src = r#"
+transformation T(cf1 : CF, fm : FM) {
+  top relation R {
+    domain zz a : Feature { };
+    domain fm b : Feature { };
+  }
+}
+"#;
+        let e = resolve(&parse(src).unwrap(), &fm_cf_metamodels()).unwrap_err();
+        assert!(matches!(e.kind, ResolveErrorKind::Unknown(_)), "{e}");
+        assert!(e.to_string().contains("model parameter `zz`"), "{e}");
+    }
+
+    #[test]
+    fn single_domain_relation_rejected() {
+        let src = r#"
+transformation T(cf1 : CF, fm : FM) {
+  top relation R {
+    domain cf1 a : Feature { };
+  }
+}
+"#;
+        let e = resolve(&parse(src).unwrap(), &fm_cf_metamodels()).unwrap_err();
+        assert!(matches!(e.kind, ResolveErrorKind::Dependency(_)), "{e}");
+        assert!(e.to_string().contains("at least two domains"), "{e}");
+    }
+
+    #[test]
+    fn dependency_target_outside_domains_rejected() {
+        // `cf2` is a model of the transformation but not a domain of R.
+        let src = r#"
+transformation T(cf1 : CF, cf2 : CF, fm : FM) {
+  top relation R {
+    n : Str;
+    domain cf1 s : Feature { name = n };
+    domain fm f : Feature { name = n };
+    depend cf1 -> cf2;
+  }
+}
+"#;
+        let e = resolve(&parse(src).unwrap(), &fm_cf_metamodels()).unwrap_err();
+        assert!(matches!(e.kind, ResolveErrorKind::Dependency(_)), "{e}");
+        assert!(e.to_string().contains("target `cf2`"), "{e}");
+    }
+
+    #[test]
+    fn dependency_over_unknown_model_rejected() {
+        let base = r#"
+transformation T(cf1 : CF, fm : FM) {
+  top relation R {
+    n : Str;
+    domain cf1 s : Feature { name = n };
+    domain fm f : Feature { name = n };
+    depend cf1 -> fm;
+  }
+}
+"#;
+        // Unknown target name, then unknown source name.
+        let bad_target = base.replace("depend cf1 -> fm;", "depend cf1 -> zz;");
+        let e = resolve(&parse(&bad_target).unwrap(), &fm_cf_metamodels()).unwrap_err();
+        assert!(matches!(e.kind, ResolveErrorKind::Unknown(_)), "{e}");
+        assert!(e.to_string().contains("model parameter `zz`"), "{e}");
+
+        let bad_source = base.replace("depend cf1 -> fm;", "depend zz -> fm;");
+        let e = resolve(&parse(&bad_source).unwrap(), &fm_cf_metamodels()).unwrap_err();
+        assert!(matches!(e.kind, ResolveErrorKind::Unknown(_)), "{e}");
+        assert!(e.to_string().contains("model parameter `zz`"), "{e}");
+    }
+
+    #[test]
+    fn non_boolean_logical_operands_rejected() {
+        let base = r#"
+transformation T(cf1 : CF, fm : FM) {
+  top relation R {
+    n : Str;
+    domain cf1 s : Feature { name = n };
+    domain fm f : Feature { name = n };
+    when { f.mandatory = true }
+  }
+}
+"#;
+        let mms = fm_cf_metamodels();
+        let and_str = base.replace("f.mandatory = true", "n and (f.mandatory = true)");
+        let e = resolve(&parse(&and_str).unwrap(), &mms).unwrap_err();
+        assert!(matches!(e.kind, ResolveErrorKind::Type(_)), "{e}");
+        assert!(e.to_string().contains("logical operand"), "{e}");
+
+        let not_str = base.replace("f.mandatory = true", "not n");
+        let e = resolve(&parse(&not_str).unwrap(), &mms).unwrap_err();
+        assert!(matches!(e.kind, ResolveErrorKind::Type(_)), "{e}");
+        assert!(e.to_string().contains("`not` operand"), "{e}");
+    }
+
+    #[test]
+    fn bad_relation_calls_rejected() {
+        let mm = parse_metamodel(
+            "metamodel M { class K { attr name: Str; } class L { attr name: Str; } }",
+        )
+        .unwrap();
+        let base = r#"
+transformation T(a : M, b : M) {
+  relation S {
+    n : Str;
+    domain a x : K { name = n };
+    domain b y : K { name = n };
+    depend a -> b;
+  }
+  top relation R {
+    m : Str;
+    domain a u : K { name = m };
+    domain b v : K { name = m };
+    depend a -> b;
+    where { S(u, v) }
+  }
+}
+"#;
+        let check =
+            |src: &str| resolve(&parse(src).unwrap(), std::slice::from_ref(&mm)).unwrap_err();
+
+        // Unknown callee.
+        let e = check(&base.replace("S(u, v)", "Q(u, v)"));
+        assert!(matches!(e.kind, ResolveErrorKind::Unknown(_)), "{e}");
+        assert!(e.to_string().contains("relation `Q`"), "{e}");
+
+        // Arity mismatch.
+        let e = check(&base.replace("S(u, v)", "S(u)"));
+        assert!(matches!(e.kind, ResolveErrorKind::Type(_)), "{e}");
+        assert!(e.to_string().contains("2 domains"), "{e}");
+
+        // Unknown variable as argument.
+        let e = check(&base.replace("S(u, v)", "S(zz, v)"));
+        assert!(matches!(e.kind, ResolveErrorKind::Unknown(_)), "{e}");
+        assert!(e.to_string().contains("variable `zz`"), "{e}");
+
+        // Argument from the wrong model parameter.
+        let e = check(&base.replace("S(u, v)", "S(v, u)"));
+        assert!(matches!(e.kind, ResolveErrorKind::Type(_)), "{e}");
+        assert!(e.to_string().contains("lives in model"), "{e}");
+
+        // Argument whose class does not conform to the callee's domain.
+        let e = check(&base.replace("domain a u : K { name = m }", "domain a u : L { name = m }"));
+        assert!(matches!(e.kind, ResolveErrorKind::Type(_)), "{e}");
+        assert!(e.to_string().contains("does not conform"), "{e}");
+
+        // Primitive variable passed where an object is expected.
+        let e = check(&base.replace("S(u, v)", "S(m, v)"));
+        assert!(matches!(e.kind, ResolveErrorKind::Type(_)), "{e}");
+        assert!(e.to_string().contains("primitive variable `m`"), "{e}");
+    }
 }

@@ -20,8 +20,6 @@
 //! assert_eq!(s.value(b), Some(true));
 //! ```
 
-#![deny(missing_docs)]
-
 pub mod dimacs;
 
 use std::fmt;

@@ -49,8 +49,6 @@
 //! assert!(t.check(&out.models).unwrap().consistent());
 //! ```
 
-#![deny(missing_docs)]
-
 pub use mmt_check as check;
 pub use mmt_core as core;
 pub use mmt_deps as deps;
@@ -58,6 +56,7 @@ pub use mmt_dist as dist;
 pub use mmt_enforce as enforce;
 pub use mmt_gen as gen;
 pub use mmt_ground as ground;
+pub use mmt_lint as lint;
 pub use mmt_model as model;
 pub use mmt_qvtr as qvtr;
 pub use mmt_sat as sat;
@@ -75,6 +74,7 @@ pub mod prelude {
     pub use mmt_enforce::{
         RepairEngine, RepairOptions, RepairOutcome, RepairRequest, SatEngine, SearchEngine,
     };
+    pub use mmt_lint::{lint, Lint, LintCode, LintOptions, LintReport, Severity};
     pub use mmt_model::text::{parse_metamodel, parse_model, print_metamodel, print_model};
     pub use mmt_model::{Metamodel, MetamodelBuilder, Model, ObjId, Sym, Value};
     pub use mmt_qvtr::{parse_and_resolve, Hir};

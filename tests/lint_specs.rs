@@ -1,0 +1,144 @@
+//! ISSUE 8: the shipped corpus is lint-clean of errors.
+//!
+//! Every spec under `examples/data/` and every [`Scenario`] spec runs
+//! through the static-analysis pass. None may carry error findings
+//! (registration would reject them); the known warning findings are
+//! asserted exactly so a lint regression — new noise or a silently
+//! vanished analysis — fails here first.
+
+use mmtf::gen::scenario::all_scenarios;
+use mmtf::lint::{lint, LintCode, LintOptions, LintReport};
+use mmtf::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn data_file(name: &str) -> String {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.push("examples/data");
+    p.push(name);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+fn lint_data_spec(spec: &str, mms: &[&str]) -> LintReport {
+    let metamodels: Vec<Arc<Metamodel>> = mms
+        .iter()
+        .map(|m| parse_metamodel(&data_file(m)).expect("shipped metamodel parses"))
+        .collect();
+    let hir = parse_and_resolve(&data_file(spec), &metamodels).expect("shipped spec resolves");
+    lint(&hir, &LintOptions::default())
+}
+
+fn codes(report: &LintReport) -> Vec<&'static str> {
+    report.lints.iter().map(|l| l.code.code()).collect()
+}
+
+/// No shipped example spec has lint errors — they all register.
+#[test]
+fn example_specs_have_no_errors() {
+    for (spec, mms) in [
+        ("F.qvtr", &["CF.mm", "FM.mm"][..]),
+        ("W2C.qvtr", &["World.mm", "Company.mm"][..]),
+        ("C2T.qvtr", &["UML.mm", "RDB.mm"][..]),
+    ] {
+        let report = lint_data_spec(spec, mms);
+        assert_eq!(
+            report.errors(),
+            0,
+            "{spec} has lint errors:\n{}",
+            report.render_text()
+        );
+    }
+}
+
+/// No scenario spec has lint errors (the corpus stays registrable).
+#[test]
+fn scenario_specs_have_no_errors() {
+    for s in all_scenarios() {
+        let w = s.workload(0);
+        let report = lint(&w.hir, &LintOptions::default());
+        assert_eq!(
+            report.errors(),
+            0,
+            "scenario {} has lint errors:\n{}",
+            s.name(),
+            report.render_text()
+        );
+    }
+}
+
+/// The ISSUE 8 acceptance findings: class2rdbms trips the grounding-
+/// blowup estimate (its nested attribute templates are exactly the
+/// exponential-slack case the paper's prototype chokes on), and the
+/// multi-relation scenarios carry real repair-conflict pairs.
+#[test]
+fn known_findings_are_reported() {
+    let c2r = all_scenarios()
+        .into_iter()
+        .find(|s| s.name() == "class2rdbms")
+        .expect("class2rdbms scenario exists");
+    let report = lint(&c2r.workload(0).hir, &LintOptions::default());
+    let found = codes(&report);
+    assert!(
+        found.contains(&"MMT020"),
+        "class2rdbms must trip the grounding-cost lint:\n{}",
+        report.render_text()
+    );
+    assert!(
+        found.contains(&"MMT010"),
+        "class2rdbms must report a repair-conflict pair:\n{}",
+        report.render_text()
+    );
+
+    // The paper's own feature-model spec: MF and OF both write the
+    // feature model, so repairing one can dirty the other.
+    let fm2cfs = all_scenarios()
+        .into_iter()
+        .find(|s| s.name() == "fm2cfs")
+        .expect("fm2cfs scenario exists");
+    let report = lint(&fm2cfs.workload(0).hir, &LintOptions::default());
+    assert!(
+        codes(&report).contains(&"MMT010"),
+        "fm2cfs must report a repair-conflict pair:\n{}",
+        report.render_text()
+    );
+}
+
+/// Pinning: the corpus' intentional findings are all warnings or infos,
+/// so allowing the three expected codes leaves every report clean. This
+/// is the `--allow` workflow a CI gate would use.
+#[test]
+fn corpus_is_clean_under_pinned_allows() {
+    let opts = LintOptions {
+        allow: vec![
+            LintCode::RepairConflict,
+            LintCode::BidirectionalCoupling,
+            LintCode::GroundingBlowup,
+        ],
+    };
+    for s in all_scenarios() {
+        let report = lint(&s.workload(0).hir, &opts);
+        assert!(
+            report.is_clean(),
+            "scenario {} has findings beyond the pinned set:\n{}",
+            s.name(),
+            report.render_text()
+        );
+    }
+    for (spec, mms) in [
+        ("F.qvtr", &["CF.mm", "FM.mm"][..]),
+        ("W2C.qvtr", &["World.mm", "Company.mm"][..]),
+        ("C2T.qvtr", &["UML.mm", "RDB.mm"][..]),
+    ] {
+        let metamodels: Vec<Arc<Metamodel>> = mms
+            .iter()
+            .map(|m| parse_metamodel(&data_file(m)).unwrap())
+            .collect();
+        let hir = parse_and_resolve(&data_file(spec), &metamodels).unwrap();
+        let report = lint(&hir, &opts);
+        assert!(
+            report.is_clean(),
+            "{spec} has findings beyond the pinned set:\n{}",
+            report.render_text()
+        );
+    }
+}
