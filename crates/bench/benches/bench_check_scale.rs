@@ -45,6 +45,31 @@ fn bench_check(c: &mut Criterion) {
     group.finish();
 }
 
+/// Six-figure models (ISSUE 9): full-check wall time at n = 10⁴ and
+/// 10⁵ (k = 2), tracking that building and holding a big tuple stays
+/// cheap — the per-edit incremental figures live in
+/// `bench_check_incremental`. `MMT_BENCH_XL=1` adds n = 10⁶ (measured
+/// once per PR and recorded in CHANGES.md, not run in CI).
+fn bench_check_scale_large(c: &mut Criterion) {
+    let mut group = c.benchmark_group("check_scale_large");
+    group.sample_size(10);
+    let mut sizes = vec![10_000usize, 100_000];
+    let xl = std::env::var_os("MMT_BENCH_XL").is_some_and(|v| v != "0" && !v.is_empty());
+    if xl {
+        sizes.push(1_000_000);
+    }
+    let t = paper_transformation(2);
+    for n in sizes {
+        let w = consistent_workload(n, 2, 13);
+        group.bench_with_input(
+            BenchmarkId::new("extended", format!("k2_n{n}")),
+            &w,
+            |b, w| b.iter(|| t.check(&w.models).unwrap().consistent()),
+        );
+    }
+    group.finish();
+}
+
 /// Checking wall-time per corpus scenario (ISSUE 7): the same
 /// full-check measurement over every `Scenario`'s seeded consistent
 /// tuple, so a checker regression localized to one metamodel shape
@@ -64,5 +89,10 @@ fn bench_check_scenarios(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_check, bench_check_scenarios);
+criterion_group!(
+    benches,
+    bench_check,
+    bench_check_scale_large,
+    bench_check_scenarios
+);
 criterion_main!(benches);

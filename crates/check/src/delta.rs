@@ -83,9 +83,9 @@ use crate::index::ModelIndex;
 use crate::{CheckError, CheckOptions, CheckReport, DirectionalOutcome, ViolationBinding};
 use mmt_deps::{Dep, DomIdx};
 use mmt_dist::{Delta, EditOp};
+use mmt_model::fx::{FxHashMap, FxHashSet};
 use mmt_model::{ClassId, Model, ModelError, ObjId, RefId};
 use mmt_qvtr::{Constraint, Hir, HirRelation, RelId, VarId};
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -178,16 +178,268 @@ struct MatchEntry {
 #[derive(Clone, Debug)]
 struct CachedCheck {
     statics: Arc<CheckStatics>,
-    matches: Vec<MatchEntry>,
-    /// Number of unwitnessed entries in `matches`, maintained at every
-    /// match-state mutation so `consistent()`/`violation_count()` are
-    /// O(#checks) instead of O(match state) — sessions read them after
-    /// every edit.
-    violations: usize,
+    state: MatchState,
 }
 
-fn count_violations(matches: &[MatchEntry]) -> usize {
-    matches.iter().filter(|e| !e.witnessed).count()
+/// The live match state of one check, keyed by object so a partial
+/// update touches only the entries an edit can affect.
+///
+/// Entries live in a slab (`None` slots are free, reused LIFO). Once
+/// the state grows past [`INDEX_THRESHOLD`] live entries it maintains
+/// two inverted indexes: `by_obj` maps `(model, object)` to the slots
+/// whose *universal binding* binds that object — the entries a
+/// universal-side edit invalidates and the candidates a `where`-clause
+/// read can re-key — and `by_wit` maps `(model, object)` to the slots
+/// whose *witness* read that object. Below the threshold the maps stay
+/// empty and lookups scan the slab directly: for the tiny match states
+/// of interactive sessions the scan is cheaper than the hashing and
+/// per-bucket allocations (and makes cloning the state — which repair
+/// search does per explored candidate — a pair of memcpys). The switch
+/// is one-way: a state that has been indexed stays indexed.
+///
+/// The violation count is the size of `violating` (a sorted vec),
+/// maintained as an incremental delta at every mutation — never
+/// recomputed by scanning (debug builds assert the counter against a
+/// scan after each update).
+#[derive(Clone, Debug, Default)]
+struct MatchState {
+    slab: Vec<Option<MatchEntry>>,
+    free: Vec<u32>,
+    /// Whether the inverted indexes are live (see type docs).
+    indexed: bool,
+    /// `(model, object)` → slots whose universal binding binds it.
+    by_obj: FxHashMap<(DomIdx, ObjId), Vec<u32>>,
+    /// `(model, object)` → slots whose witness read it.
+    by_wit: FxHashMap<(DomIdx, ObjId), Vec<u32>>,
+    /// Currently unwitnessed slots, ascending.
+    violating: Vec<u32>,
+}
+
+/// Live-entry count past which a [`MatchState`] builds and maintains
+/// its inverted indexes instead of scanning the slab.
+const INDEX_THRESHOLD: usize = 64;
+
+/// The universal-side object variables a binding binds, with their
+/// models — the `by_obj` keys of one entry.
+fn binding_objs<'a>(
+    rel: &'a HirRelation,
+    binding: &'a Binding,
+) -> impl Iterator<Item = (DomIdx, ObjId)> + 'a {
+    binding
+        .iter()
+        .enumerate()
+        .filter_map(|(i, slot)| match slot {
+            Some(Slot::Obj(o)) => var_model(rel, VarId(i as u32)).map(|m| (m, *o)),
+            _ => None,
+        })
+}
+
+impl MatchState {
+    fn from_entries(rel: &HirRelation, entries: Vec<MatchEntry>) -> MatchState {
+        let mut state = MatchState::default();
+        // An eighth of growth headroom: reserving the exact entry count
+        // would leave the slab full, and the first constructive edit
+        // after a large build would pay a whole-slab realloc-and-move
+        // (tens of MB of fresh pages at 10⁶ objects — a multi-ms spike
+        // masquerading as per-edit cost).
+        state.slab.reserve(entries.len() + entries.len() / 8 + 16);
+        for e in entries {
+            state.insert(rel, e);
+        }
+        state
+    }
+
+    fn violations(&self) -> usize {
+        self.violating.len()
+    }
+
+    fn live(&self) -> usize {
+        self.slab.len() - self.free.len()
+    }
+
+    fn entry(&self, slot: u32) -> &MatchEntry {
+        self.slab[slot as usize].as_ref().expect("live slot")
+    }
+
+    /// Marks `slot` violating (keeping `violating` sorted); no-op if
+    /// already present.
+    fn mark_violating(&mut self, slot: u32) {
+        if let Err(pos) = self.violating.binary_search(&slot) {
+            self.violating.insert(pos, slot);
+        }
+    }
+
+    /// Clears `slot` from the violating set; no-op if absent.
+    fn clear_violating(&mut self, slot: u32) {
+        if let Ok(pos) = self.violating.binary_search(&slot) {
+            self.violating.remove(pos);
+        }
+    }
+
+    /// Builds the inverted indexes from the slab and flips the state to
+    /// indexed mode — called once, when the live count first crosses
+    /// [`INDEX_THRESHOLD`].
+    fn build_indexes(&mut self, rel: &HirRelation) {
+        self.indexed = true;
+        for (slot, e) in self.slab.iter().enumerate() {
+            let Some(e) = e else { continue };
+            let slot = slot as u32;
+            for key in binding_objs(rel, &e.binding) {
+                register(&mut self.by_obj, key, slot);
+            }
+            for &(m, o) in &e.witness_objs {
+                register(&mut self.by_wit, (m, o), slot);
+            }
+        }
+    }
+
+    fn insert(&mut self, rel: &HirRelation, entry: MatchEntry) {
+        if !self.indexed && self.live() >= INDEX_THRESHOLD {
+            self.build_indexes(rel);
+        }
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slab.push(None);
+                (self.slab.len() - 1) as u32
+            }
+        };
+        if self.indexed {
+            for key in binding_objs(rel, &entry.binding) {
+                register(&mut self.by_obj, key, slot);
+            }
+            for &(m, o) in &entry.witness_objs {
+                register(&mut self.by_wit, (m, o), slot);
+            }
+        }
+        if !entry.witnessed {
+            self.mark_violating(slot);
+        }
+        self.slab[slot as usize] = Some(entry);
+    }
+
+    fn remove(&mut self, rel: &HirRelation, slot: u32) {
+        let entry = self.slab[slot as usize].take().expect("live slot");
+        if self.indexed {
+            for key in binding_objs(rel, &entry.binding) {
+                unregister(&mut self.by_obj, key, slot);
+            }
+            for &(m, o) in &entry.witness_objs {
+                unregister(&mut self.by_wit, (m, o), slot);
+            }
+        }
+        self.clear_violating(slot);
+        self.free.push(slot);
+    }
+
+    /// Replaces one entry's witness record, re-keying `by_wit` (when
+    /// indexed) and updating the violation set as a delta.
+    fn set_witness(&mut self, slot: u32, witnessed: bool, witness_objs: Vec<(DomIdx, ObjId)>) {
+        let entry = self.slab[slot as usize].as_mut().expect("live slot");
+        let old = std::mem::replace(&mut entry.witness_objs, witness_objs);
+        entry.witnessed = witnessed;
+        if self.indexed {
+            for (m, o) in old {
+                unregister(&mut self.by_wit, (m, o), slot);
+            }
+            let entry = self.slab[slot as usize].as_ref().expect("live slot");
+            for &(m, o) in &entry.witness_objs {
+                register(&mut self.by_wit, (m, o), slot);
+            }
+        }
+        if witnessed {
+            self.clear_violating(slot);
+        } else {
+            self.mark_violating(slot);
+        }
+    }
+
+    /// Appends to `out` the live slots whose universal binding binds
+    /// `(model, obj)` — an index lookup when indexed, a slab scan
+    /// otherwise.
+    fn collect_slots_binding(
+        &self,
+        rel: &HirRelation,
+        model: DomIdx,
+        obj: ObjId,
+        out: &mut Vec<u32>,
+    ) {
+        if self.indexed {
+            if let Some(bucket) = self.by_obj.get(&(model, obj)) {
+                out.extend_from_slice(bucket);
+            }
+            return;
+        }
+        for (slot, e) in self.slab.iter().enumerate() {
+            let Some(e) = e else { continue };
+            if binding_objs(rel, &e.binding).any(|k| k == (model, obj)) {
+                out.push(slot as u32);
+            }
+        }
+    }
+
+    /// Appends to `out` the live slots whose witness read
+    /// `(model, obj)` — an index lookup when indexed, a slab scan
+    /// otherwise.
+    fn collect_slots_witnessing(&self, model: DomIdx, obj: ObjId, out: &mut Vec<u32>) {
+        if self.indexed {
+            if let Some(bucket) = self.by_wit.get(&(model, obj)) {
+                out.extend_from_slice(bucket);
+            }
+            return;
+        }
+        for (slot, e) in self.slab.iter().enumerate() {
+            let Some(e) = e else { continue };
+            if e.witness_objs.contains(&(model, obj)) {
+                out.push(slot as u32);
+            }
+        }
+    }
+
+    /// Violating entries in canonical slab order.
+    fn violating_entries(&self) -> impl Iterator<Item = &MatchEntry> + '_ {
+        self.violating.iter().map(|&s| self.entry(s))
+    }
+
+    /// Debug-build differential check: the incrementally maintained
+    /// violation counter must equal a full scan of the slab, and the
+    /// violating set must be sorted (reports iterate it in slab order).
+    #[cfg(debug_assertions)]
+    fn assert_counters(&self) {
+        let scan = self.slab.iter().flatten().filter(|e| !e.witnessed).count();
+        assert_eq!(
+            self.violating.len(),
+            scan,
+            "incremental violation counter diverged from the match-state scan"
+        );
+        assert!(
+            self.violating.windows(2).all(|w| w[0] < w[1]),
+            "violating set lost its sorted order"
+        );
+    }
+}
+
+/// Adds one slot to an inverted-index bucket, once — a binding (or
+/// witness) reading the same object through two variables must not
+/// register the slot twice, or `unregister` would leave a stale entry.
+fn register(index: &mut FxHashMap<(DomIdx, ObjId), Vec<u32>>, key: (DomIdx, ObjId), slot: u32) {
+    let bucket = index.entry(key).or_default();
+    if !bucket.contains(&slot) {
+        bucket.push(slot);
+    }
+}
+
+/// Drops one slot from an inverted-index bucket, removing the bucket
+/// when it empties.
+fn unregister(index: &mut FxHashMap<(DomIdx, ObjId), Vec<u32>>, key: (DomIdx, ObjId), slot: u32) {
+    if let Some(bucket) = index.get_mut(&key) {
+        if let Some(pos) = bucket.iter().position(|&s| s == slot) {
+            bucket.swap_remove(pos);
+        }
+        if bucket.is_empty() {
+            index.remove(&key);
+        }
+    }
 }
 
 /// An incremental checkonly engine: binds a transformation to an
@@ -218,6 +470,31 @@ pub struct DeltaChecker {
     checks: Vec<CachedCheck>,
     eval_stats: EvalStats,
     delta_stats: DeltaStats,
+    scratch: UpdateScratch,
+}
+
+/// Reusable buffers for the partial-update passes, cleared per edit but
+/// never shrunk — the steady-state edit path allocates nothing. Cloning
+/// a checker (repair search forks one per explored candidate) resets
+/// them to empty.
+#[derive(Debug, Default)]
+struct UpdateScratch {
+    /// Slots invalidated by a universal-side edit.
+    stale: Vec<u32>,
+    /// Per-object index-lookup staging.
+    hits: Vec<u32>,
+    /// Slots to fully re-probe on a witness-side edit (sorted).
+    reprobe: Vec<u32>,
+    /// Violating slots snapshotted before the re-probe pass.
+    violating_before: Vec<u32>,
+    /// Fresh-binding dedup across universal pins.
+    seen: FxHashSet<Binding>,
+}
+
+impl Clone for UpdateScratch {
+    fn clone(&self) -> UpdateScratch {
+        UpdateScratch::default()
+    }
 }
 
 impl DeltaChecker {
@@ -262,13 +539,8 @@ impl DeltaChecker {
         for (rid, rel) in hir.top_relations() {
             for &dep in rel.deps.deps() {
                 let statics = Arc::new(compile_check(hir, rid, dep, arity)?);
-                let matches = full_eval(&mut ctx, rel, &statics)?;
-                let violations = count_violations(&matches);
-                checks.push(CachedCheck {
-                    statics,
-                    matches,
-                    violations,
-                });
+                let state = full_eval(&mut ctx, rel, &statics)?;
+                checks.push(CachedCheck { statics, state });
             }
         }
         let eval_stats = ctx.stats();
@@ -280,6 +552,7 @@ impl DeltaChecker {
             checks,
             eval_stats,
             delta_stats: DeltaStats::default(),
+            scratch: UpdateScratch::default(),
         })
     }
 
@@ -327,22 +600,17 @@ impl DeltaChecker {
                 affected.push(id);
                 // The delete will scrub incoming links: record which
                 // references (for footprint tests) and which sources
-                // (their link slots change) are rewired.
-                let mm = &self.models[m];
-                let meta = mm.metamodel();
-                for (oid, obj) in mm.objects() {
-                    if oid == id {
+                // (their link slots change) are rewired. O(degree) via
+                // the model's inverse link index.
+                for &(src, r) in self.models[m].incoming(id) {
+                    if src == id {
                         continue;
                     }
-                    for (slot, &r) in meta.class(obj.class).all_refs.iter().enumerate() {
-                        if obj.refs[slot].contains(&id) {
-                            if !scrubbed.contains(&r) {
-                                scrubbed.push(r);
-                            }
-                            if !affected.contains(&oid) {
-                                affected.push(oid);
-                            }
-                        }
+                    if !scrubbed.contains(&r) {
+                        scrubbed.push(r);
+                    }
+                    if !affected.contains(&src) {
+                        affected.push(src);
                     }
                 }
                 self.indexes[m].remove_obj(&self.models[m], id);
@@ -408,27 +676,39 @@ impl DeltaChecker {
             }
             let rel = self.hir.relation(st.rel);
             if hits_call {
-                check.matches = full_eval(&mut ctx, rel, st)?;
-                check.violations = count_violations(&check.matches);
+                check.state = full_eval(&mut ctx, rel, st)?;
                 self.delta_stats.full_reevals += 1;
                 continue;
             }
             if hits_uni {
-                universal_update(&mut ctx, rel, st, &mut check.matches, model, affected, live)?;
+                universal_update(
+                    &mut ctx,
+                    rel,
+                    st,
+                    &mut check.state,
+                    model,
+                    affected,
+                    live,
+                    &mut self.scratch,
+                )?;
             }
             if hits_wit {
                 witness_update(
                     &mut ctx,
                     rel,
                     st,
-                    &mut check.matches,
+                    &mut check.state,
                     model,
                     affected,
                     op,
                     live,
+                    &mut self.scratch,
                 )?;
             }
-            check.violations = count_violations(&check.matches);
+            // Differential check: the incrementally maintained counter
+            // must agree with a full match-state scan.
+            #[cfg(debug_assertions)]
+            check.state.assert_counters();
             self.delta_stats.partial_updates += 1;
         }
         accumulate(&mut self.eval_stats, ctx.stats());
@@ -438,7 +718,7 @@ impl DeltaChecker {
     /// True iff every directional check currently holds. O(#checks):
     /// reads the cached per-check violation counts.
     pub fn consistent(&self) -> bool {
-        self.checks.iter().all(|c| c.violations == 0)
+        self.checks.iter().all(|c| c.state.violations() == 0)
     }
 
     /// The current [`CheckReport`], assembled from the cached match
@@ -450,9 +730,8 @@ impl DeltaChecker {
         for c in &self.checks {
             let rel = self.hir.relation(c.statics.rel);
             let violations: Vec<ViolationBinding> = c
-                .matches
-                .iter()
-                .filter(|e| !e.witnessed)
+                .state
+                .violating_entries()
                 .take(self.opts.max_violations)
                 .map(|e| render(rel, &e.binding))
                 .collect();
@@ -460,7 +739,7 @@ impl DeltaChecker {
                 relation: c.statics.rel,
                 relation_name: rel.name,
                 dep: c.statics.dep,
-                holds: c.violations == 0,
+                holds: c.state.violations() == 0,
                 violations,
             });
         }
@@ -479,11 +758,10 @@ impl DeltaChecker {
     /// but their internal match orders differ after incremental updates.
     pub fn for_each_violation(&self, cap: usize, mut f: impl FnMut(RelId, Dep, &Binding)) {
         for c in &self.checks {
-            if c.violations == 0 {
+            if c.state.violations() == 0 {
                 continue;
             }
-            let mut violating: Vec<&MatchEntry> =
-                c.matches.iter().filter(|e| !e.witnessed).collect();
+            let mut violating: Vec<&MatchEntry> = c.state.violating_entries().collect();
             if violating.len() > 1 {
                 violating.sort_by_cached_key(|e| binding_key(&e.binding));
             }
@@ -498,7 +776,7 @@ impl DeltaChecker {
     /// per-check violation counts, so sessions can poll it per edit
     /// without scanning the match state.
     pub fn violation_count(&self) -> usize {
-        self.checks.iter().map(|c| c.violations).sum()
+        self.checks.iter().map(|c| c.state.violations()).sum()
     }
 
     /// Checkpoint this checker: an independent copy owning its own model
@@ -551,22 +829,6 @@ fn render(rel: &HirRelation, binding: &Binding) -> ViolationBinding {
         .filter_map(|(i, slot)| slot.map(|s| (rel.vars[i].name, s.to_string())))
         .collect();
     ViolationBinding { vars }
-}
-
-/// Does `binding` bind one of `affected` (in `model`) through an object
-/// variable?
-fn binding_touches(
-    rel: &HirRelation,
-    binding: &Binding,
-    model: DomIdx,
-    affected: &[ObjId],
-) -> bool {
-    binding.iter().enumerate().any(|(i, slot)| match slot {
-        Some(Slot::Obj(o)) => {
-            affected.contains(o) && var_model(rel, VarId(i as u32)) == Some(model)
-        }
-        _ => false,
-    })
 }
 
 fn compile_check(hir: &Hir, rid: RelId, dep: Dep, arity: usize) -> Result<CheckStatics, EvalError> {
@@ -622,9 +884,9 @@ fn full_eval(
     ctx: &mut EvalCtx<'_>,
     rel: &HirRelation,
     st: &CheckStatics,
-) -> Result<Vec<MatchEntry>, EvalError> {
+) -> Result<MatchState, EvalError> {
     let mut matches: Vec<MatchEntry> = Vec::new();
-    let mut memo: HashMap<Vec<Slot>, WitnessRecord> = HashMap::new();
+    let mut memo: FxHashMap<Vec<Slot>, WitnessRecord> = FxHashMap::default();
     let mut binding: Binding = vec![None; rel.vars.len()];
     let shared = &st.plan.shared;
     let memoize = ctx.memoize;
@@ -661,7 +923,7 @@ fn full_eval(
             Ok(false)
         },
     )?;
-    Ok(matches)
+    Ok(MatchState::from_entries(rel, matches))
 }
 
 /// One witness probe's result: whether a witness exists and, when it
@@ -702,17 +964,37 @@ fn probe_recording(
 }
 
 /// Universal-side partial update: drop the matches binding an affected
-/// object, then re-enumerate the join with each affected object pinned.
+/// object (found through the `by_obj` index — O(affected entries), not
+/// O(match state)), then re-enumerate the join with each affected
+/// object pinned.
+#[allow(clippy::too_many_arguments)]
 fn universal_update(
     ctx: &mut EvalCtx<'_>,
     rel: &HirRelation,
     st: &CheckStatics,
-    matches: &mut Vec<MatchEntry>,
+    state: &mut MatchState,
     model: DomIdx,
     affected: &[ObjId],
     live: &Model,
+    scratch: &mut UpdateScratch,
 ) -> Result<(), EvalError> {
-    matches.retain(|e| !binding_touches(rel, &e.binding, model, affected));
+    let stale = &mut scratch.stale;
+    stale.clear();
+    for &o in affected {
+        state.collect_slots_binding(rel, model, o, stale);
+    }
+    stale.sort_unstable();
+    stale.dedup();
+    for &slot in stale.iter() {
+        state.remove(rel, slot);
+    }
+    // Dedup across pins: every re-enumerated binding pins an affected
+    // object, and no surviving entry binds one (it was just dropped) —
+    // so a hashed set of the fresh bindings alone is a complete dedup.
+    // (This used to be a linear scan of the whole match state per
+    // binding: O(#matches) for each of O(#fresh) bindings.)
+    let seen = &mut scratch.seen;
+    seen.clear();
     for &(pm, var) in &st.uni_pins {
         if pm != model {
             continue;
@@ -733,15 +1015,18 @@ fn universal_update(
                             return Ok(false);
                         }
                     }
-                    if matches.iter().any(|e| e.binding == *b) {
+                    if !seen.insert(b.clone()) {
                         return Ok(false); // found through another pin already
                     }
                     let (witnessed, witness_objs) = probe_recording(ctx, rel, st, b)?;
-                    matches.push(MatchEntry {
-                        binding: b.clone(),
-                        witnessed,
-                        witness_objs,
-                    });
+                    state.insert(
+                        rel,
+                        MatchEntry {
+                            binding: b.clone(),
+                            witnessed,
+                            witness_objs,
+                        },
+                    );
                     Ok(false)
                 },
             )?;
@@ -751,60 +1036,89 @@ fn universal_update(
 }
 
 /// Witness-side partial update: re-probe the matches whose witness (or
-/// `where` clause) read an affected object; for violations, probe for a
-/// *new* witness with each affected object pinned — unless the edit is
-/// purely destructive, in which case no new witness can exist.
+/// `where` clause) read an affected object — found through the `by_wit`
+/// / `by_obj` indexes, O(affected entries) instead of a full match-state
+/// sweep; for violations, probe for a *new* witness with each affected
+/// object pinned — unless the edit is purely destructive, in which case
+/// no new witness can exist. The pin pass is inherently O(#violations),
+/// which is zero on a consistent tuple.
 #[allow(clippy::too_many_arguments)]
 fn witness_update(
     ctx: &mut EvalCtx<'_>,
     rel: &HirRelation,
     st: &CheckStatics,
-    matches: &mut [MatchEntry],
+    state: &mut MatchState,
     model: DomIdx,
     affected: &[ObjId],
     op: &EditOp,
     live: &Model,
+    scratch: &mut UpdateScratch,
 ) -> Result<(), EvalError> {
     let destructive = op.is_destructive_only();
-    for e in matches.iter_mut() {
-        let where_hit = st.where_uni_vars.iter().any(|&v| {
-            var_model(rel, v) == Some(model)
-                && matches!(e.binding[v.index()], Some(Slot::Obj(o)) if affected.contains(&o))
-        });
-        if e.witnessed {
-            let hit = where_hit
-                || e.witness_objs
-                    .iter()
-                    .any(|&(mm, o)| mm == model && affected.contains(&o));
-            if hit {
-                let mut b = e.binding.clone();
-                let (w, objs) = probe_recording(ctx, rel, st, &mut b)?;
-                e.witnessed = w;
-                e.witness_objs = objs;
+    // Snapshot the violating set before any re-probe: pin-probing is
+    // only for entries that were unwitnessed *and* untouched by the
+    // re-probe pass (exactly the old sweep's else-branch).
+    scratch.violating_before.clear();
+    scratch.violating_before.extend_from_slice(&state.violating);
+    // Entries to fully re-probe: witnessed entries whose witness read
+    // an affected object, plus any entry whose `where` clause reads an
+    // affected object through a universal-side variable.
+    let reprobe = &mut scratch.reprobe;
+    let hits = &mut scratch.hits;
+    reprobe.clear();
+    for &o in affected {
+        hits.clear();
+        state.collect_slots_witnessing(model, o, hits);
+        for &slot in hits.iter() {
+            if state.entry(slot).witnessed {
+                reprobe.push(slot);
             }
-        } else if where_hit {
-            let mut b = e.binding.clone();
-            let (w, objs) = probe_recording(ctx, rel, st, &mut b)?;
-            e.witnessed = w;
-            e.witness_objs = objs;
-        } else if !destructive {
-            'pins: for &(pm, var) in &st.wit_pins {
-                if pm != model {
+        }
+        if st.where_uni_vars.is_empty() {
+            continue;
+        }
+        hits.clear();
+        state.collect_slots_binding(rel, model, o, hits);
+        for &slot in hits.iter() {
+            let e = state.entry(slot);
+            let where_hit = st.where_uni_vars.iter().any(|&v| {
+                var_model(rel, v) == Some(model)
+                    && matches!(e.binding[v.index()], Some(Slot::Obj(b)) if b == o)
+            });
+            if where_hit {
+                reprobe.push(slot);
+            }
+        }
+    }
+    reprobe.sort_unstable();
+    reprobe.dedup();
+    for &slot in reprobe.iter() {
+        let mut b = state.entry(slot).binding.clone();
+        let (w, objs) = probe_recording(ctx, rel, st, &mut b)?;
+        state.set_witness(slot, w, objs);
+    }
+    if destructive {
+        return Ok(());
+    }
+    'entries: for &slot in &scratch.violating_before {
+        if scratch.reprobe.binary_search(&slot).is_ok() {
+            continue; // already fully re-probed above
+        }
+        for &(pm, var) in &st.wit_pins {
+            if pm != model {
+                continue;
+            }
+            for &o in affected {
+                if !live.contains(o) {
                     continue;
                 }
-                for &o in affected {
-                    if !live.contains(o) {
-                        continue;
-                    }
-                    let mut b = e.binding.clone();
-                    b[var.index()] = Some(Slot::Obj(o));
-                    let (w, mut objs) = probe_recording(ctx, rel, st, &mut b)?;
-                    if w {
-                        objs.push((model, o)); // the pinned object is read too
-                        e.witnessed = true;
-                        e.witness_objs = objs;
-                        break 'pins;
-                    }
+                let mut b = state.entry(slot).binding.clone();
+                b[var.index()] = Some(Slot::Obj(o));
+                let (w, mut objs) = probe_recording(ctx, rel, st, &mut b)?;
+                if w {
+                    objs.push((model, o)); // the pinned object is read too
+                    state.set_witness(slot, true, objs);
+                    continue 'entries;
                 }
             }
         }
@@ -1259,5 +1573,65 @@ transformation F(cf1 : CF, cf2 : CF, fm : FM) {
         assert!(matches!(err, Err(DeltaError::Model(_))));
         assert!(checker.models()[2].graph_eq(&models[2]));
         assert_agrees(&checker, "after failed edit");
+    }
+
+    /// Pins the `universal_update` dedup: an edit whose affected set
+    /// contains two objects co-bound by one binding through *different*
+    /// pins (here: deleting `x`, whose incoming links make both `p0`
+    /// and `p1` affected, where the binding `(p = p0, c = p1)` is then
+    /// re-found through the `p` pin *and* the `c` pin) must not insert
+    /// the binding twice. A duplicate would double-count the violation
+    /// and break the differential report below.
+    #[test]
+    fn universal_update_dedups_across_pins() {
+        let g =
+            parse_metamodel("metamodel G { class N { attr name: Str; ref kids: N; } }").unwrap();
+        let h = parse_metamodel("metamodel H { class N { attr name: Str; } }").unwrap();
+        let spec = r#"
+transformation T(g1 : G, g2 : H) {
+  top relation R {
+    n, m : Str;
+    domain g1 p : N { name = n, kids = c : N { name = m } };
+    domain g2 q : N { name = n };
+    depend g1 -> g2;
+  }
+}
+"#;
+        let hir = Arc::new(parse_and_resolve(spec, &[g.clone(), h.clone()]).unwrap());
+        let m1 = parse_model(
+            r#"model g1 : G {
+                p0 = N { name = "a", kids = [p1, x] }
+                p1 = N { name = "b", kids = [x] }
+                x  = N { name = "x" }
+            }"#,
+            &g,
+        )
+        .unwrap();
+        // g2 is empty: every (p, c) binding violates, so a duplicate
+        // would surface as a doubled violation in the report.
+        let m2 = parse_model("model g2 : H { }", &h).unwrap();
+        let mut checker = delta_checker(&hir, &[m1, m2]);
+        let n_class = g.class_named("N").unwrap();
+        checker
+            .apply(
+                DomIdx(0),
+                &EditOp::DelObj {
+                    id: ObjId(2),
+                    class: n_class,
+                },
+            )
+            .unwrap();
+        for c in &checker.checks {
+            let mut seen: std::collections::HashSet<&Binding> = std::collections::HashSet::new();
+            for e in c.state.slab.iter().flatten() {
+                assert!(
+                    seen.insert(&e.binding),
+                    "duplicate match entry after multi-pin re-enumeration"
+                );
+            }
+        }
+        // (p = p0, c = p1) survives as the only binding, unwitnessed.
+        assert_eq!(checker.violation_count(), 1);
+        assert_agrees(&checker, "after DelObj with co-bound affected objects");
     }
 }

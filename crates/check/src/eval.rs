@@ -17,9 +17,9 @@
 
 use crate::index::ModelIndex;
 use mmt_deps::{Dep, DomIdx, DomSet};
+use mmt_model::fx::FxHashMap;
 use mmt_model::{Model, ObjId, Sym, Value};
 use mmt_qvtr::{Atom, CmpOp, Constraint, Hir, HirExpr, HirRelation, RelId, VarId, VarTy};
-use std::collections::HashMap;
 use std::fmt;
 
 /// A bound variable value: an object or a primitive value.
@@ -265,7 +265,7 @@ pub struct EvalCtx<'a> {
     pub indexes: &'a [ModelIndex],
     /// Whether to memoize existential probes and calls (ablation toggle).
     pub memoize: bool,
-    call_memo: HashMap<CallKey, bool>,
+    call_memo: FxHashMap<CallKey, bool>,
     stats: EvalStats,
     depth: u32,
 }
@@ -285,7 +285,7 @@ impl<'a> EvalCtx<'a> {
             models,
             indexes,
             memoize,
-            call_memo: HashMap::new(),
+            call_memo: FxHashMap::default(),
             stats: EvalStats::default(),
             depth: 0,
         }
@@ -330,7 +330,7 @@ impl<'a> EvalCtx<'a> {
         let hir = self.hir;
         let rel = hir.relation(rel_id);
         let plan = plan_check(rel, dep, &binding)?;
-        let mut witness_memo: HashMap<Vec<Slot>, bool> = HashMap::new();
+        let mut witness_memo: FxHashMap<Vec<Slot>, bool> = FxHashMap::default();
         let mut holds = true;
         let rel_ref = rel;
         let CheckPlan {
@@ -525,17 +525,33 @@ impl<'a> EvalCtx<'a> {
             undo!();
             return Ok(stop);
         }
-        // Choose the cheapest generator among the remaining constraints.
+        // Choose the cheapest generator among the remaining
+        // constraints. Costs are O(1) index cardinalities — no
+        // candidate list is materialized (or filtered) until one
+        // generator wins, so losing generators (e.g. a boolean
+        // attribute bucket holding half a 10⁵-object model) cost
+        // nothing per probe.
         enum Gen {
             RefTraverse {
                 idx: usize,
                 var: VarId,
-                candidates: Vec<ObjId>,
+                model: DomIdx,
+                src: ObjId,
+                r: mmt_model::RefId,
+            },
+            AttrProbe {
+                idx: usize,
+                var: VarId,
+                model: DomIdx,
+                class: mmt_model::ClassId,
+                attr: mmt_model::AttrId,
+                val: Value,
             },
             Extent {
                 idx: usize,
                 var: VarId,
-                candidates: Vec<ObjId>,
+                model: DomIdx,
+                class: mmt_model::ClassId,
             },
         }
         let mut best: Option<(usize, Gen)> = None;
@@ -548,17 +564,19 @@ impl<'a> EvalCtx<'a> {
                     if let Some(Slot::Obj(o)) = binding[obj.index()] {
                         debug_assert!(binding[dst.index()].is_none());
                         let model = self.model_of(rel, obj);
-                        let targets = self.models[model.index()]
+                        let cost = self.models[model.index()]
                             .targets(o, r)
-                            .expect("typed pattern reads a declared reference");
-                        let cost = targets.len();
+                            .expect("typed pattern reads a declared reference")
+                            .len();
                         if best.as_ref().map(|(c0, _)| cost < *c0).unwrap_or(true) {
                             best = Some((
                                 cost,
                                 Gen::RefTraverse {
                                     idx: i,
                                     var: dst,
-                                    candidates: targets.to_vec(),
+                                    model,
+                                    src: o,
+                                    r,
                                 },
                             ));
                         }
@@ -569,8 +587,10 @@ impl<'a> EvalCtx<'a> {
                         continue;
                     }
                     // Prefer an attribute-index probe when a companion
-                    // AttrEq on `var` has a known right-hand side.
-                    let mut candidates: Option<Vec<ObjId>> = None;
+                    // AttrEq on `var` has a known right-hand side —
+                    // cheapest raw bucket wins; the conformance filter
+                    // runs only if this generator is chosen.
+                    let mut probe: Option<(usize, Gen)> = None;
                     for (j, c2) in constraints.iter().enumerate() {
                         if done & (1 << j) != 0 {
                             continue;
@@ -587,40 +607,36 @@ impl<'a> EvalCtx<'a> {
                                 },
                             };
                             if let Some(val) = known {
-                                let probe = self.indexes[model.index()].by_attr(attr, val);
-                                let meta = self.models[model.index()].metamodel();
-                                let filtered: Vec<ObjId> = probe
-                                    .iter()
-                                    .copied()
-                                    .filter(|&o| {
-                                        self.models[model.index()]
-                                            .get(o)
-                                            .map(|ob| meta.conforms(ob.class, class))
-                                            .unwrap_or(false)
-                                    })
-                                    .collect();
-                                if candidates
-                                    .as_ref()
-                                    .map(|c| filtered.len() < c.len())
-                                    .unwrap_or(true)
-                                {
-                                    candidates = Some(filtered);
+                                let cost = self.indexes[model.index()].by_attr_len(attr, val);
+                                if probe.as_ref().map(|(c0, _)| cost < *c0).unwrap_or(true) {
+                                    probe = Some((
+                                        cost,
+                                        Gen::AttrProbe {
+                                            idx: i,
+                                            var,
+                                            model,
+                                            class,
+                                            attr,
+                                            val,
+                                        },
+                                    ));
                                 }
                             }
                         }
                     }
-                    let candidates = candidates
-                        .unwrap_or_else(|| self.indexes[model.index()].extent(class).to_vec());
-                    let cost = candidates.len();
-                    if best.as_ref().map(|(c0, _)| cost < *c0).unwrap_or(true) {
-                        best = Some((
-                            cost,
+                    let (cost, gen) = probe.unwrap_or_else(|| {
+                        (
+                            self.indexes[model.index()].extent_len(class),
                             Gen::Extent {
                                 idx: i,
                                 var,
-                                candidates,
+                                model,
+                                class,
                             },
-                        ));
+                        )
+                    });
+                    if best.as_ref().map(|(c0, _)| cost < *c0).unwrap_or(true) {
+                        best = Some((cost, gen));
                     }
                 }
                 Constraint::AttrEq { .. } => {}
@@ -646,17 +662,56 @@ impl<'a> EvalCtx<'a> {
                     .unwrap_or(rel.name),
             });
         };
-        let (idx, var, candidates) = match gen {
+        // Materialize only the winning generator's candidates (ascending
+        // id order either way — the index iterates ascending).
+        let (idx, var, candidates): (usize, VarId, Vec<ObjId>) = match gen {
             Gen::RefTraverse {
                 idx,
                 var,
-                candidates,
-            }
-            | Gen::Extent {
+                model,
+                src,
+                r,
+            } => (
                 idx,
                 var,
-                candidates,
-            } => (idx, var, candidates),
+                self.models[model.index()]
+                    .targets(src, r)
+                    .expect("typed pattern reads a declared reference")
+                    .to_vec(),
+            ),
+            Gen::AttrProbe {
+                idx,
+                var,
+                model,
+                class,
+                attr,
+                val,
+            } => {
+                let m = &self.models[model.index()];
+                let meta = m.metamodel();
+                (
+                    idx,
+                    var,
+                    self.indexes[model.index()]
+                        .by_attr_iter(attr, val)
+                        .filter(|&o| {
+                            m.get(o)
+                                .map(|ob| meta.conforms(ob.class, class))
+                                .unwrap_or(false)
+                        })
+                        .collect(),
+                )
+            }
+            Gen::Extent {
+                idx,
+                var,
+                model,
+                class,
+            } => (
+                idx,
+                var,
+                self.indexes[model.index()].extent_iter(class).collect(),
+            ),
         };
         for cand in candidates {
             binding[var.index()] = Some(Slot::Obj(cand));

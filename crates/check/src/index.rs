@@ -9,21 +9,43 @@
 //! `update_attr`), so an incremental consumer
 //! ([`DeltaChecker`](crate::DeltaChecker)) can track a model across an
 //! edit script without the O(model) rebuild. Point updates keep every
-//! bucket in the exact order a fresh [`ModelIndex::build`] would produce
-//! (ids ascending), so incremental and from-scratch evaluation enumerate
-//! candidates identically.
+//! extent and bucket iterating in the exact order a fresh
+//! [`ModelIndex::build`] would produce (ids ascending), so incremental
+//! and from-scratch evaluation enumerate candidates identically.
+//!
+//! # Storage layout (scale)
+//!
+//! Extents are **bitsets** over the object-id space: one word-array per
+//! class, with a cached population count. A point update flips one bit
+//! (O(1)) where the previous sorted-`Vec` layout memmoved half the
+//! extent (O(n) — ruinous for 10⁵-object models whose every object
+//! conforms to a root class). Iteration walks words and emits set bits
+//! in ascending id order, which is exactly the order the old layout
+//! stored explicitly.
+//!
+//! Attribute buckets are **hybrid sorted sets**: a sorted `Vec` while
+//! small (almost all buckets — names are near-unique), spilling into a
+//! `BTreeSet` past `SPILL` entries so the handful of giant buckets
+//! (e.g. a boolean attribute splitting the model in half) update in
+//! O(log n) instead of O(n). Both halves iterate ascending, so the
+//! spill is invisible to consumers.
 
+use mmt_model::fx::FxHashMap;
 use mmt_model::{AttrId, ClassId, Model, ObjId, Value};
-use std::collections::HashMap;
+use std::collections::BTreeSet;
+
+/// Bucket size past which an attribute bucket trades its sorted `Vec`
+/// for a `BTreeSet`. Below this, memmove beats tree rebalancing.
+const SPILL: usize = 64;
 
 /// Query indexes for one model.
 #[derive(Clone, Debug)]
 pub struct ModelIndex {
-    /// `extent[class]` = ids of live objects whose class conforms to
-    /// `class`, ascending.
-    extents: Vec<Vec<ObjId>>,
+    /// `extents[class]` = bitset of live objects whose class conforms
+    /// to `class`.
+    extents: Vec<BitExtent>,
     /// `(attr, value)` → ids of live objects with that attribute value.
-    attr_index: HashMap<(AttrId, Value), Vec<ObjId>>,
+    attr_index: FxHashMap<(AttrId, Value), IdSet>,
 }
 
 impl ModelIndex {
@@ -31,13 +53,13 @@ impl ModelIndex {
     pub fn build(model: &Model) -> ModelIndex {
         let meta = model.metamodel();
         let n_classes = meta.class_count();
-        let mut extents: Vec<Vec<ObjId>> = vec![Vec::new(); n_classes];
-        let mut attr_index: HashMap<(AttrId, Value), Vec<ObjId>> = HashMap::new();
+        let mut extents: Vec<BitExtent> = vec![BitExtent::new(); n_classes];
+        let mut attr_index: FxHashMap<(AttrId, Value), IdSet> = FxHashMap::default();
         for (id, obj) in model.objects() {
             // Add to the extent of every (transitive) supertype.
             for (sup, extent) in extents.iter_mut().enumerate() {
                 if meta.conforms(obj.class, ClassId(sup as u32)) {
-                    extent.push(id);
+                    extent.insert(id);
                 }
             }
             let class = meta.class(obj.class);
@@ -45,7 +67,7 @@ impl ModelIndex {
                 attr_index
                     .entry((attr, obj.attrs[slot]))
                     .or_default()
-                    .push(id);
+                    .insert(id);
             }
         }
         ModelIndex {
@@ -54,36 +76,49 @@ impl ModelIndex {
         }
     }
 
-    /// Objects conforming to `class`.
-    pub fn extent(&self, class: ClassId) -> &[ObjId] {
-        &self.extents[class.index()]
+    /// Number of objects conforming to `class`. O(1).
+    pub fn extent_len(&self, class: ClassId) -> usize {
+        self.extents[class.index()].len
     }
 
-    /// Objects whose `attr` equals `value`.
-    pub fn by_attr(&self, attr: AttrId, value: Value) -> &[ObjId] {
+    /// Objects conforming to `class`, ascending.
+    pub fn extent_iter(&self, class: ClassId) -> impl Iterator<Item = ObjId> + '_ {
+        self.extents[class.index()].iter()
+    }
+
+    /// Number of objects whose `attr` equals `value`. O(1).
+    pub fn by_attr_len(&self, attr: AttrId, value: Value) -> usize {
         self.attr_index
             .get(&(attr, value))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+            .map(IdSet::len)
+            .unwrap_or(0)
+    }
+
+    /// Objects whose `attr` equals `value`, ascending.
+    pub fn by_attr_iter(&self, attr: AttrId, value: Value) -> impl Iterator<Item = ObjId> + '_ {
+        self.attr_index
+            .get(&(attr, value))
+            .map(IdSet::iter)
+            .unwrap_or(IdSetIter::Empty)
     }
 
     /// Point update: registers the object at `id` (call *after* it was
-    /// added to `model`). O(classes + attrs) instead of an O(model)
-    /// rebuild.
+    /// added to `model`). O(classes + attrs · log n) instead of an
+    /// O(model) rebuild.
     pub fn add_obj(&mut self, model: &Model, id: ObjId) {
         let obj = model.get(id).expect("added object is live");
         let meta = model.metamodel();
         for (sup, extent) in self.extents.iter_mut().enumerate() {
             if meta.conforms(obj.class, ClassId(sup as u32)) {
-                insert_sorted(extent, id);
+                extent.insert(id);
             }
         }
         let class = meta.class(obj.class);
         for (slot, &attr) in class.all_attrs.iter().enumerate() {
-            insert_sorted(
-                self.attr_index.entry((attr, obj.attrs[slot])).or_default(),
-                id,
-            );
+            self.attr_index
+                .entry((attr, obj.attrs[slot]))
+                .or_default()
+                .insert(id);
         }
     }
 
@@ -95,13 +130,13 @@ impl ModelIndex {
         let meta = model.metamodel();
         for (sup, extent) in self.extents.iter_mut().enumerate() {
             if meta.conforms(obj.class, ClassId(sup as u32)) {
-                remove_sorted(extent, id);
+                extent.remove(id);
             }
         }
         let class = meta.class(obj.class);
         for (slot, &attr) in class.all_attrs.iter().enumerate() {
             if let Some(bucket) = self.attr_index.get_mut(&(attr, obj.attrs[slot])) {
-                remove_sorted(bucket, id);
+                bucket.remove(id);
                 if bucket.is_empty() {
                     self.attr_index.remove(&(attr, obj.attrs[slot]));
                 }
@@ -116,31 +151,195 @@ impl ModelIndex {
             return;
         }
         if let Some(bucket) = self.attr_index.get_mut(&(attr, old)) {
-            remove_sorted(bucket, id);
+            bucket.remove(id);
             if bucket.is_empty() {
                 self.attr_index.remove(&(attr, old));
             }
         }
-        insert_sorted(self.attr_index.entry((attr, new)).or_default(), id);
+        self.attr_index.entry((attr, new)).or_default().insert(id);
     }
 }
 
-fn insert_sorted(v: &mut Vec<ObjId>, id: ObjId) {
-    if let Err(pos) = v.binary_search(&id) {
-        v.insert(pos, id);
+/// One class extent: a bitset over the object-id space plus a cached
+/// population count. Insert/remove flip a bit in O(1); iteration emits
+/// set bits ascending.
+#[derive(Clone, Debug, Default)]
+struct BitExtent {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitExtent {
+    fn new() -> BitExtent {
+        BitExtent::default()
+    }
+
+    fn insert(&mut self, id: ObjId) {
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let mask = 1u64 << b;
+        if self.words[w] & mask == 0 {
+            self.words[w] |= mask;
+            self.len += 1;
+        }
+    }
+
+    fn remove(&mut self, id: ObjId) {
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        if let Some(word) = self.words.get_mut(w) {
+            let mask = 1u64 << b;
+            if *word & mask != 0 {
+                *word &= !mask;
+                self.len -= 1;
+            }
+        }
+    }
+
+    fn iter(&self) -> BitIter<'_> {
+        BitIter {
+            words: &self.words,
+            word: 0,
+            bits: self.words.first().copied().unwrap_or(0),
+            remaining: self.len,
+        }
     }
 }
 
-fn remove_sorted(v: &mut Vec<ObjId>, id: ObjId) {
-    if let Ok(pos) = v.binary_search(&id) {
-        v.remove(pos);
+/// Ascending iterator over the set bits of a [`BitExtent`]. Exact-sized
+/// (from the cached population count) so `collect` allocates once.
+struct BitIter<'a> {
+    words: &'a [u64],
+    word: usize,
+    bits: u64,
+    remaining: usize,
+}
+
+impl Iterator for BitIter<'_> {
+    type Item = ObjId;
+
+    fn next(&mut self) -> Option<ObjId> {
+        while self.bits == 0 {
+            self.word += 1;
+            if self.word >= self.words.len() {
+                return None;
+            }
+            self.bits = self.words[self.word];
+        }
+        let bit = self.bits.trailing_zeros();
+        self.bits &= self.bits - 1;
+        self.remaining -= 1;
+        Some(ObjId(self.word as u32 * 64 + bit))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
     }
 }
+
+impl ExactSizeIterator for BitIter<'_> {}
+
+/// One attribute bucket: sorted `Vec` while small, `BTreeSet` once it
+/// spills past [`SPILL`]. Never shrinks back (hysteresis — a bucket
+/// oscillating around the threshold would otherwise thrash).
+#[derive(Clone, Debug)]
+enum IdSet {
+    Small(Vec<ObjId>),
+    Large(BTreeSet<ObjId>),
+}
+
+impl Default for IdSet {
+    fn default() -> IdSet {
+        IdSet::Small(Vec::new())
+    }
+}
+
+impl IdSet {
+    fn len(&self) -> usize {
+        match self {
+            IdSet::Small(v) => v.len(),
+            IdSet::Large(s) => s.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn insert(&mut self, id: ObjId) {
+        match self {
+            IdSet::Small(v) => {
+                if let Err(pos) = v.binary_search(&id) {
+                    v.insert(pos, id);
+                    if v.len() > SPILL {
+                        *self = IdSet::Large(v.iter().copied().collect());
+                    }
+                }
+            }
+            IdSet::Large(s) => {
+                s.insert(id);
+            }
+        }
+    }
+
+    fn remove(&mut self, id: ObjId) {
+        match self {
+            IdSet::Small(v) => {
+                if let Ok(pos) = v.binary_search(&id) {
+                    v.remove(pos);
+                }
+            }
+            IdSet::Large(s) => {
+                s.remove(&id);
+            }
+        }
+    }
+
+    fn iter(&self) -> IdSetIter<'_> {
+        match self {
+            IdSet::Small(v) => IdSetIter::Small(v.iter()),
+            IdSet::Large(s) => IdSetIter::Large(s.iter()),
+        }
+    }
+}
+
+/// Ascending iterator over an [`IdSet`] (or nothing, for absent
+/// buckets).
+enum IdSetIter<'a> {
+    Empty,
+    Small(std::slice::Iter<'a, ObjId>),
+    Large(std::collections::btree_set::Iter<'a, ObjId>),
+}
+
+impl Iterator for IdSetIter<'_> {
+    type Item = ObjId;
+
+    fn next(&mut self) -> Option<ObjId> {
+        match self {
+            IdSetIter::Empty => None,
+            IdSetIter::Small(it) => it.next().copied(),
+            IdSetIter::Large(it) => it.next().copied(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            IdSetIter::Empty => (0, Some(0)),
+            IdSetIter::Small(it) => it.size_hint(),
+            IdSetIter::Large(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for IdSetIter<'_> {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use mmt_model::text::{parse_metamodel, parse_model};
+    use mmt_model::Metamodel;
+    use std::sync::Arc;
 
     #[test]
     fn extents_and_attr_lookup() {
@@ -160,11 +359,22 @@ mod tests {
         let idx = ModelIndex::build(&m);
         let named = mm.class_named("Named").unwrap();
         let a = mm.class_named("A").unwrap();
-        assert_eq!(idx.extent(named).len(), 3);
-        assert_eq!(idx.extent(a).len(), 2);
+        assert_eq!(idx.extent_len(named), 3);
+        assert_eq!(idx.extent_len(a), 2);
+        assert_eq!(idx.extent_iter(named).count(), 3);
+        assert_eq!(
+            idx.extent_iter(a).collect::<Vec<_>>(),
+            vec![ObjId(0), ObjId(1)]
+        );
         let name_attr = mm.attr_of(named, mmt_model::Sym::new("name")).unwrap();
-        assert_eq!(idx.by_attr(name_attr, Value::str("x")).len(), 2);
-        assert_eq!(idx.by_attr(name_attr, Value::str("zz")).len(), 0);
+        assert_eq!(idx.by_attr_len(name_attr, Value::str("x")), 2);
+        assert_eq!(
+            idx.by_attr_iter(name_attr, Value::str("x"))
+                .collect::<Vec<_>>(),
+            vec![ObjId(0), ObjId(2)]
+        );
+        assert_eq!(idx.by_attr_len(name_attr, Value::str("zz")), 0);
+        assert_eq!(idx.by_attr_iter(name_attr, Value::str("zz")).count(), 0);
     }
 
     /// Point updates observe exactly what a fresh build would.
@@ -205,14 +415,124 @@ mod tests {
 
         let rebuilt = ModelIndex::build(&m);
         for class in [named, a] {
-            assert_eq!(idx.extent(class), rebuilt.extent(class));
+            assert_eq!(
+                idx.extent_iter(class).collect::<Vec<_>>(),
+                rebuilt.extent_iter(class).collect::<Vec<_>>()
+            );
         }
         for val in ["x", "y", "zz"] {
             assert_eq!(
-                idx.by_attr(name_attr, Value::str(val)),
-                rebuilt.by_attr(name_attr, Value::str(val)),
+                idx.by_attr_iter(name_attr, Value::str(val))
+                    .collect::<Vec<_>>(),
+                rebuilt
+                    .by_attr_iter(name_attr, Value::str(val))
+                    .collect::<Vec<_>>(),
                 "value {val}"
             );
         }
+    }
+
+    fn observations(idx: &ModelIndex, mm: &Arc<Metamodel>, n: u32) -> Vec<Vec<ObjId>> {
+        let named = mm.class_named("Named").unwrap();
+        let a = mm.class_named("A").unwrap();
+        let b = mm.class_named("B").unwrap();
+        let name_attr = mm.attr_of(named, mmt_model::Sym::new("name")).unwrap();
+        let mut out: Vec<Vec<ObjId>> = [named, a, b]
+            .into_iter()
+            .map(|c| {
+                assert_eq!(idx.extent_iter(c).count(), idx.extent_len(c));
+                idx.extent_iter(c).collect()
+            })
+            .collect();
+        for v in 0..n {
+            let val = Value::str(&format!("v{}", v % 7));
+            assert_eq!(
+                idx.by_attr_iter(name_attr, val).count(),
+                idx.by_attr_len(name_attr, val)
+            );
+            out.push(idx.by_attr_iter(name_attr, val).collect());
+        }
+        out
+    }
+
+    /// Randomized add/rename/delete script, point-updated index ≡
+    /// rebuilt index after every step — driven well past the bucket
+    /// [`SPILL`] threshold and through a tombstone-heavy deletion wave
+    /// (delete ~90%, then re-add), so both `IdSet` representations and
+    /// sparse bitsets are exercised.
+    #[test]
+    fn point_updates_match_rebuild_randomized_tombstone_heavy() {
+        let mm = parse_metamodel(
+            "metamodel X { abstract class Named { attr name: Str; } class A extends Named { } class B extends Named { } }",
+        )
+        .unwrap();
+        let named = mm.class_named("Named").unwrap();
+        let name_attr = mm.attr_of(named, mmt_model::Sym::new("name")).unwrap();
+        let a = mm.class_named("A").unwrap();
+        let b = mm.class_named("B").unwrap();
+        let mut m = mmt_model::Model::new("m", Arc::clone(&mm));
+        let mut idx = ModelIndex::build(&m);
+        let mut live: Vec<ObjId> = Vec::new();
+        // Deterministic LCG — no external RNG dependency needed here.
+        let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut rng = move |bound: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % bound
+        };
+        let step = |m: &mut mmt_model::Model,
+                    idx: &mut ModelIndex,
+                    live: &mut Vec<ObjId>,
+                    op: u64,
+                    r: u64| {
+            match op {
+                // Add (the common case — drives buckets past SPILL).
+                0..=4 => {
+                    let class = if r.is_multiple_of(2) { a } else { b };
+                    let id = m.add(class).unwrap();
+                    let val = Value::str(&format!("v{}", r % 7));
+                    m.set_attr(id, name_attr, val).unwrap();
+                    idx.add_obj(m, id);
+                    live.push(id);
+                }
+                // Rename.
+                5..=6 if !live.is_empty() => {
+                    let id = live[(r % live.len() as u64) as usize];
+                    let old = m.attr(id, name_attr).unwrap();
+                    let new = Value::str(&format!("v{}", (r / 7) % 7));
+                    idx.update_attr(id, name_attr, old, new);
+                    m.set_attr(id, name_attr, new).unwrap();
+                }
+                // Delete (leaves a tombstone in the model arena).
+                _ if !live.is_empty() => {
+                    let pos = (r % live.len() as u64) as usize;
+                    let id = live.swap_remove(pos);
+                    idx.remove_obj(m, id);
+                    m.delete(id).unwrap();
+                }
+                _ => {}
+            }
+        };
+        for _ in 0..300 {
+            let (op, r) = (rng(10), rng(u64::MAX));
+            step(&mut m, &mut idx, &mut live, op, r);
+        }
+        let rebuilt = ModelIndex::build(&m);
+        assert_eq!(observations(&idx, &mm, 7), observations(&rebuilt, &mm, 7));
+        // Tombstone wave: delete ~90% of what's live, verify, re-add.
+        let keep = live.len() / 10;
+        while live.len() > keep {
+            let r = rng(u64::MAX);
+            step(&mut m, &mut idx, &mut live, 9, r);
+        }
+        let rebuilt = ModelIndex::build(&m);
+        assert_eq!(observations(&idx, &mm, 7), observations(&rebuilt, &mm, 7));
+        for _ in 0..100 {
+            let r = rng(u64::MAX);
+            step(&mut m, &mut idx, &mut live, rng(10), r);
+        }
+        let rebuilt = ModelIndex::build(&m);
+        assert_eq!(observations(&idx, &mm, 7), observations(&rebuilt, &mm, 7));
     }
 }

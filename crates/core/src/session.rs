@@ -550,15 +550,11 @@ fn expand_op(m: &Model, op: &EditOp) -> Vec<EditOp> {
             };
             let meta = m.metamodel();
             let mut out = Vec::new();
-            // Incoming links (the ones deletion would scrub).
-            for (oid, obj) in m.objects() {
-                if oid == id {
-                    continue;
-                }
-                for (slot, &r) in meta.class(obj.class).all_refs.iter().enumerate() {
-                    for &dst in obj.refs[slot].iter().filter(|&&d| d == id) {
-                        out.push(EditOp::DelLink { src: oid, r, dst });
-                    }
+            // Incoming links (the ones deletion would scrub) — O(degree)
+            // via the model's inverse link index.
+            for &(src, r) in m.incoming(id) {
+                if src != id {
+                    out.push(EditOp::DelLink { src, r, dst: id });
                 }
             }
             // Outgoing links and non-default attributes.

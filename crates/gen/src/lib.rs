@@ -159,7 +159,7 @@ pub fn feature_workload(spec: FeatureSpec) -> FeatureWorkload {
     let feature_fm = fm.class_named("Feature").expect("static class");
     let mut models = Vec::with_capacity(spec.k_configs + 1);
     for (c, sel) in selections.iter().enumerate() {
-        let mut m = Model::new(&format!("cf{}", c + 1), Arc::clone(&cf));
+        let mut m = Model::with_capacity(&format!("cf{}", c + 1), Arc::clone(&cf), spec.n_features);
         for f in 0..spec.n_features {
             if sel[f] {
                 let id = m.add(feature_cf).expect("concrete class");
@@ -169,7 +169,7 @@ pub fn feature_workload(spec: FeatureSpec) -> FeatureWorkload {
         }
         models.push(m);
     }
-    let mut m = Model::new("fm", Arc::clone(&fm));
+    let mut m = Model::with_capacity("fm", Arc::clone(&fm), spec.n_features);
     for f in 0..spec.n_features {
         let id = m.add(feature_fm).expect("concrete class");
         m.set_attr_named(id, "name", Value::str(&names[f]))

@@ -1,0 +1,109 @@
+//! A fast, deterministic hasher for internal index maps.
+//!
+//! The model and checker layers keep several hash maps on the per-edit
+//! hot path (the inverse link index, the attribute value index, the
+//! match-state inverted indexes, evaluation memos). Their keys are
+//! small fixed-size tuples of ids, where SipHash's per-call setup cost
+//! dominates the lookup; this multiply-xor hasher (the algorithm
+//! popularized by rustc's `FxHasher`) hashes a word in a couple of
+//! cycles instead.
+//!
+//! Not DoS-resistant — use only for maps keyed by internal ids, never
+//! by attacker-controlled strings. Unlike `RandomState` the hasher is
+//! unseeded, so map layout (and thus iteration order) is a pure
+//! function of the insertion sequence — one less source of run-to-run
+//! nondeterminism, though callers should still never let map iteration
+//! order reach output.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher; see the [module docs](self).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (unseeded, deterministic).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_usable() {
+        let mut m: FxHashMap<(u32, u64), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, (i as u64) << 32), i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&(i, (i as u64) << 32)), Some(&i));
+        }
+        // Unseeded: two hashers agree on every input.
+        use std::hash::Hash;
+        let probe = |v: &[u8]| {
+            let mut h = FxHasher::default();
+            v.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(probe(b"abcdefghijk"), probe(b"abcdefghijk"));
+        assert_ne!(probe(b"abcdefghijk"), probe(b"abcdefghij"));
+    }
+}

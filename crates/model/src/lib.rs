@@ -10,6 +10,7 @@
 //! enforcement engines — operates on these types.
 
 pub mod conformance;
+pub mod fx;
 pub mod intern;
 pub mod meta;
 pub mod model;

@@ -4,6 +4,7 @@
 //! tombstone so ids are never reused; this keeps diffs between a model and
 //! its edited copies well-defined (the enforcement engines rely on it).
 
+use crate::fx::FxHashMap;
 use crate::intern::Sym;
 use crate::meta::{AttrId, ClassId, Metamodel, RefId};
 use crate::value::Value;
@@ -98,6 +99,15 @@ impl fmt::Display for ModelError {
 impl std::error::Error for ModelError {}
 
 /// A model: a named, typed object graph.
+///
+/// Besides the forward object table, the model maintains an **inverse
+/// link index** (`incoming`): for every object that is the target of at
+/// least one link, the sorted list of `(source, reference)` pairs
+/// pointing at it. This makes [`Model::delete`] — which must scrub every
+/// incoming link — O(degree) instead of O(model), and lets incremental
+/// consumers ([`Model::incoming`]) discover a deletion's blast radius
+/// without scanning the object table. The index is derived state: it is
+/// maintained by every link mutation and ignored by [`Model::graph_eq`].
 #[derive(Clone, Debug)]
 pub struct Model {
     /// Model name (e.g. the file stem or the QVT-R domain name it binds to).
@@ -105,17 +115,39 @@ pub struct Model {
     meta: Arc<Metamodel>,
     objs: Vec<Option<Object>>,
     live: usize,
+    /// `incoming[dst]` = sorted `(src, ref)` pairs with `dst ∈
+    /// src.refs[ref]`. Sparse: objects with no incoming links carry no
+    /// entry, so ref-less metamodels pay nothing. Behind [`Arc`] with
+    /// copy-on-write semantics: cloning a model — which the enforcement
+    /// search does for every explored candidate — shares the index, and
+    /// only link-mutating edits ([`Model::link`], [`Model::unlink`],
+    /// [`Model::delete`]) pay for the deep copy.
+    incoming: Arc<FxHashMap<ObjId, Vec<(ObjId, RefId)>>>,
 }
 
 impl Model {
     /// Creates an empty model named `name` conforming to `meta`.
     pub fn new(name: &str, meta: Arc<Metamodel>) -> Model {
+        Model::with_capacity(name, meta, 0)
+    }
+
+    /// As [`Model::new`], with the object table pre-sized for `capacity`
+    /// objects — builders that know the final size up front (generators,
+    /// snapshot loaders) avoid the O(log n) re-allocations of organic
+    /// growth.
+    pub fn with_capacity(name: &str, meta: Arc<Metamodel>, capacity: usize) -> Model {
         Model {
             name: Sym::new(name),
             meta,
-            objs: Vec::new(),
+            objs: Vec::with_capacity(capacity),
             live: 0,
+            incoming: Arc::default(),
         }
+    }
+
+    /// Pre-sizes the object table for `additional` more objects.
+    pub fn reserve(&mut self, additional: usize) {
+        self.objs.reserve(additional);
     }
 
     /// The metamodel this model conforms to.
@@ -183,18 +215,75 @@ impl Model {
     }
 
     /// Deletes `obj` and removes every link that targets it.
+    ///
+    /// O(degree): incoming links are found through the inverse index and
+    /// outgoing links unregister themselves from it — no object-table
+    /// scan.
     pub fn delete(&mut self, obj: ObjId) -> Result<(), ModelError> {
         if self.get(obj).is_none() {
             return Err(ModelError::NoSuchObject(obj));
         }
-        self.objs[obj.index()] = None;
+        // Scrub incoming links: only the recorded sources are touched.
+        // (`contains_key` first: don't copy-on-write a shared index when
+        // the object has no incoming links.)
+        let sources = if self.incoming.contains_key(&obj) {
+            Arc::make_mut(&mut self.incoming).remove(&obj)
+        } else {
+            None
+        };
+        if let Some(sources) = sources {
+            for (src, r) in sources {
+                let o = self.objs[src.index()]
+                    .as_mut()
+                    .expect("link source is live");
+                let slot = self
+                    .meta
+                    .ref_slot(o.class, r)
+                    .expect("indexed link reads a declared reference");
+                if let Ok(pos) = o.refs[slot].binary_search(&obj) {
+                    o.refs[slot].remove(pos);
+                }
+            }
+        }
+        // Unregister the object's own outgoing links from the index.
+        let meta = Arc::clone(&self.meta);
+        let o = self.objs[obj.index()].take().expect("checked live above");
         self.live -= 1;
-        for slot in self.objs.iter_mut().flatten() {
-            for targets in slot.refs.iter_mut() {
-                targets.retain(|&t| t != obj);
+        for (slot, &r) in meta.class(o.class).all_refs.iter().enumerate() {
+            for &dst in &o.refs[slot] {
+                self.unindex_link(obj, r, dst);
             }
         }
         Ok(())
+    }
+
+    /// Sorted `(source, reference)` pairs of every link targeting `obj`
+    /// (empty for unknown or link-free objects). O(1) lookup — the
+    /// inverse of [`Model::targets`].
+    pub fn incoming(&self, obj: ObjId) -> &[(ObjId, RefId)] {
+        self.incoming.get(&obj).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn index_link(&mut self, src: ObjId, r: RefId, dst: ObjId) {
+        let entry = Arc::make_mut(&mut self.incoming).entry(dst).or_default();
+        if let Err(pos) = entry.binary_search(&(src, r)) {
+            entry.insert(pos, (src, r));
+        }
+    }
+
+    fn unindex_link(&mut self, src: ObjId, r: RefId, dst: ObjId) {
+        if !self.incoming.contains_key(&dst) {
+            return; // don't copy-on-write a shared index for a no-op
+        }
+        let incoming = Arc::make_mut(&mut self.incoming);
+        if let Some(entry) = incoming.get_mut(&dst) {
+            if let Ok(pos) = entry.binary_search(&(src, r)) {
+                entry.remove(pos);
+            }
+            if entry.is_empty() {
+                incoming.remove(&dst);
+            }
+        }
     }
 
     /// Returns the object behind `obj`, if live.
@@ -310,6 +399,7 @@ impl Model {
             Ok(_) => Ok(false),
             Err(pos) => {
                 o.refs[slot].insert(pos, dst);
+                self.index_link(src, r, dst);
                 Ok(true)
             }
         }
@@ -329,6 +419,7 @@ impl Model {
         match o.refs[slot].binary_search(&dst) {
             Ok(pos) => {
                 o.refs[slot].remove(pos);
+                self.unindex_link(src, r, dst);
                 Ok(true)
             }
             Err(_) => Ok(false),
@@ -517,6 +608,46 @@ mod tests {
         b.delete(extra).unwrap();
         // ...but a tombstone with identical live ids is equal.
         assert!(a.graph_eq(&b));
+    }
+
+    /// The inverse link index tracks every mutation path: add, remove,
+    /// delete-with-scrub — `incoming` always equals what a full scan
+    /// would find.
+    #[test]
+    fn incoming_index_tracks_link_mutations() {
+        let (meta, f, _, _, fm, feats) = mm();
+        let mut m = Model::new("m", meta);
+        let r1 = m.add(fm).unwrap();
+        let r2 = m.add(fm).unwrap();
+        let a = m.add(f).unwrap();
+        assert_eq!(m.incoming(a), &[]);
+        m.add_link(r1, feats, a).unwrap();
+        m.add_link(r2, feats, a).unwrap();
+        assert_eq!(m.incoming(a), &[(r1, feats), (r2, feats)]);
+        // Duplicate adds don't duplicate index entries.
+        m.add_link(r1, feats, a).unwrap();
+        assert_eq!(m.incoming(a).len(), 2);
+        m.remove_link(r1, feats, a).unwrap();
+        assert_eq!(m.incoming(a), &[(r2, feats)]);
+        // Deleting the source scrubs its outgoing entry from the index.
+        m.delete(r2).unwrap();
+        assert_eq!(m.incoming(a), &[]);
+        // Deleting a target with live incoming links scrubs the sources.
+        m.add_link(r1, feats, a).unwrap();
+        m.delete(a).unwrap();
+        assert_eq!(m.targets(r1, feats).unwrap(), &[] as &[ObjId]);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let (meta, f, name, _, _, _) = mm();
+        let mut m = Model::with_capacity("m", meta, 100);
+        assert!(m.is_empty());
+        let o = m.add(f).unwrap();
+        m.set_attr(o, name, Value::str("x")).unwrap();
+        m.reserve(1000);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.attr(o, name).unwrap(), Value::str("x"));
     }
 
     #[test]

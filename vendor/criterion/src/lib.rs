@@ -11,9 +11,16 @@
 //! and max across samples. They are stable enough for the coarse "did
 //! this PR make the hot path faster" comparisons recorded in CHANGES.md;
 //! swap in real criterion for confidence intervals and HTML reports.
+//!
+//! Setting `MMT_BENCH_JSON=<dir>` additionally writes one
+//! `BENCH_<group>.json` file per benchmark group into `<dir>` (created
+//! if missing), so the perf trajectory is machine-readable across PRs:
+//! `{"group": ..., "benches": [{"label", "median_ns", "min_ns",
+//! "max_ns", "iters", "samples"}, ...]}`.
 
 use std::fmt;
 use std::hint::black_box as std_black_box;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Prevents the optimizer from deleting a benchmarked computation.
@@ -43,7 +50,9 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("\ngroup {name}");
         BenchmarkGroup {
+            name: name.to_string(),
             sample_size: self.sample_size,
+            results: Vec::new(),
             _criterion: self,
         }
     }
@@ -85,8 +94,20 @@ impl From<String> for BenchmarkId {
 
 /// A group of benchmarks sharing configuration.
 pub struct BenchmarkGroup<'a> {
+    name: String,
     sample_size: usize,
+    results: Vec<BenchResult>,
     _criterion: &'a mut Criterion,
+}
+
+/// One benchmark's measurement, collected for the JSON report.
+struct BenchResult {
+    label: String,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iters: u64,
+    samples: usize,
 }
 
 impl BenchmarkGroup<'_> {
@@ -101,7 +122,8 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_bench(&id.into().label, self.sample_size, |b| f(b));
+        let r = run_bench(&id.into().label, self.sample_size, |b| f(b));
+        self.results.push(r);
         self
     }
 
@@ -115,12 +137,74 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_bench(&id.into().label, self.sample_size, |b| f(b, input));
+        let r = run_bench(&id.into().label, self.sample_size, |b| f(b, input));
+        self.results.push(r);
         self
     }
 
-    /// Ends the group (prints nothing extra; kept for API parity).
+    /// Ends the group. With `MMT_BENCH_JSON=<dir>` set, writes the
+    /// group's measurements to `<dir>/BENCH_<group>.json` (the write
+    /// also happens on drop, so groups that never call `finish` still
+    /// report).
     pub fn finish(self) {}
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        if let Err(e) = self.write_json() {
+            eprintln!("warning: MMT_BENCH_JSON write failed: {e}");
+        }
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    fn write_json(&self) -> std::io::Result<()> {
+        let Some(dir) = std::env::var_os("MMT_BENCH_JSON") else {
+            return Ok(());
+        };
+        if dir.is_empty() {
+            return Ok(());
+        }
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir)?;
+        let safe: String = self
+            .name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"group\": \"{}\",\n  \"benches\": [",
+            escape_json(&self.name)
+        ));
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"label\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"iters\": {}, \"samples\": {}}}",
+                escape_json(&r.label),
+                r.median_ns,
+                r.min_ns,
+                r.max_ns,
+                r.iters,
+                r.samples,
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        std::fs::write(dir.join(format!("BENCH_{safe}.json")), out)
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 /// Passed to bench closures; `iter` does the measuring.
@@ -147,7 +231,7 @@ impl Bencher {
 /// 2 samples per benchmark. The numbers are too noisy to compare, but
 /// every bench body still executes end to end — CI uses this to catch
 /// regressions (panics, hangs, unwraps) in the bench paths cheaply.
-fn run_bench(label: &str, samples: usize, mut run: impl FnMut(&mut Bencher)) {
+fn run_bench(label: &str, samples: usize, mut run: impl FnMut(&mut Bencher)) -> BenchResult {
     let smoke = std::env::var_os("MMT_BENCH_SMOKE").is_some_and(|v| v != "0" && !v.is_empty());
     let target_sample = if smoke {
         Duration::from_millis(1)
@@ -191,6 +275,14 @@ fn run_bench(label: &str, samples: usize, mut run: impl FnMut(&mut Bencher)) {
         iters,
         samples,
     );
+    BenchResult {
+        label: label.to_string(),
+        median_ns: median,
+        min_ns: per_iter_ns[0],
+        max_ns: per_iter_ns[per_iter_ns.len() - 1],
+        iters,
+        samples,
+    }
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -234,6 +326,26 @@ mod tests {
     fn bench_ids_format() {
         assert_eq!(BenchmarkId::new("build", 3).label, "build/3");
         assert_eq!(BenchmarkId::from_parameter(64).label, "64");
+    }
+
+    #[test]
+    fn json_output_writes_group_file() {
+        let dir = std::env::temp_dir().join(format!("mmt-bench-json-{}", std::process::id()));
+        std::env::set_var("MMT_BENCH_JSON", &dir);
+        std::env::set_var("MMT_BENCH_SMOKE", "1");
+        {
+            let mut c = Criterion::default();
+            let mut g = c.benchmark_group("json smoke");
+            g.sample_size(2);
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.finish();
+        }
+        std::env::remove_var("MMT_BENCH_JSON");
+        let body = std::fs::read_to_string(dir.join("BENCH_json_smoke.json")).unwrap();
+        assert!(body.contains("\"group\": \"json smoke\""), "{body}");
+        assert!(body.contains("\"label\": \"noop\""), "{body}");
+        assert!(body.contains("\"median_ns\""), "{body}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
