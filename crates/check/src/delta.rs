@@ -197,10 +197,15 @@ struct CachedCheck {
 /// search does per explored candidate — a pair of memcpys). The switch
 /// is one-way: a state that has been indexed stays indexed.
 ///
-/// The violation count is the size of `violating` (a sorted vec),
-/// maintained as an incremental delta at every mutation — never
-/// recomputed by scanning (debug builds assert the counter against a
-/// scan after each update).
+/// The violation count is a plain counter (`n_violating`), maintained
+/// as an incremental delta at every mutation — never recomputed by
+/// scanning (debug builds assert it against a scan after each update).
+/// The sorted `violating` slot vec exists only in indexed mode: below
+/// [`INDEX_THRESHOLD`] a slab scan enumerates violations just as fast,
+/// and skipping the vec keeps the per-check mutation path (and every
+/// repair-search clone of the state) free of its memmoves and heap
+/// allocation — maintaining it unconditionally was measured at a
+/// 15–20% warm-session checkpoint regression.
 #[derive(Clone, Debug, Default)]
 struct MatchState {
     slab: Vec<Option<MatchEntry>>,
@@ -211,8 +216,11 @@ struct MatchState {
     by_obj: FxHashMap<(DomIdx, ObjId), Vec<u32>>,
     /// `(model, object)` → slots whose witness read it.
     by_wit: FxHashMap<(DomIdx, ObjId), Vec<u32>>,
-    /// Currently unwitnessed slots, ascending.
+    /// Currently unwitnessed slots, ascending — indexed mode only;
+    /// empty below the threshold (the slab scan serves instead).
     violating: Vec<u32>,
+    /// Count of currently unwitnessed live entries, always maintained.
+    n_violating: usize,
 }
 
 /// Live-entry count past which a [`MatchState`] builds and maintains
@@ -250,7 +258,7 @@ impl MatchState {
     }
 
     fn violations(&self) -> usize {
-        self.violating.len()
+        self.n_violating
     }
 
     fn live(&self) -> usize {
@@ -261,18 +269,29 @@ impl MatchState {
         self.slab[slot as usize].as_ref().expect("live slot")
     }
 
-    /// Marks `slot` violating (keeping `violating` sorted); no-op if
-    /// already present.
+    /// Records `slot` turning unwitnessed: bumps the counter and, in
+    /// indexed mode, keeps the slot vec sorted. Callers invoke this
+    /// only on a genuine witnessed→unwitnessed transition (or a fresh
+    /// unwitnessed insert), so no idempotency check is needed for the
+    /// counter.
     fn mark_violating(&mut self, slot: u32) {
-        if let Err(pos) = self.violating.binary_search(&slot) {
-            self.violating.insert(pos, slot);
+        self.n_violating += 1;
+        if self.indexed {
+            if let Err(pos) = self.violating.binary_search(&slot) {
+                self.violating.insert(pos, slot);
+            }
         }
     }
 
-    /// Clears `slot` from the violating set; no-op if absent.
+    /// Records `slot` leaving the violating set — the inverse of
+    /// [`MatchState::mark_violating`], with the same only-on-transition
+    /// contract.
     fn clear_violating(&mut self, slot: u32) {
-        if let Ok(pos) = self.violating.binary_search(&slot) {
-            self.violating.remove(pos);
+        self.n_violating -= 1;
+        if self.indexed {
+            if let Ok(pos) = self.violating.binary_search(&slot) {
+                self.violating.remove(pos);
+            }
         }
     }
 
@@ -289,6 +308,11 @@ impl MatchState {
             }
             for &(m, o) in &e.witness_objs {
                 register(&mut self.by_wit, (m, o), slot);
+            }
+            // The violating slot vec springs to life with the indexes;
+            // the ascending slab walk keeps it sorted by construction.
+            if !e.witnessed {
+                self.violating.push(slot);
             }
         }
     }
@@ -328,7 +352,9 @@ impl MatchState {
                 unregister(&mut self.by_wit, (m, o), slot);
             }
         }
-        self.clear_violating(slot);
+        if !entry.witnessed {
+            self.clear_violating(slot);
+        }
         self.free.push(slot);
     }
 
@@ -336,6 +362,7 @@ impl MatchState {
     /// indexed) and updating the violation set as a delta.
     fn set_witness(&mut self, slot: u32, witnessed: bool, witness_objs: Vec<(DomIdx, ObjId)>) {
         let entry = self.slab[slot as usize].as_mut().expect("live slot");
+        let was_witnessed = entry.witnessed;
         let old = std::mem::replace(&mut entry.witness_objs, witness_objs);
         entry.witnessed = witnessed;
         if self.indexed {
@@ -347,9 +374,9 @@ impl MatchState {
                 register(&mut self.by_wit, (m, o), slot);
             }
         }
-        if witnessed {
+        if witnessed && !was_witnessed {
             self.clear_violating(slot);
-        } else {
+        } else if !witnessed && was_witnessed {
             self.mark_violating(slot);
         }
     }
@@ -396,9 +423,36 @@ impl MatchState {
         }
     }
 
-    /// Violating entries in canonical slab order.
+    /// Violating entries in canonical slab order — walked off the slot
+    /// vec when indexed, off a slab scan below the threshold. Both
+    /// sides visit slots ascending, so callers see one canonical order
+    /// regardless of mode.
     fn violating_entries(&self) -> impl Iterator<Item = &MatchEntry> + '_ {
-        self.violating.iter().map(|&s| self.entry(s))
+        let from_vec = self
+            .indexed
+            .then(|| self.violating.iter().map(|&s| self.entry(s)))
+            .into_iter()
+            .flatten();
+        let from_scan = (!self.indexed)
+            .then(|| self.slab.iter().flatten().filter(|e| !e.witnessed))
+            .into_iter()
+            .flatten();
+        from_vec.chain(from_scan)
+    }
+
+    /// Fills `out` with the currently violating slots, ascending —
+    /// the mode-agnostic snapshot used by the partial-update pin pass.
+    fn snapshot_violating(&self, out: &mut Vec<u32>) {
+        out.clear();
+        if self.indexed {
+            out.extend_from_slice(&self.violating);
+            return;
+        }
+        for (slot, e) in self.slab.iter().enumerate() {
+            if e.as_ref().is_some_and(|e| !e.witnessed) {
+                out.push(slot as u32);
+            }
+        }
     }
 
     /// Debug-build differential check: the incrementally maintained
@@ -408,14 +462,25 @@ impl MatchState {
     fn assert_counters(&self) {
         let scan = self.slab.iter().flatten().filter(|e| !e.witnessed).count();
         assert_eq!(
-            self.violating.len(),
-            scan,
+            self.n_violating, scan,
             "incremental violation counter diverged from the match-state scan"
         );
-        assert!(
-            self.violating.windows(2).all(|w| w[0] < w[1]),
-            "violating set lost its sorted order"
-        );
+        if self.indexed {
+            assert_eq!(
+                self.violating.len(),
+                scan,
+                "indexed violating set diverged from the match-state scan"
+            );
+            assert!(
+                self.violating.windows(2).all(|w| w[0] < w[1]),
+                "violating set lost its sorted order"
+            );
+        } else {
+            assert!(
+                self.violating.is_empty(),
+                "violating slot vec must stay empty below the index threshold"
+            );
+        }
     }
 }
 
@@ -1058,8 +1123,7 @@ fn witness_update(
     // Snapshot the violating set before any re-probe: pin-probing is
     // only for entries that were unwitnessed *and* untouched by the
     // re-probe pass (exactly the old sweep's else-branch).
-    scratch.violating_before.clear();
-    scratch.violating_before.extend_from_slice(&state.violating);
+    state.snapshot_violating(&mut scratch.violating_before);
     // Entries to fully re-probe: witnessed entries whose witness read
     // an affected object, plus any entry whose `where` clause reads an
     // affected object through a universal-side variable.

@@ -49,7 +49,9 @@ use mmt_model::Model;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
+use std::sync::{Arc, PoisonError};
+
+use crate::mmt_sync::{Mutex, MutexGuard, RwLock};
 
 /// Typed errors of the hub registry layer. Session-internal failures
 /// (bad edits, poisoned checkers, unrepairable shapes) stay
@@ -136,12 +138,36 @@ impl SessionHandle {
     /// mid-call poisons only its own session's mutex; the lock recovers
     /// the value (the session's own poisoning contract — a
     /// [`CoreError::Eval`] marks it unusable — is the real safety net).
+    ///
+    /// # Poisoning policy
+    ///
+    /// Mutex poisoning is deliberately *not* load-bearing here, because
+    /// the session's own invariants make recovery safe:
+    ///
+    /// * every mutation ([`SyncSession::apply`],
+    ///   [`SyncSession::repair`], rollback) journals its entry only
+    ///   after the checker absorbed the whole op — a panic in *client*
+    ///   code between session calls can never leave a half-journaled
+    ///   step, so the fingerprint/journal replay invariant (replaying
+    ///   the journal over the seed tuple ≡ the live state, byte for
+    ///   byte) survives the unwind;
+    /// * a panic *inside* a session call is the session's own error
+    ///   path: eval errors poison the session at the session level
+    ///   (`CoreError::Eval` marks it unusable), which is stricter than
+    ///   mutex poisoning and not recoverable by design.
+    ///
+    /// Recovering the mutex therefore only ever re-exposes a session
+    /// that is consistent or already self-marked unusable — it never
+    /// launders a torn state. `tests/hub_concurrent.rs` pins this with
+    /// a differential replay after a mid-`with` client panic.
     pub fn lock(&self) -> MutexGuard<'_, SyncSession> {
         self.session.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Runs `f` under the session lock — the convenience form of
-    /// [`SessionHandle::lock`] for single calls.
+    /// [`SessionHandle::lock`] for single calls. A panic in `f`
+    /// unwinds through the lock without corrupting the session; see
+    /// the poisoning policy on [`SessionHandle::lock`].
     pub fn with<R>(&self, f: impl FnOnce(&mut SyncSession) -> R) -> R {
         f(&mut self.lock())
     }

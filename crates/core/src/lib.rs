@@ -22,6 +22,7 @@
 //! ```
 
 pub mod hub;
+pub mod mmt_sync;
 pub mod session;
 
 pub use hub::{HubError, SessionHandle, SyncHub};

@@ -1,0 +1,15 @@
+//! Sync-primitive shim for the hub layer.
+//!
+//! Production builds re-export `std::sync` unchanged.  Under the
+//! `model-check` feature the same names resolve to `loomlite`'s instrumented
+//! primitives, so the `SyncHub` / `SessionHandle` locking discipline can be
+//! explored exhaustively by the deterministic-interleaving model checker
+//! (see `tests/model_check.rs` at the workspace root).  Outside a model run
+//! the loomlite types delegate to `std::sync` with identical semantics —
+//! including lock poisoning — so the feature is behaviour-preserving for
+//! every non-model test.
+
+#[cfg(feature = "model-check")]
+pub use loomlite::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+#[cfg(not(feature = "model-check"))]
+pub use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};

@@ -53,6 +53,7 @@
 //! assert!(out.deltas[0].is_empty()); // cf1 untouched
 //! ```
 
+pub mod mmt_sync;
 pub mod search;
 
 use mmt_check::{CheckError, DeltaChecker, EvalError};
@@ -378,6 +379,18 @@ pub trait RepairEngine: Sync {
     }
 }
 
+/// Model-check-only window onto [`pooled_map`]: the root `model_check`
+/// test suite drives the real fan-out funnel (cursor + slots + scope)
+/// under the interleaving checker without widening the normal API.
+#[cfg(feature = "model-check")]
+pub fn pooled_map_modeled<T: Sync, R: Send>(
+    items: &[T],
+    jobs: usize,
+    f: impl Fn(usize, &T) -> R + Sync,
+) -> Vec<R> {
+    pooled_map(items, jobs, f)
+}
+
 /// The deterministic worker pool shared by [`RepairEngine::repair_batch`]
 /// and the search engine's parallel frontier: maps `f` over `items` on
 /// up to `jobs` threads draining an atomic cursor. Each result slot is
@@ -393,13 +406,13 @@ pub(crate) fn pooled_map<T: Sync, R: Send>(
     if jobs <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<Option<R>>> =
-        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    std::thread::scope(|s| {
+    let next = mmt_sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<mmt_sync::Mutex<Option<R>>> =
+        items.iter().map(|_| mmt_sync::Mutex::new(None)).collect();
+    mmt_sync::thread::scope(|s| {
         for _ in 0..jobs {
             s.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let i = next.fetch_add(1, mmt_sync::atomic::Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }

@@ -1,0 +1,22 @@
+//! Sync/thread-primitive shim for the enforcement layer's fan-out.
+//!
+//! `pooled_map` is the single funnel through which every parallel workspace
+//! operation runs (atomic work-stealing cursor + per-slot mutexes + scoped
+//! threads).  Production builds re-export `std` unchanged; under the
+//! `model-check` feature the same names resolve to `loomlite`'s instrumented
+//! primitives so slot-write and cursor interleavings can be explored
+//! exhaustively.  Off-model the loomlite types delegate to `std`, so the
+//! feature is behaviour-preserving for normal tests.
+
+#[cfg(feature = "model-check")]
+pub use loomlite::sync::atomic;
+#[cfg(feature = "model-check")]
+pub use loomlite::sync::{Mutex, MutexGuard};
+#[cfg(feature = "model-check")]
+pub use loomlite::thread;
+#[cfg(not(feature = "model-check"))]
+pub use std::sync::atomic;
+#[cfg(not(feature = "model-check"))]
+pub use std::sync::{Mutex, MutexGuard};
+#[cfg(not(feature = "model-check"))]
+pub use std::thread;

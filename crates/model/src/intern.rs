@@ -9,7 +9,9 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{OnceLock, RwLock};
+use std::sync::OnceLock;
+
+use crate::mmt_sync::RwLock;
 
 /// An interned string handle. Cheap to copy, hash and compare.
 ///

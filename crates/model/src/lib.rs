@@ -13,6 +13,7 @@ pub mod conformance;
 pub mod fx;
 pub mod intern;
 pub mod meta;
+pub mod mmt_sync;
 pub mod model;
 pub mod text;
 pub mod value;

@@ -1,0 +1,12 @@
+//! Sync-primitive shim for the model layer (the global interner).
+//!
+//! Production builds re-export `std::sync` unchanged; under the
+//! `model-check` feature the same names resolve to `loomlite`'s instrumented
+//! primitives so interner races can be explored by the model checker.
+//! Off-model the loomlite types delegate to `std::sync` with identical
+//! semantics, so the feature is behaviour-preserving for normal tests.
+
+#[cfg(feature = "model-check")]
+pub use loomlite::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+#[cfg(not(feature = "model-check"))]
+pub use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};

@@ -1,0 +1,244 @@
+//! Bench regression guard.
+//!
+//! The vendored criterion stand-in writes one `BENCH_<group>.json` per bench
+//! group when `MMT_BENCH_JSON=<dir>` is set, each a fixed-shape document:
+//!
+//! ```json
+//! {
+//!   "group": "session_warm",
+//!   "benches": [
+//!     {"label": "warm/3", "median_ns": 61340.9, "min_ns": ..., ...}
+//!   ]
+//! }
+//! ```
+//!
+//! This crate parses that shape (hand-rolled scanner — the format is ours,
+//! fixed, and machine-written) and compares fresh medians against committed
+//! baselines, flagging any label whose median regressed beyond a threshold.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Parsed medians of one bench group: label → `median_ns`.
+pub type Medians = BTreeMap<String, f64>;
+
+/// Outcome of comparing one label across baseline and fresh runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Bench label within the group (e.g. `warm/3`).
+    pub label: String,
+    /// Committed baseline median in nanoseconds.
+    pub baseline_ns: f64,
+    /// Freshly measured median in nanoseconds.
+    pub fresh_ns: f64,
+    /// Relative change: `(fresh - baseline) / baseline` (positive = slower).
+    pub ratio: f64,
+}
+
+impl Delta {
+    /// True when the fresh median regressed beyond `max_regress`
+    /// (e.g. `0.25` = fail when more than 25% slower).
+    pub fn regressed(&self, max_regress: f64) -> bool {
+        self.ratio > max_regress
+    }
+}
+
+/// Extract `label -> median_ns` pairs from a `BENCH_*.json` document.
+///
+/// Returns `Err` when the document yields no benches (malformed or empty):
+/// a guard that silently compares nothing would defeat its purpose.
+pub fn parse_medians(content: &str) -> Result<Medians, String> {
+    let mut out = Medians::new();
+    for line in content.lines() {
+        let Some(label) = field_str(line, "label") else {
+            continue;
+        };
+        let Some(median) = field_num(line, "median_ns") else {
+            return Err(format!("bench entry for {label:?} lacks median_ns"));
+        };
+        out.insert(label.to_string(), median);
+    }
+    if out.is_empty() {
+        return Err("no bench entries found".to_string());
+    }
+    Ok(out)
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compare the shared labels of a baseline and a fresh run.
+///
+/// Labels present on only one side are reported in `missing` rather than
+/// silently skipped: renames should update the committed baseline.
+pub fn compare(baseline: &Medians, fresh: &Medians) -> (Vec<Delta>, Vec<String>) {
+    let mut deltas = Vec::new();
+    let mut missing = Vec::new();
+    for (label, &base) in baseline {
+        match fresh.get(label) {
+            Some(&f) => deltas.push(Delta {
+                label: label.clone(),
+                baseline_ns: base,
+                fresh_ns: f,
+                ratio: (f - base) / base,
+            }),
+            None => missing.push(format!("{label} (baseline only)")),
+        }
+    }
+    for label in fresh.keys() {
+        if !baseline.contains_key(label) {
+            missing.push(format!("{label} (fresh only)"));
+        }
+    }
+    (deltas, missing)
+}
+
+/// Check one group: read `BENCH_<group>.json` from both directories, compare,
+/// and return a human-readable report plus the pass/fail verdict.
+///
+/// The verdict fails on a regression beyond `max_regress` or an empty
+/// label overlap (nothing was actually compared). One-sided labels are
+/// *reported* but don't fail on their own: committed baselines may be
+/// supersets of a smoke run (e.g. `MMT_BENCH_XL=1`-only sizes), and a
+/// freshly added bench shouldn't fail CI before its baseline lands.
+pub fn check_group(
+    baseline_dir: &Path,
+    fresh_dir: &Path,
+    group: &str,
+    max_regress: f64,
+) -> Result<(String, bool), String> {
+    let file = format!("BENCH_{group}.json");
+    let read = |dir: &Path| -> Result<Medians, String> {
+        let path = dir.join(&file);
+        let content = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        parse_medians(&content).map_err(|e| format!("{}: {e}", path.display()))
+    };
+    let base = read(baseline_dir)?;
+    let fresh = read(fresh_dir)?;
+    let (deltas, missing) = compare(&base, &fresh);
+    let mut report = String::new();
+    let mut ok = !deltas.is_empty();
+    if deltas.is_empty() {
+        let _ = writeln!(report, "  {group}: no shared labels to compare");
+    }
+    for m in &missing {
+        let _ = writeln!(report, "  {group}/{m}: one-sided label, not compared");
+    }
+    for d in &deltas {
+        let verdict = if d.regressed(max_regress) {
+            ok = false;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        let _ = writeln!(
+            report,
+            "  {group}/{label}: {base:.1} ns -> {fresh:.1} ns ({pct:+.1}%) {verdict}",
+            label = d.label,
+            base = d.baseline_ns,
+            fresh = d.fresh_ns,
+            pct = d.ratio * 100.0,
+        );
+    }
+    Ok((report, ok))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+  "group": "g",
+  "benches": [
+    {"label": "warm/3", "median_ns": 100.0, "min_ns": 90.0, "max_ns": 120.0, "iters": 10, "samples": 5},
+    {"label": "cold/3", "median_ns": 200.0, "min_ns": 180.0, "max_ns": 220.0, "iters": 5, "samples": 5}
+  ]
+}"#;
+
+    #[test]
+    fn parses_the_writer_shape() {
+        let m = parse_medians(DOC).expect("well-formed");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m["warm/3"], 100.0);
+        assert_eq!(m["cold/3"], 200.0);
+    }
+
+    #[test]
+    fn empty_documents_are_errors() {
+        assert!(parse_medians("{}").is_err());
+    }
+
+    #[test]
+    fn regression_is_relative_to_baseline() {
+        let base = parse_medians(DOC).expect("well-formed");
+        let fresh_doc = DOC.replace("\"median_ns\": 100.0", "\"median_ns\": 130.0");
+        let fresh = parse_medians(&fresh_doc).expect("well-formed");
+        let (deltas, missing) = compare(&base, &fresh);
+        assert!(missing.is_empty());
+        let warm = deltas.iter().find(|d| d.label == "warm/3").expect("warm");
+        assert!(warm.regressed(0.25), "30% slower must trip a 25% guard");
+        assert!(!warm.regressed(0.35));
+        let cold = deltas.iter().find(|d| d.label == "cold/3").expect("cold");
+        assert!(!cold.regressed(0.25), "unchanged label must pass");
+    }
+
+    #[test]
+    fn label_mismatches_are_reported() {
+        let base = parse_medians(DOC).expect("well-formed");
+        let fresh_doc = DOC.replace("warm/3", "warm/4");
+        let fresh = parse_medians(&fresh_doc).expect("well-formed");
+        let (_, missing) = compare(&base, &fresh);
+        assert_eq!(missing.len(), 2, "one baseline-only, one fresh-only");
+    }
+
+    fn dir_with(name: &str, content: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("benchguard-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("BENCH_g.json"), content).unwrap();
+        dir
+    }
+
+    #[test]
+    fn one_sided_labels_pass_but_empty_overlap_fails() {
+        // Baseline is a superset (an XL-only size): the shared labels
+        // compare, the extra one is reported, the verdict passes.
+        let superset = DOC.replace(
+            "{\"label\": \"cold/3\"",
+            "{\"label\": \"xl/1000000\", \"median_ns\": 5.0, \"iters\": 1, \"samples\": 1},\n    {\"label\": \"cold/3\"",
+        );
+        let base = dir_with("base", &superset);
+        let fresh = dir_with("fresh", DOC);
+        let (report, ok) = check_group(&base, &fresh, "g", 0.25).expect("readable");
+        assert!(ok, "superset baseline must not fail:\n{report}");
+        assert!(report.contains("xl/1000000"), "extra label reported");
+
+        // Disjoint labels: nothing compared — that must fail.
+        let disjoint = DOC.replace("warm/3", "a/1").replace("cold/3", "a/2");
+        let base = dir_with("base2", &disjoint);
+        let (report, ok) = check_group(&base, &fresh, "g", 0.25).expect("readable");
+        assert!(!ok, "empty overlap must fail:\n{report}");
+        for d in ["base", "fresh", "base2"] {
+            std::fs::remove_dir_all(
+                std::env::temp_dir().join(format!("benchguard-{}-{d}", std::process::id())),
+            )
+            .ok();
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! CLI for the bench regression guard.
+//!
+//! ```text
+//! benchguard --baseline bench-json --fresh bench-fresh \
+//!            --groups session_warm,check_incremental [--max-regress 0.25]
+//! ```
+//!
+//! Exits non-zero when any shared label's median regressed beyond the
+//! threshold, or when a group file is missing/malformed on either side.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    baseline: PathBuf,
+    fresh: PathBuf,
+    groups: Vec<String>,
+    max_regress: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut baseline = None;
+    let mut fresh = None;
+    let mut groups = Vec::new();
+    let mut max_regress = 0.25;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--baseline" => baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--fresh" => fresh = Some(PathBuf::from(value("--fresh")?)),
+            "--groups" => {
+                groups = value("--groups")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--max-regress" => {
+                max_regress = value("--max-regress")?
+                    .parse()
+                    .map_err(|e| format!("--max-regress: {e}"))?;
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(Args {
+        baseline: baseline.ok_or("--baseline is required")?,
+        fresh: fresh.ok_or("--fresh is required")?,
+        groups: if groups.is_empty() {
+            return Err("--groups is required (comma-separated group names)".to_string());
+        } else {
+            groups
+        },
+        max_regress,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("benchguard: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut all_ok = true;
+    for group in &args.groups {
+        match benchguard::check_group(&args.baseline, &args.fresh, group, args.max_regress) {
+            Ok((report, ok)) => {
+                println!("{group}:");
+                print!("{report}");
+                all_ok &= ok;
+            }
+            Err(e) => {
+                eprintln!("benchguard: {e}");
+                all_ok = false;
+            }
+        }
+    }
+    if all_ok {
+        println!(
+            "benchguard: no regression beyond {:.0}%",
+            args.max_regress * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "benchguard: FAILED (regression beyond {:.0}% or mismatched groups)",
+            args.max_regress * 100.0
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,15 @@
+//! Seeded violation: a registry read guard spans a session `.lock()`.
+//! This file lives under `fixtures/` and is never compiled or scanned as
+//! part of the tree; the lockcheck tests feed it to the scanner and assert
+//! the violation is reported.
+
+fn check_all(hub: &Hub) -> usize {
+    let sessions = hub.sessions.read().expect("registry");
+    let mut total = 0;
+    for handle in sessions.values() {
+        // VIOLATION: session mutex acquired while the registry guard lives.
+        let session = handle.session.lock().expect("session");
+        total += session.violations();
+    }
+    total
+}

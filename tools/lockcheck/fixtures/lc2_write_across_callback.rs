@@ -1,0 +1,10 @@
+//! Seeded violation: a registry write guard held across a user callback.
+//! Never compiled or scanned as part of the tree; exercised by the
+//! lockcheck tests.
+
+fn with_report<R>(hub: &Hub, name: &str, f: impl FnOnce(&LintReport) -> R) -> Option<R> {
+    let mut reports = hub.lint_reports.write().expect("registry");
+    let report = reports.get_mut(name)?;
+    // VIOLATION: the callback may re-enter the hub while we hold `.write()`.
+    Some(f(report))
+}

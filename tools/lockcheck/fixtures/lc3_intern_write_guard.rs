@@ -1,0 +1,10 @@
+//! Seeded violation: a let-bound interner write guard (the file name
+//! carries `intern`, so the LC3 predicate applies).  Never compiled or
+//! scanned as part of the tree; exercised by the lockcheck tests.
+
+fn intern_symbol(s: &str) -> Sym {
+    // VIOLATION: the guard outlives the intern call and could cross another
+    // function call that re-enters the interner.
+    let mut guard = interner().write().expect("interner poisoned");
+    guard.intern(s)
+}

@@ -1,0 +1,576 @@
+//! Source-level lock-discipline lint for the mmtf workspace.
+//!
+//! The rules encode the locking discipline documented in
+//! `crates/core/src/hub.rs` and `ARCHITECTURE.md` ("Concurrency model"):
+//!
+//! - **LC1** — a registry `RwLock` guard (`.read()` / `.write()`) must never
+//!   span a session `.lock()`: a session operation under a registry guard
+//!   stalls every other hub call for the duration of a check/repair (and is
+//!   one lock-order inversion away from deadlock).
+//! - **LC2** — no `.write()` guard may be held across a user callback: the
+//!   callback can re-enter the hub and self-deadlock.
+//! - **LC3** — in interner sources, a write guard must not be let-bound (it
+//!   must stay a single expression, so it cannot cross a function call that
+//!   might re-enter the interner).
+//!
+//! The scanner is deliberately brace-tracking and line-oriented (no `syn`):
+//! it cleans comments and string literals, tracks guard *regions* (a
+//! let-binding's enclosing block, a temporary's statement — widened to the
+//! whole block for `if let` / `while let` / `match`, whose scrutinee
+//! temporaries live that long), and flags the forbidden co-occurrences.
+//! False positives are suppressed through an allowlist that is itself
+//! machine-checked: an entry that no longer matches any finding is an error,
+//! so the list cannot go stale.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One rule violation (or allowlisted occurrence) found in the tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier: `LC1`, `LC2`, or `LC3`.
+    pub rule: &'static str,
+    /// Path of the offending file, as given to the scanner.
+    pub file: String,
+    /// 1-based line of the offending operation.
+    pub line: usize,
+    /// Trimmed source text of the offending line (allowlist match key).
+    pub snippet: String,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}:{}: {} [{}]",
+            self.rule, self.file, self.line, self.msg, self.snippet
+        )
+    }
+}
+
+/// Cross-line lexer state for [`clean_line`]: block comments and raw
+/// strings both span lines.
+#[derive(Default)]
+struct CleanState {
+    in_block_comment: bool,
+    /// `Some(n)` while inside an `r#…#"…"#…#` raw string with `n` hashes.
+    raw_hashes: Option<usize>,
+}
+
+/// Remove comments and string/char literal contents; preserving line length
+/// is not required — only token co-occurrence and brace counts matter.
+fn clean_line(line: &str, state: &mut CleanState) -> String {
+    let mut out = String::with_capacity(line.len());
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if state.in_block_comment {
+            if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                state.in_block_comment = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if let Some(n) = state.raw_hashes {
+            // Look for the closing `"` followed by n `#`s.
+            let close: String = std::iter::once('"').chain("#".repeat(n).chars()).collect();
+            match line[i..].find(&close) {
+                Some(pos) => {
+                    state.raw_hashes = None;
+                    i += pos + close.len();
+                    out.push_str("\"\"");
+                }
+                None => return out,
+            }
+            continue;
+        }
+        // Raw string opener: r"…" or r#"…"# (any hash count).
+        if bytes[i] == b'r'
+            && (i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_'))
+        {
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j] == b'#' {
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j] == b'"' {
+                state.raw_hashes = Some(j - i - 1);
+                i = j + 1;
+                continue;
+            }
+        }
+        match bytes[i] {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break,
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                state.in_block_comment = true;
+                i += 2;
+            }
+            b'"' => {
+                // Skip the string literal (handles \" escapes; raw strings
+                // are approximated — good enough for this tree).
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == b'\\' {
+                        i += 2;
+                    } else if bytes[i] == b'"' {
+                        i += 1;
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.push_str("\"\"");
+            }
+            b'\'' => {
+                // Char literal or lifetime: skip 'x' / '\n' forms only.
+                if i + 2 < bytes.len() && bytes[i + 2] == b'\'' && bytes[i + 1] != b'\\' {
+                    i += 3;
+                } else if i + 3 < bytes.len() && bytes[i + 1] == b'\\' && bytes[i + 3] == b'\'' {
+                    i += 4;
+                } else {
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c as char);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// True when `hay[idx..]` starts an identifier-boundary-delimited call of
+/// `name` (i.e. `name(` not preceded by an identifier character or `.`).
+fn is_call_at(hay: &str, idx: usize, name: &str) -> bool {
+    if !hay[idx..].starts_with(name) {
+        return false;
+    }
+    let after = idx + name.len();
+    if !hay[after..].starts_with('(') {
+        return false;
+    }
+    if idx > 0 {
+        let prev = hay.as_bytes()[idx - 1];
+        if prev.is_ascii_alphanumeric() || prev == b'_' || prev == b'.' {
+            return false;
+        }
+    }
+    true
+}
+
+fn find_call(hay: &str, name: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(name) {
+        let idx = start + pos;
+        if is_call_at(hay, idx, name) {
+            return true;
+        }
+        start = idx + 1;
+    }
+    false
+}
+
+#[derive(Debug)]
+struct Region {
+    rule_write: bool,
+    /// Region stays alive while `depth_end >= min_depth` …
+    min_depth: usize,
+    /// … unless it is a plain statement temporary, which additionally dies at
+    /// the first `;`-terminated line back at `min_depth`.
+    stmt: bool,
+    binding: Option<String>,
+    origin_line: usize,
+}
+
+struct FnScope {
+    min_depth: usize,
+    callbacks: Vec<String>,
+}
+
+/// Extract the bound name of `let [mut] NAME = … .read()/.write()…` lines.
+fn let_binding(clean: &str) -> Option<String> {
+    let t = clean.trim_start();
+    let rest = t.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let end = rest.find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))?;
+    if end == 0 {
+        return None;
+    }
+    Some(rest[..end].to_string())
+}
+
+/// Extract callback parameter names (`impl Fn…` / generic `F: Fn…`-typed)
+/// from a collected `fn` signature.
+fn callback_params(sig: &str) -> Vec<String> {
+    let Some(open) = sig.find('(') else {
+        return Vec::new();
+    };
+    // Generic idents bound to Fn traits, e.g. `<F: FnOnce(…)>` or
+    // `where F: Fn…`.
+    let mut fn_generics: Vec<String> = Vec::new();
+    for (i, _) in sig.match_indices("Fn") {
+        // Walk back over `: ` to the bound identifier.
+        let head = sig[..i].trim_end();
+        if let Some(head) = head.strip_suffix(':') {
+            let head = head.trim_end();
+            let id: String = head
+                .chars()
+                .rev()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect::<String>()
+                .chars()
+                .rev()
+                .collect();
+            if !id.is_empty() {
+                fn_generics.push(id);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    // Split the param list on top-level commas.
+    let params = &sig[open + 1..];
+    let mut depth = 0i32;
+    let mut start = 0;
+    let bytes = params.as_bytes();
+    let mut parts: Vec<&str> = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'(' | b'<' | b'[' => depth += 1,
+            // `->` arrows are not closing angle brackets.
+            b'>' if i > 0 && bytes[i - 1] == b'-' => {}
+            b')' | b'>' | b']' => {
+                if b == b')' && depth == 0 {
+                    parts.push(&params[start..i]);
+                    break;
+                }
+                depth -= 1;
+            }
+            b',' if depth == 0 => {
+                parts.push(&params[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    for part in parts {
+        let Some((name, ty)) = part.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().trim_start_matches("mut ").trim();
+        if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            continue;
+        }
+        let ty = ty.trim();
+        let is_callback = ty.contains("impl Fn")
+            || ty.contains("dyn Fn")
+            || fn_generics.iter().any(|g| {
+                ty == g
+                    || ty.starts_with(&format!("{g}<"))
+                    || ty == format!("&{g}")
+                    || ty == format!("&mut {g}")
+            });
+        if is_callback {
+            out.push(name.to_string());
+        }
+    }
+    out
+}
+
+/// Scan one file's source text.  `file` is only used for labelling findings
+/// and for the LC3 interner-path predicate.
+pub fn scan_source(file: &str, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let is_intern = file.contains("intern");
+    let mut depth: usize = 0;
+    let mut clean_state = CleanState::default();
+    let mut regions: Vec<Region> = Vec::new();
+    let mut fn_scopes: Vec<FnScope> = Vec::new();
+    // Pending `fn` signature collected across lines until its `{`.
+    let mut pending_sig: Option<String> = None;
+    let mut pending_test_attr = false;
+    // Skip `#[cfg(test)] mod tests { … }` bodies: test-local locks follow
+    // test-local disciplines, and the model checker covers them instead.
+    let mut skip_above: Option<usize> = None;
+
+    for (lineno0, raw) in src.lines().enumerate() {
+        let lineno = lineno0 + 1;
+        let clean = clean_line(raw, &mut clean_state);
+        let opens = clean.matches('{').count();
+        let closes = clean.matches('}').count();
+        let depth_end = (depth + opens).saturating_sub(closes);
+
+        if let Some(limit) = skip_above {
+            if depth_end < limit {
+                skip_above = None;
+            }
+            depth = depth_end;
+            continue;
+        }
+
+        if clean.contains("#[cfg(test)]") {
+            pending_test_attr = true;
+        } else if pending_test_attr && clean.trim_start().starts_with("mod ") {
+            if clean.contains('{') {
+                skip_above = Some(depth + 1);
+                pending_test_attr = false;
+                depth = depth_end;
+                continue;
+            }
+        } else if !clean.trim().is_empty() && !clean.trim_start().starts_with("#[") {
+            pending_test_attr = false;
+        }
+
+        // Collect fn signatures (possibly spanning lines) for LC2.
+        if let Some(sig) = &mut pending_sig {
+            sig.push(' ');
+            sig.push_str(&clean);
+        } else if clean.contains("fn ") {
+            pending_sig = Some(clean.clone());
+        }
+        if pending_sig.is_some() && (clean.contains('{') || clean.trim_end().ends_with(';')) {
+            let sig = pending_sig.take().expect("just checked");
+            if sig.contains('{') {
+                fn_scopes.push(FnScope {
+                    min_depth: depth + 1,
+                    callbacks: callback_params(&sig),
+                });
+            }
+        }
+
+        // `drop(name)` ends a let-bound guard region early.
+        regions.retain(|r| match &r.binding {
+            Some(name) => !clean.contains(&format!("drop({name})")),
+            None => true,
+        });
+
+        // Violations: scan the line while regions are active (including any
+        // region opened on this very line, for same-line chains).
+        let guard_here = clean.contains(".read()") || clean.contains(".write()");
+        if guard_here {
+            let rule_write = clean.contains(".write()");
+            // A let-binding holds the *guard* only when the expression ends
+            // with the guard (possibly unwrapped); `let n = x.read().len();`
+            // binds a value and drops the guard at the `;`.
+            let binding = let_binding(&clean).filter(|_| {
+                let stripped = clean.trim_end().trim_end_matches(';').trim_end();
+                stripped.ends_with(".read()")
+                    || stripped.ends_with(".write()")
+                    || ((stripped.ends_with(".unwrap()") || stripped.ends_with(".expect(\"\")"))
+                        && (stripped.contains(".read().") || stripped.contains(".write().")))
+            });
+            let is_scrutinee = {
+                let t = clean.trim_start();
+                t.starts_with("if ")
+                    || t.starts_with("while ")
+                    || t.starts_with("match ")
+                    || t.contains("if let")
+                    || t.contains("while let")
+            };
+            let (min_depth, stmt) = if binding.is_some() {
+                (depth, false)
+            } else if is_scrutinee && clean.contains('{') {
+                // Scrutinee temporaries live for the whole block.
+                (depth_end, false)
+            } else {
+                (depth, true)
+            };
+            if is_intern && binding.is_some() && rule_write {
+                findings.push(Finding {
+                    rule: "LC3",
+                    file: file.to_string(),
+                    line: lineno,
+                    snippet: raw.trim().to_string(),
+                    msg: "interner write guard is let-bound; keep it a single expression"
+                        .to_string(),
+                });
+            }
+            regions.push(Region {
+                rule_write,
+                min_depth,
+                stmt,
+                binding,
+                origin_line: lineno,
+            });
+        }
+
+        if !regions.is_empty() {
+            // LC1: session/other `.lock(` under any rw-guard region.  The
+            // guard-opening chain itself never contains `.lock(` in this
+            // tree, so a hit is a genuine span.
+            if clean.contains(".lock(") {
+                let r = regions.last().expect("non-empty");
+                findings.push(Finding {
+                    rule: "LC1",
+                    file: file.to_string(),
+                    line: lineno,
+                    snippet: raw.trim().to_string(),
+                    msg: format!(
+                        "`.lock()` while an RwLock guard from line {} is live",
+                        r.origin_line
+                    ),
+                });
+            }
+            // LC2: callback invocation under a write-guard region.
+            if regions.iter().any(|r| r.rule_write) {
+                let callbacks: Vec<&String> =
+                    fn_scopes.iter().flat_map(|s| s.callbacks.iter()).collect();
+                for cb in callbacks {
+                    if find_call(&clean, cb) {
+                        let r = regions
+                            .iter()
+                            .rev()
+                            .find(|r| r.rule_write)
+                            .expect("checked above");
+                        findings.push(Finding {
+                            rule: "LC2",
+                            file: file.to_string(),
+                            line: lineno,
+                            snippet: raw.trim().to_string(),
+                            msg: format!(
+                                "callback `{cb}` invoked while a write guard from line {} is live",
+                                r.origin_line
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Close regions: statement temporaries at `;`, block regions at
+        // depth fall.
+        let stmt_ends = clean.trim_end().ends_with(';');
+        regions.retain(|r| {
+            if r.stmt && stmt_ends && depth_end <= r.min_depth {
+                return false;
+            }
+            depth_end >= r.min_depth
+        });
+        fn_scopes.retain(|s| depth_end >= s.min_depth);
+        depth = depth_end;
+    }
+    findings
+}
+
+/// Recursively collect `.rs` files under `root`, skipping `vendor/`,
+/// `target/`, `fixtures/`, and `.git/`.
+pub fn collect_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if matches!(name.as_ref(), "vendor" | "target" | "fixtures" | ".git") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Scan every source file under `root`.  Paths in findings are
+/// root-relative with `/` separators.
+pub fn scan_tree(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    for path in collect_sources(root)? {
+        let src =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(scan_source(&rel, &src));
+    }
+    Ok(findings)
+}
+
+/// One allowlist entry: `RULE <file-suffix> :: <snippet>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule the entry suppresses.
+    pub rule: String,
+    /// Finding-file suffix the entry applies to.
+    pub file: String,
+    /// Exact trimmed source text of the allowed line.
+    pub snippet: String,
+}
+
+/// Parse the allowlist format: one entry per non-comment line,
+/// `RULE path :: exact trimmed source line`.
+pub fn parse_allowlist(content: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut out = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((head, snippet)) = line.split_once("::") else {
+            return Err(format!("allowlist line {}: missing `::`", i + 1));
+        };
+        let mut parts = head.split_whitespace();
+        let (Some(rule), Some(file)) = (parts.next(), parts.next()) else {
+            return Err(format!(
+                "allowlist line {}: need `RULE path :: snippet`",
+                i + 1
+            ));
+        };
+        out.push(AllowEntry {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            snippet: snippet.trim().to_string(),
+        });
+    }
+    Ok(out)
+}
+
+/// Apply the allowlist: returns the remaining (unsuppressed) findings.
+/// A stale entry — one matching no finding — is an error, so the list is
+/// machine-checked against the tree it describes.
+pub fn apply_allowlist(
+    findings: Vec<Finding>,
+    allow: &[AllowEntry],
+) -> Result<Vec<Finding>, String> {
+    let mut used = vec![false; allow.len()];
+    let mut remaining = Vec::new();
+    for f in findings {
+        let mut suppressed = false;
+        for (i, a) in allow.iter().enumerate() {
+            if a.rule == f.rule && f.file.ends_with(&a.file) && f.snippet == a.snippet {
+                used[i] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            remaining.push(f);
+        }
+    }
+    let stale: Vec<String> = allow
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(a, _)| format!("{} {} :: {}", a.rule, a.file, a.snippet))
+        .collect();
+    if !stale.is_empty() {
+        return Err(format!(
+            "stale allowlist entries (no matching finding):\n  {}",
+            stale.join("\n  ")
+        ));
+    }
+    Ok(remaining)
+}

@@ -1,0 +1,79 @@
+//! CLI for the lock-discipline lint.
+//!
+//! ```text
+//! lockcheck [--root DIR] [--allow FILE]
+//! ```
+//!
+//! Scans the workspace sources (skipping `vendor/`, `target/`, `fixtures/`),
+//! applies the machine-checked allowlist, prints any remaining findings, and
+//! exits non-zero on violations or stale allowlist entries.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allow_path: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => {
+                    eprintln!("lockcheck: --root requires a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--allow" => match it.next() {
+                Some(v) => allow_path = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("lockcheck: --allow requires a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("lockcheck: unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let allow_path = allow_path.unwrap_or_else(|| root.join("tools/lockcheck/allow.list"));
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(content) => match lockcheck::parse_allowlist(&content) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("lockcheck: {}: {e}", allow_path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => Vec::new(),
+    };
+    let findings = match lockcheck::scan_tree(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("lockcheck: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scanned = findings.len();
+    match lockcheck::apply_allowlist(findings, &allow) {
+        Ok(remaining) if remaining.is_empty() => {
+            println!(
+                "lockcheck: clean ({} allowlisted of {scanned} raw findings)",
+                scanned
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(remaining) => {
+            for f in &remaining {
+                println!("{f}");
+            }
+            eprintln!("lockcheck: {} violation(s)", remaining.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("lockcheck: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Failing-before tests of the lint itself: every seeded-violation fixture
+//! must be caught, region tracking must respect statement and `drop`
+//! boundaries, the live tree must be clean, and the allowlist must reject
+//! stale entries.
+
+use std::path::Path;
+
+use lockcheck::{apply_allowlist, parse_allowlist, scan_source, scan_tree, AllowEntry, Finding};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn rules(findings: &[Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn lc1_fixture_registry_guard_over_session_lock_is_caught() {
+    let src = fixture("lc1_registry_over_session.rs");
+    let findings = scan_source("fixtures/lc1_registry_over_session.rs", &src);
+    assert!(
+        rules(&findings).contains(&"LC1"),
+        "seeded LC1 violation must be found, got: {findings:?}"
+    );
+}
+
+#[test]
+fn lc2_fixture_write_guard_across_callback_is_caught() {
+    let src = fixture("lc2_write_across_callback.rs");
+    let findings = scan_source("fixtures/lc2_write_across_callback.rs", &src);
+    assert!(
+        rules(&findings).contains(&"LC2"),
+        "seeded LC2 violation must be found, got: {findings:?}"
+    );
+}
+
+#[test]
+fn lc3_fixture_let_bound_intern_write_guard_is_caught() {
+    let src = fixture("lc3_intern_write_guard.rs");
+    let findings = scan_source("fixtures/lc3_intern_write_guard.rs", &src);
+    assert!(
+        rules(&findings).contains(&"LC3"),
+        "seeded LC3 violation must be found, got: {findings:?}"
+    );
+}
+
+#[test]
+fn statement_temporary_guard_ends_at_semicolon() {
+    // The read guard is a statement temporary; the `.lock()` afterwards is
+    // legal (no guard is live any more).
+    let src = r#"
+fn ok(hub: &Hub) {
+    let n = hub.sessions.read().expect("registry").len();
+    let _s = handle.session.lock().expect("session");
+    let _ = n;
+}
+"#;
+    let findings = scan_source("a.rs", src);
+    assert!(findings.is_empty(), "false positive: {findings:?}");
+}
+
+#[test]
+fn dropped_guard_ends_the_region() {
+    let src = r#"
+fn ok(hub: &Hub) {
+    let guard = hub.sessions.read().expect("registry");
+    let name = guard.keys().next().cloned();
+    drop(guard);
+    let _s = handle.session.lock().expect("session");
+}
+"#;
+    let findings = scan_source("a.rs", src);
+    assert!(findings.is_empty(), "false positive: {findings:?}");
+}
+
+#[test]
+fn let_bound_guard_spans_to_block_end() {
+    let src = r#"
+fn bad(hub: &Hub) {
+    let guard = hub.sessions.read().expect("registry");
+    let _s = handle.session.lock().expect("session");
+}
+"#;
+    let findings = scan_source("a.rs", src);
+    assert_eq!(rules(&findings), vec!["LC1"]);
+}
+
+#[test]
+fn if_let_scrutinee_guard_spans_the_whole_block() {
+    // Rust keeps `if let` scrutinee temporaries alive for the entire
+    // if-else; the scanner must too.
+    let src = r#"
+fn bad(hub: &Hub) {
+    if let Some(handle) = hub.sessions.read().expect("registry").get("x") {
+        let _s = handle.session.lock().expect("session");
+    }
+}
+"#;
+    let findings = scan_source("a.rs", src);
+    assert_eq!(rules(&findings), vec!["LC1"]);
+}
+
+#[test]
+fn read_guard_without_callback_is_fine_for_lc2() {
+    let src = r#"
+fn ok<R>(hub: &Hub, f: impl FnOnce(&Report) -> R) -> usize {
+    let reports = hub.lint_reports.read().expect("registry");
+    reports.len()
+}
+"#;
+    let findings = scan_source("a.rs", src);
+    assert!(findings.is_empty(), "false positive: {findings:?}");
+}
+
+#[test]
+fn comments_and_strings_do_not_trigger() {
+    let src = r#"
+fn ok() {
+    // let g = x.read(); then h.lock() would be bad
+    let msg = "calls .read() and .lock( in a string";
+    let _ = msg;
+}
+"#;
+    let findings = scan_source("a.rs", src);
+    assert!(findings.is_empty(), "false positive: {findings:?}");
+}
+
+#[test]
+fn live_tree_is_clean_under_the_committed_allowlist() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = scan_tree(&root).expect("scan the workspace");
+    let allow_path = root.join("tools/lockcheck/allow.list");
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(content) => parse_allowlist(&content).expect("valid allowlist"),
+        Err(_) => Vec::new(),
+    };
+    let remaining = apply_allowlist(findings, &allow).expect("no stale allowlist entries");
+    assert!(
+        remaining.is_empty(),
+        "lock-discipline violations in the tree:\n{}",
+        remaining
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn stale_allowlist_entries_are_errors() {
+    let allow = vec![AllowEntry {
+        rule: "LC1".to_string(),
+        file: "no/such/file.rs".to_string(),
+        snippet: "let g = x.read();".to_string(),
+    }];
+    let err = apply_allowlist(Vec::new(), &allow).expect_err("stale entry must fail");
+    assert!(err.contains("stale"), "unexpected error: {err}");
+}
+
+#[test]
+fn allowlist_suppresses_matching_findings() {
+    let src = r#"
+fn bad(hub: &Hub) {
+    let guard = hub.sessions.read().expect("registry");
+    let _s = handle.session.lock().expect("session");
+}
+"#;
+    let findings = scan_source("crates/x/src/a.rs", src);
+    assert_eq!(findings.len(), 1);
+    let allow = vec![AllowEntry {
+        rule: "LC1".to_string(),
+        file: "x/src/a.rs".to_string(),
+        snippet: findings[0].snippet.clone(),
+    }];
+    let remaining = apply_allowlist(findings, &allow).expect("entry is used");
+    assert!(remaining.is_empty());
+}
+
+#[test]
+fn allowlist_format_round_trips() {
+    let content = "# comment\nLC1 crates/core/src/hub.rs :: let g = self.sessions.read();\n";
+    let parsed = parse_allowlist(content).expect("valid");
+    assert_eq!(
+        parsed,
+        vec![AllowEntry {
+            rule: "LC1".to_string(),
+            file: "crates/core/src/hub.rs".to_string(),
+            snippet: "let g = self.sessions.read();".to_string(),
+        }]
+    );
+    assert!(parse_allowlist("LC1 missing-separator\n").is_err());
+}

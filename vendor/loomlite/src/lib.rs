@@ -1,0 +1,148 @@
+//! Offline stand-in for [loom](https://github.com/tokio-rs/loom): a
+//! deterministic-interleaving model checker over instrumented sync
+//! primitives.
+//!
+//! A model is a closure that spawns threads via [`thread`] and synchronises
+//! via [`sync`].  [`explore`] runs the closure under a serialising scheduler
+//! that enumerates every interleaving reachable with a bounded number of
+//! preemptions (DFS over recorded scheduling choices), returning the number
+//! of distinct interleavings executed.  Any thread panic, detected deadlock,
+//! or explicit [`fail`] aborts exploration and fails the model.
+//!
+//! The same primitive types work *outside* a model too, delegating to
+//! `std::sync` / `std::thread` with identical semantics (including lock
+//! poisoning), which lets production code be ported onto them behind a thin
+//! shim module and only pay instrumentation costs inside model tests.
+//!
+//! Caveats of the stand-in (vs real loom): atomics are sequentially
+//! consistent (no weak-memory modelling), there is no `UnsafeCell` tracking,
+//! and global primitives keep their *data* across runs (their scheduling
+//! metadata resets per run) — models over globals must assert per-run
+//! invariants that tolerate accumulated state, as the interner tests do.
+
+mod sched;
+pub mod sync;
+pub mod thread;
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+use sched::Execution;
+
+/// Serialises model executions process-wide: models may touch global state
+/// (the interner) and must not observe each other's threads.
+static MODEL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Exploration parameters.
+pub struct Builder {
+    /// Maximum number of preemptions per run (`None` = unbounded).  Two is
+    /// the classic sweet spot: most concurrency bugs need at most two.
+    pub preemption_bound: Option<usize>,
+    /// Iteration budget: exceeding it fails the model (space too large).
+    pub max_iterations: usize,
+    /// Per-run operation budget: exceeding it fails the model (livelock or
+    /// runaway model).
+    pub max_ops: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: Some(2),
+            max_iterations: 200_000,
+            max_ops: 100_000,
+        }
+    }
+}
+
+impl Builder {
+    /// Explore every schedule of `f`; `Ok(n)` is the interleaving count,
+    /// `Err(msg)` the first failure (panic, deadlock, budget, [`fail`]).
+    pub fn check<F>(&self, f: F) -> Result<usize, String>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let _serial = MODEL_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let exec = Arc::new(Execution::new(self.preemption_bound, self.max_ops));
+        let mut iters = 0usize;
+        loop {
+            iters += 1;
+            if iters > self.max_iterations {
+                return Err(format!(
+                    "iteration budget ({}) exceeded; shrink the model or the preemption bound",
+                    self.max_iterations
+                ));
+            }
+            let run = exec.reset_for_run();
+            let id = exec.register();
+            debug_assert_eq!(id, 0, "thread 0 is registered first each run");
+            let exec2 = exec.clone();
+            let f2 = f.clone();
+            let h = std::thread::Builder::new()
+                .name("loomlite-0".to_string())
+                .spawn(move || sched::run_thread(exec2, id, run, move || f2(), None))
+                .expect("loomlite: OS thread spawn failed");
+            exec.add_os_handle(h);
+            for h in exec.wait_run_complete() {
+                let _ = h.join();
+            }
+            if let Some(msg) = exec.take_failure() {
+                return Err(msg);
+            }
+            if !exec.backtrack() {
+                return Ok(iters);
+            }
+        }
+    }
+
+    /// Like [`Builder::check`] but panics on failure; returns the
+    /// interleaving count.
+    pub fn explore<F>(&self, f: F) -> usize
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        match self.check(f) {
+            Ok(n) => n,
+            Err(msg) => panic!("loomlite: model failed: {msg}"),
+        }
+    }
+}
+
+/// Explore with default bounds; panics on failure, returns the count.
+pub fn explore<F>(f: F) -> usize
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().explore(f)
+}
+
+/// Explore with default bounds; `Err` carries the first failure message.
+pub fn check<F>(f: F) -> Result<usize, String>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f)
+}
+
+/// Loom-compatible alias for [`explore`], discarding the count.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let _ = explore(f);
+}
+
+/// Fail the current model run with a message (preferred over `panic!` inside
+/// models: the failure aborts exploration without tripping the panic hook).
+/// Outside a model this simply panics.
+pub fn fail(msg: &str) -> ! {
+    match sched::ctx() {
+        Some(c) => c.exec.fail_current(msg),
+        None => panic!("{msg}"),
+    }
+}
+
+/// True when the calling thread is currently executing inside a model run.
+pub fn is_modeled() -> bool {
+    sched::ctx().is_some()
+}

@@ -1,0 +1,416 @@
+//! Deterministic-interleaving scheduler: one token, DFS over recorded choices.
+//!
+//! Exactly one model thread runs at a time; the token is handed off at
+//! *scheduling points* (before every visible sync operation).  Each point where
+//! more than one thread is runnable becomes a recorded [`Choice`]; after a run
+//! completes, the driver backtracks the deepest non-exhausted choice and
+//! replays the prefix, giving exhaustive coverage of the bounded schedule
+//! space.  Preemptions (switching away from a runnable active thread) are
+//! bounded to keep the space tractable.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Monotonic run counter; lets long-lived primitives (globals) detect that a
+/// new run started and lazily reset their scheduling metadata.
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Sentinel panic payload used to silently unwind model threads when the
+/// execution aborts (failure or deadlock).  Raised with `resume_unwind`, so
+/// the panic hook never fires for it.
+pub(crate) struct Abort;
+
+/// Unwind the current model thread without invoking the panic hook.
+pub(crate) fn abort_unwind() -> ! {
+    std::panic::resume_unwind(Box::new(Abort))
+}
+
+/// Best-effort extraction of a human-readable message from a panic payload.
+pub(crate) fn payload_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked".to_string()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Blocked,
+    Finished,
+}
+
+struct TState {
+    status: Status,
+    joiners: Vec<usize>,
+}
+
+/// One decision point: the runnable alternatives seen there (active thread
+/// first) and which index the current run takes.
+struct Choice {
+    alternatives: Vec<usize>,
+    index: usize,
+}
+
+pub(crate) struct ExecState {
+    threads: Vec<TState>,
+    active: usize,
+    unfinished: usize,
+    schedule: Vec<Choice>,
+    pos: usize,
+    preemptions: usize,
+    bound: Option<usize>,
+    ops: usize,
+    max_ops: usize,
+    abort: bool,
+    failure: Option<String>,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ExecState {
+    fn fail(&mut self, msg: &str) {
+        if self.failure.is_none() {
+            self.failure = Some(msg.to_string());
+        }
+        self.abort = true;
+    }
+
+    /// Pick the next thread to run.  `me_unavailable` is true when the caller
+    /// is blocking or finishing (so it must not be chosen).  Returns `None`
+    /// when no thread is runnable.
+    fn pick(&mut self, me: usize, me_unavailable: bool) -> Option<usize> {
+        let me_runnable = !me_unavailable && self.threads[me].status == Status::Runnable;
+        let mut alts: Vec<usize> = Vec::new();
+        if me_runnable {
+            alts.push(me);
+        }
+        let capped = me_runnable && self.bound.is_some_and(|b| self.preemptions >= b);
+        if !capped {
+            for (id, t) in self.threads.iter().enumerate() {
+                if id != me && t.status == Status::Runnable {
+                    alts.push(id);
+                }
+            }
+        }
+        if alts.is_empty() {
+            return None;
+        }
+        let chosen = if alts.len() == 1 {
+            alts[0]
+        } else if self.pos < self.schedule.len() {
+            let c = &self.schedule[self.pos];
+            self.pos += 1;
+            if c.alternatives != alts {
+                self.fail("nondeterministic model: schedule replay diverged");
+                alts[0]
+            } else {
+                c.alternatives[c.index]
+            }
+        } else {
+            self.schedule.push(Choice {
+                alternatives: alts.clone(),
+                index: 0,
+            });
+            self.pos += 1;
+            alts[0]
+        };
+        if me_runnable && chosen != me {
+            self.preemptions += 1;
+        }
+        Some(chosen)
+    }
+}
+
+/// Shared state of one model execution (all runs of one `explore` call).
+pub(crate) struct Execution {
+    state: Mutex<ExecState>,
+    cond: Condvar,
+}
+
+impl Execution {
+    pub(crate) fn new(bound: Option<usize>, max_ops: usize) -> Self {
+        Execution {
+            state: Mutex::new(ExecState {
+                threads: Vec::new(),
+                active: 0,
+                unfinished: 0,
+                schedule: Vec::new(),
+                pos: 0,
+                preemptions: 0,
+                bound,
+                ops: 0,
+                max_ops,
+                abort: false,
+                failure: None,
+                os_handles: Vec::new(),
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn guard(&self) -> MutexGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Reset per-run state (the recorded schedule survives; it is the DFS
+    /// cursor).  Returns the new run epoch.
+    pub(crate) fn reset_for_run(&self) -> u64 {
+        let mut st = self.guard();
+        st.threads.clear();
+        st.active = 0;
+        st.unfinished = 0;
+        st.pos = 0;
+        st.preemptions = 0;
+        st.ops = 0;
+        st.abort = false;
+        RUN_COUNTER.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Register a new model thread; returns its id.  The caller must hold the
+    /// token (or be the driver setting up thread 0).
+    pub(crate) fn register(&self) -> usize {
+        let mut st = self.guard();
+        let id = st.threads.len();
+        st.threads.push(TState {
+            status: Status::Runnable,
+            joiners: Vec::new(),
+        });
+        st.unfinished += 1;
+        id
+    }
+
+    pub(crate) fn add_os_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.guard().os_handles.push(h);
+    }
+
+    /// Scheduling point: count the op, consult/extend the schedule, and hand
+    /// the token over if another thread is chosen.
+    pub(crate) fn switch(&self, me: usize) {
+        let mut st = self.guard();
+        if st.abort {
+            drop(st);
+            abort_unwind()
+        }
+        st.ops += 1;
+        if st.ops > st.max_ops {
+            self.fail_now(
+                st,
+                "operation budget exceeded; shrink the model or the preemption bound",
+            )
+        }
+        let next = st
+            .pick(me, false)
+            .expect("active thread is always runnable at a switch point");
+        if next != me {
+            st.active = next;
+            self.cond.notify_all();
+            self.wait_active(st, me);
+        }
+    }
+
+    /// Block the calling thread (it already enqueued itself on a primitive's
+    /// wait list) and hand the token to some runnable thread.  Returns when
+    /// rescheduled.  Detects whole-model deadlock.
+    pub(crate) fn block(&self, me: usize) {
+        let mut st = self.guard();
+        if st.abort {
+            drop(st);
+            abort_unwind()
+        }
+        st.threads[me].status = Status::Blocked;
+        match st.pick(me, true) {
+            Some(next) => {
+                st.active = next;
+                self.cond.notify_all();
+                self.wait_active(st, me);
+            }
+            None => self.fail_now(st, "deadlock: all threads blocked"),
+        }
+    }
+
+    /// Mark the given (blocked) threads runnable again.  Does not hand the
+    /// token over; the woken threads compete at later scheduling points.
+    pub(crate) fn wake(&self, ids: &[usize]) {
+        let mut st = self.guard();
+        for &id in ids {
+            if st.threads[id].status == Status::Blocked {
+                st.threads[id].status = Status::Runnable;
+            }
+        }
+    }
+
+    /// Wait until `target` finishes, with a scheduling point first.
+    pub(crate) fn join_wait(&self, me: usize, target: usize) {
+        self.switch(me);
+        loop {
+            let mut st = self.guard();
+            if st.abort {
+                drop(st);
+                abort_unwind()
+            }
+            if st.threads[target].status == Status::Finished {
+                return;
+            }
+            st.threads[target].joiners.push(me);
+            drop(st);
+            self.block(me);
+        }
+    }
+
+    /// Mark the calling thread finished, wake joiners, pass the token on.
+    pub(crate) fn finish(&self, me: usize) {
+        let mut st = self.guard();
+        st.threads[me].status = Status::Finished;
+        st.unfinished -= 1;
+        let joiners = std::mem::take(&mut st.threads[me].joiners);
+        for j in joiners {
+            if st.threads[j].status == Status::Blocked {
+                st.threads[j].status = Status::Runnable;
+            }
+        }
+        if st.abort || st.unfinished == 0 {
+            self.cond.notify_all();
+            return;
+        }
+        match st.pick(me, true) {
+            Some(next) => {
+                st.active = next;
+                self.cond.notify_all();
+            }
+            None => {
+                st.fail("deadlock: all remaining threads blocked");
+                self.cond.notify_all();
+            }
+        }
+    }
+
+    /// Record a failure from outside the token discipline (panic payloads).
+    pub(crate) fn fail_external(&self, msg: &str) {
+        let mut st = self.guard();
+        st.fail(msg);
+        self.cond.notify_all();
+    }
+
+    /// Record a failure, abort every thread, and unwind the caller.
+    pub(crate) fn fail_now(&self, mut st: MutexGuard<'_, ExecState>, msg: &str) -> ! {
+        st.fail(msg);
+        self.cond.notify_all();
+        drop(st);
+        abort_unwind()
+    }
+
+    pub(crate) fn fail_current(&self, msg: &str) -> ! {
+        let st = self.guard();
+        self.fail_now(st, msg)
+    }
+
+    /// First wait of a freshly spawned thread: park until scheduled.
+    pub(crate) fn wait_initial(&self, me: usize) {
+        let st = self.guard();
+        self.wait_active(st, me);
+    }
+
+    fn wait_active(&self, mut st: MutexGuard<'_, ExecState>, me: usize) {
+        loop {
+            if st.abort {
+                drop(st);
+                abort_unwind()
+            }
+            if st.active == me && st.threads[me].status == Status::Runnable {
+                return;
+            }
+            st = self.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Driver side: wait for every model thread of the current run to finish,
+    /// then take the OS handles so they can be joined.
+    pub(crate) fn wait_run_complete(&self) -> Vec<std::thread::JoinHandle<()>> {
+        let mut st = self.guard();
+        while st.unfinished > 0 {
+            st = self.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        std::mem::take(&mut st.os_handles)
+    }
+
+    pub(crate) fn take_failure(&self) -> Option<String> {
+        self.guard().failure.take()
+    }
+
+    /// Advance the DFS: bump the deepest non-exhausted choice, dropping
+    /// exhausted suffix choices.  Returns false when the space is explored.
+    pub(crate) fn backtrack(&self) -> bool {
+        let mut st = self.guard();
+        loop {
+            match st.schedule.last_mut() {
+                None => return false,
+                Some(c) if c.index + 1 < c.alternatives.len() => {
+                    c.index += 1;
+                    return true;
+                }
+                Some(_) => {
+                    st.schedule.pop();
+                }
+            }
+        }
+    }
+}
+
+/// Per-thread model context: which execution/thread/run this OS thread plays.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Execution>,
+    pub(crate) id: usize,
+    pub(crate) run: u64,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(c: Option<Ctx>) {
+    CTX.with(|cell| *cell.borrow_mut() = c);
+}
+
+/// Body wrapper for every model thread: park until scheduled, run the user
+/// closure under `catch_unwind`, record panics as model failures (the `Abort`
+/// sentinel stays silent), then finish.
+pub(crate) fn run_thread<T>(
+    exec: Arc<Execution>,
+    id: usize,
+    run: u64,
+    f: impl FnOnce() -> T,
+    slot: Option<Arc<Mutex<Option<T>>>>,
+) {
+    set_ctx(Some(Ctx {
+        exec: exec.clone(),
+        id,
+        run,
+    }));
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        exec.wait_initial(id);
+        f()
+    }));
+    match res {
+        Ok(v) => {
+            if let Some(s) = slot {
+                *s.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+            }
+        }
+        Err(p) => {
+            if p.downcast_ref::<Abort>().is_none() {
+                exec.fail_external(&payload_msg(p.as_ref()));
+            }
+        }
+    }
+    set_ctx(None);
+    exec.finish(id);
+}

@@ -1,0 +1,473 @@
+//! Instrumented sync primitives: `std::sync`-compatible API, model-aware.
+//!
+//! Outside a model run every type delegates straight to its `std::sync`
+//! counterpart (same poisoning behaviour).  Inside a model run the scheduling
+//! metadata (who holds the lock, who waits) is consulted under the execution
+//! token, so acquisition order becomes a recorded scheduling decision; the
+//! underlying `std` primitive is then acquired uncontended purely to hold the
+//! data.  Model-side state is keyed by run epoch so global primitives (e.g. a
+//! global interner) lazily reset between runs.
+
+use std::sync::{LockResult, PoisonError, TryLockError};
+
+use crate::sched::{ctx, Ctx};
+
+#[derive(Default)]
+struct PrimState {
+    run: u64,
+    /// Writer / exclusive holder present.
+    locked: bool,
+    /// Shared readers (RwLock only).
+    readers: usize,
+    waiters: Vec<usize>,
+}
+
+type Meta = std::sync::Mutex<PrimState>;
+
+fn meta_guard(meta: &Meta, run: u64) -> std::sync::MutexGuard<'_, PrimState> {
+    let mut ps = meta.lock().unwrap_or_else(PoisonError::into_inner);
+    if ps.run != run {
+        *ps = PrimState {
+            run,
+            ..PrimState::default()
+        };
+    }
+    ps
+}
+
+/// Release helper shared by the guard `Drop` impls.  `dec_reader` selects
+/// shared-release (RwLock read) vs exclusive-release semantics.
+fn model_release(meta: &Meta, dec_reader: bool) {
+    let Some(c) = ctx() else { return };
+    let waiters = {
+        let mut ps = meta.lock().unwrap_or_else(PoisonError::into_inner);
+        if ps.run != c.run {
+            return;
+        }
+        if dec_reader {
+            ps.readers -= 1;
+        } else {
+            ps.locked = false;
+        }
+        std::mem::take(&mut ps.waiters)
+    };
+    c.exec.wake(&waiters);
+    if !std::thread::panicking() {
+        c.exec.switch(c.id);
+    }
+}
+
+fn model_acquire(meta: &Meta, c: &Ctx, shared: bool) {
+    c.exec.switch(c.id);
+    loop {
+        let mut ps = meta_guard(meta, c.run);
+        let free = if shared {
+            !ps.locked
+        } else {
+            !ps.locked && ps.readers == 0
+        };
+        if free {
+            if shared {
+                ps.readers += 1;
+            } else {
+                ps.locked = true;
+            }
+            return;
+        }
+        ps.waiters.push(c.id);
+        drop(ps);
+        c.exec.block(c.id);
+    }
+}
+
+/// A mutual-exclusion lock with the `std::sync::Mutex` surface.
+pub struct Mutex<T: ?Sized> {
+    meta: Meta,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new unlocked mutex.
+    pub fn new(t: T) -> Self {
+        Mutex {
+            meta: Meta::default(),
+            inner: std::sync::Mutex::new(t),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking (in-model: a scheduling decision).
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let Some(c) = ctx() {
+            model_acquire(&self.meta, &c, false);
+            let g = match self.inner.try_lock() {
+                Ok(g) => g,
+                Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(TryLockError::WouldBlock) => {
+                    unreachable!("loomlite mutex: model grants exclusive access")
+                }
+            };
+            Ok(MutexGuard {
+                inner: Some(g),
+                meta: Some(&self.meta),
+            })
+        } else {
+            match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    inner: Some(g),
+                    meta: None,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    inner: Some(p.into_inner()),
+                    meta: None,
+                })),
+            }
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// RAII guard for [`Mutex`]; releases the model-side hold on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    meta: Option<&'a Meta>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard live")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard live")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some(m) = self.meta {
+            model_release(m, false);
+        }
+    }
+}
+
+/// A reader-writer lock with the `std::sync::RwLock` surface.
+pub struct RwLock<T: ?Sized> {
+    meta: Meta,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a new unlocked rwlock.
+    pub fn new(t: T) -> Self {
+        RwLock {
+            meta: Meta::default(),
+            inner: std::sync::RwLock::new(t),
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared access.
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        if let Some(c) = ctx() {
+            model_acquire(&self.meta, &c, true);
+            let g = match self.inner.try_read() {
+                Ok(g) => g,
+                Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(TryLockError::WouldBlock) => {
+                    unreachable!("loomlite rwlock: model admits readers")
+                }
+            };
+            Ok(RwLockReadGuard {
+                inner: Some(g),
+                meta: Some(&self.meta),
+            })
+        } else {
+            match self.inner.read() {
+                Ok(g) => Ok(RwLockReadGuard {
+                    inner: Some(g),
+                    meta: None,
+                }),
+                Err(p) => Err(PoisonError::new(RwLockReadGuard {
+                    inner: Some(p.into_inner()),
+                    meta: None,
+                })),
+            }
+        }
+    }
+
+    /// Acquire exclusive access.
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        if let Some(c) = ctx() {
+            model_acquire(&self.meta, &c, false);
+            let g = match self.inner.try_write() {
+                Ok(g) => g,
+                Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(TryLockError::WouldBlock) => {
+                    unreachable!("loomlite rwlock: model grants exclusive access")
+                }
+            };
+            Ok(RwLockWriteGuard {
+                inner: Some(g),
+                meta: Some(&self.meta),
+            })
+        } else {
+            match self.inner.write() {
+                Ok(g) => Ok(RwLockWriteGuard {
+                    inner: Some(g),
+                    meta: None,
+                }),
+                Err(p) => Err(PoisonError::new(RwLockWriteGuard {
+                    inner: Some(p.into_inner()),
+                    meta: None,
+                })),
+            }
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// RAII shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    meta: Option<&'a Meta>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard live")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some(m) = self.meta {
+            model_release(m, true);
+        }
+    }
+}
+
+/// RAII exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    meta: Option<&'a Meta>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard live")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard live")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some(m) = self.meta {
+            model_release(m, false);
+        }
+    }
+}
+
+/// Model-aware atomics (sequentially consistent under the model: the token
+/// serialises every access, with a scheduling point before each op).
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::sched::ctx;
+
+    fn point() {
+        if let Some(c) = ctx() {
+            c.exec.switch(c.id);
+        }
+    }
+
+    macro_rules! int_atomic {
+        ($(#[$doc:meta])* $name:ident, $std:ty, $t:ty) => {
+            $(#[$doc])*
+            #[derive(Default, Debug)]
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                /// Create a new atomic with the given initial value.
+                pub fn new(v: $t) -> Self {
+                    Self { inner: <$std>::new(v) }
+                }
+
+                /// Load the current value.
+                pub fn load(&self, o: Ordering) -> $t {
+                    point();
+                    self.inner.load(o)
+                }
+
+                /// Store a new value.
+                pub fn store(&self, v: $t, o: Ordering) {
+                    point();
+                    self.inner.store(v, o)
+                }
+
+                /// Swap in a new value, returning the previous one.
+                pub fn swap(&self, v: $t, o: Ordering) -> $t {
+                    point();
+                    self.inner.swap(v, o)
+                }
+
+                /// Add to the value, returning the previous one.
+                pub fn fetch_add(&self, v: $t, o: Ordering) -> $t {
+                    point();
+                    self.inner.fetch_add(v, o)
+                }
+
+                /// Subtract from the value, returning the previous one.
+                pub fn fetch_sub(&self, v: $t, o: Ordering) -> $t {
+                    point();
+                    self.inner.fetch_sub(v, o)
+                }
+
+                /// Compare-and-exchange.
+                pub fn compare_exchange(
+                    &self,
+                    cur: $t,
+                    new: $t,
+                    ok: Ordering,
+                    err: Ordering,
+                ) -> Result<$t, $t> {
+                    point();
+                    self.inner.compare_exchange(cur, new, ok, err)
+                }
+
+                /// Mutable access without synchronisation.
+                pub fn get_mut(&mut self) -> &mut $t {
+                    self.inner.get_mut()
+                }
+
+                /// Consume the atomic, returning the value.
+                pub fn into_inner(self) -> $t {
+                    self.inner.into_inner()
+                }
+            }
+        };
+    }
+
+    int_atomic!(
+        /// Model-aware `AtomicUsize`.
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize
+    );
+    int_atomic!(
+        /// Model-aware `AtomicU64`.
+        AtomicU64,
+        std::sync::atomic::AtomicU64,
+        u64
+    );
+    int_atomic!(
+        /// Model-aware `AtomicU32`.
+        AtomicU32,
+        std::sync::atomic::AtomicU32,
+        u32
+    );
+
+    /// Model-aware `AtomicBool`.
+    #[derive(Default, Debug)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Create a new atomic bool.
+        pub fn new(v: bool) -> Self {
+            Self {
+                inner: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        /// Load the current value.
+        pub fn load(&self, o: Ordering) -> bool {
+            point();
+            self.inner.load(o)
+        }
+
+        /// Store a new value.
+        pub fn store(&self, v: bool, o: Ordering) {
+            point();
+            self.inner.store(v, o)
+        }
+
+        /// Swap in a new value, returning the previous one.
+        pub fn swap(&self, v: bool, o: Ordering) -> bool {
+            point();
+            self.inner.swap(v, o)
+        }
+
+        /// Compare-and-exchange.
+        pub fn compare_exchange(
+            &self,
+            cur: bool,
+            new: bool,
+            ok: Ordering,
+            err: Ordering,
+        ) -> Result<bool, bool> {
+            point();
+            self.inner.compare_exchange(cur, new, ok, err)
+        }
+    }
+}

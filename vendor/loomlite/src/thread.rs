@@ -1,0 +1,212 @@
+//! Model-aware threading: `spawn`, `yield_now`, and scoped threads.
+//!
+//! Off-model everything delegates to `std::thread`.  In-model, spawned
+//! threads register with the execution and park until the scheduler hands
+//! them the token; joins become scheduling decisions.  Scoped threads are
+//! joined *in-model* before the underlying `std::thread::scope` performs its
+//! implicit OS-level join (otherwise the OS join would block while the child
+//! still waits for the token).
+
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::sched::{abort_unwind, ctx, payload_msg, run_thread, Abort, Execution};
+
+/// Yield the current thread: in-model this is a pure scheduling point.
+pub fn yield_now() {
+    match ctx() {
+        Some(c) => c.exec.switch(c.id),
+        None => std::thread::yield_now(),
+    }
+}
+
+struct ModelJoin<T> {
+    exec: Arc<Execution>,
+    id: usize,
+    slot: Arc<Mutex<Option<T>>>,
+}
+
+/// Handle to a spawned thread, mirroring `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    std: Option<std::thread::JoinHandle<T>>,
+    model: Option<ModelJoin<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some(h) = self.std {
+            return h.join();
+        }
+        let m = self.model.expect("join handle has a backing thread");
+        let c = ctx().expect("model join handles must be joined from model threads");
+        m.exec.join_wait(c.id, m.id);
+        let v = m
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("finished model thread stored its result");
+        Ok(v)
+    }
+}
+
+/// Spawn a thread, mirroring `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match ctx() {
+        None => JoinHandle {
+            std: Some(std::thread::spawn(f)),
+            model: None,
+        },
+        Some(c) => {
+            c.exec.switch(c.id);
+            let id = c.exec.register();
+            let slot = Arc::new(Mutex::new(None));
+            let exec2 = c.exec.clone();
+            let slot2 = slot.clone();
+            let run = c.run;
+            let h = std::thread::Builder::new()
+                .name(format!("loomlite-{id}"))
+                .spawn(move || run_thread(exec2, id, run, f, Some(slot2)))
+                .expect("loomlite: OS thread spawn failed");
+            c.exec.add_os_handle(h);
+            JoinHandle {
+                std: None,
+                model: Some(ModelJoin {
+                    exec: c.exec.clone(),
+                    id,
+                    slot,
+                }),
+            }
+        }
+    }
+}
+
+struct ScopeModel {
+    exec: Arc<Execution>,
+    run: u64,
+    me: usize,
+    /// Children not yet explicitly joined; joined in-model at scope exit.
+    pending: RefCell<Vec<usize>>,
+}
+
+/// Scope for spawning borrowing threads, mirroring `std::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    std: &'scope std::thread::Scope<'scope, 'env>,
+    model: Option<ScopeModel>,
+}
+
+/// Handle to a scoped thread, mirroring `std::thread::ScopedJoinHandle`.
+pub struct ScopedJoinHandle<'scope, T> {
+    std: Option<std::thread::ScopedJoinHandle<'scope, T>>,
+    model: Option<ModelJoin<T>>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the scoped thread to finish and return its result.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some(h) = self.std {
+            return h.join();
+        }
+        let m = self.model.expect("join handle has a backing thread");
+        let c = ctx().expect("model join handles must be joined from model threads");
+        m.exec.join_wait(c.id, m.id);
+        let v = m
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("finished model thread stored its result");
+        Ok(v)
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread, mirroring `std::thread::Scope::spawn`.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match &self.model {
+            None => ScopedJoinHandle {
+                std: Some(self.std.spawn(f)),
+                model: None,
+            },
+            Some(m) => {
+                m.exec.switch(m.me);
+                let id = m.exec.register();
+                let slot = Arc::new(Mutex::new(None::<T>));
+                let exec2 = m.exec.clone();
+                let slot2 = slot.clone();
+                let run = m.run;
+                self.std
+                    .spawn(move || run_thread(exec2, id, run, f, Some(slot2)));
+                m.pending.borrow_mut().push(id);
+                ScopedJoinHandle {
+                    std: None,
+                    model: Some(ModelJoin {
+                        exec: m.exec.clone(),
+                        id,
+                        slot,
+                    }),
+                }
+            }
+        }
+    }
+}
+
+/// Create a scope for spawning borrowing threads, mirroring
+/// `std::thread::scope`.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    match ctx() {
+        None => std::thread::scope(|s| {
+            f(&Scope {
+                std: s,
+                model: None,
+            })
+        }),
+        Some(c) => std::thread::scope(move |s| {
+            let sc = Scope {
+                std: s,
+                model: Some(ScopeModel {
+                    exec: c.exec.clone(),
+                    run: c.run,
+                    me: c.id,
+                    pending: RefCell::new(Vec::new()),
+                }),
+            };
+            let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&sc)));
+            let pending = sc
+                .model
+                .as_ref()
+                .expect("model scope carries model state")
+                .pending
+                .take();
+            match res {
+                Ok(v) => {
+                    for id in pending {
+                        c.exec.join_wait(c.id, id);
+                    }
+                    v
+                }
+                Err(p) => {
+                    // Fail the model so parked children unwind; the implicit
+                    // OS-level scope join then completes instead of hanging.
+                    if p.downcast_ref::<Abort>().is_none() {
+                        c.exec.fail_external(&payload_msg(p.as_ref()));
+                    }
+                    drop(p);
+                    abort_unwind()
+                }
+            }
+        }),
+    }
+}

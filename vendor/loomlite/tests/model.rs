@@ -1,0 +1,208 @@
+//! Self-tests: the checker must pass correct models across every
+//! interleaving and *catch* seeded concurrency bugs (lost update, deadlock).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+use std::sync::Arc;
+
+use loomlite::sync::atomic::{AtomicUsize, Ordering};
+use loomlite::sync::{Mutex, RwLock};
+use loomlite::{thread, Builder};
+
+#[test]
+fn mutex_counter_invariant_holds_everywhere() {
+    let iters = loomlite::explore(|| {
+        let c = Arc::new(Mutex::new(0u32));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let c = c.clone();
+            handles.push(thread::spawn(move || {
+                let mut g = c.lock().expect("model mutex does not poison");
+                *g += 1;
+            }));
+        }
+        for h in handles {
+            h.join().expect("model threads do not panic");
+        }
+        let v = *c.lock().expect("model mutex does not poison");
+        if v != 2 {
+            loomlite::fail("increments lost");
+        }
+    });
+    assert!(iters >= 2, "expected multiple interleavings, got {iters}");
+}
+
+#[test]
+fn lost_update_is_caught() {
+    // Non-atomic read-modify-write over an atomic cell: the classic lost
+    // update.  Some interleaving must end with count == 1, and the model
+    // must report it.
+    let res = loomlite::check(|| {
+        let c = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let c = c.clone();
+            handles.push(thread::spawn(move || {
+                let v = c.load(Ordering::SeqCst);
+                c.store(v + 1, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join().expect("model threads do not panic");
+        }
+        if c.load(Ordering::SeqCst) != 2 {
+            loomlite::fail("lost update");
+        }
+    });
+    let msg = res.expect_err("the lost update must be found");
+    assert!(msg.contains("lost update"), "unexpected failure: {msg}");
+}
+
+#[test]
+fn abba_deadlock_is_caught() {
+    let res = loomlite::check(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (a.clone(), b.clone());
+        let h = thread::spawn(move || {
+            let _ga = a2.lock().expect("model mutex does not poison");
+            let _gb = b2.lock().expect("model mutex does not poison");
+        });
+        {
+            let _gb = b.lock().expect("model mutex does not poison");
+            let _ga = a.lock().expect("model mutex does not poison");
+        }
+        h.join().expect("model threads do not panic");
+    });
+    let msg = res.expect_err("the AB-BA deadlock must be found");
+    assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+}
+
+#[test]
+fn rwlock_readers_coexist_writers_exclude() {
+    loomlite::explore(|| {
+        let l = Arc::new(RwLock::new(0u32));
+        let mut readers = Vec::new();
+        for _ in 0..2 {
+            let l = l.clone();
+            readers.push(thread::spawn(move || {
+                *l.read().expect("model rwlock does not poison")
+            }));
+        }
+        let lw = l.clone();
+        let w = thread::spawn(move || {
+            *lw.write().expect("model rwlock does not poison") += 1;
+        });
+        for r in readers {
+            let seen = r.join().expect("model threads do not panic");
+            // A reader sees the value before or after the single write.
+            if seen > 1 {
+                loomlite::fail("reader saw torn state");
+            }
+        }
+        w.join().expect("model threads do not panic");
+        if *l.read().expect("model rwlock does not poison") != 1 {
+            loomlite::fail("write lost");
+        }
+    });
+}
+
+#[test]
+fn preemption_bound_zero_is_sequential() {
+    let b = Builder {
+        preemption_bound: Some(0),
+        ..Builder::default()
+    };
+    let iters = b.explore(|| {
+        let c = Arc::new(AtomicUsize::new(0));
+        let c2 = c.clone();
+        let h = thread::spawn(move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        h.join().expect("model threads do not panic");
+    });
+    // No preemptions allowed: the one schedule runs each thread to
+    // completion in spawn order.
+    assert_eq!(iters, 1, "bound 0 must yield a single interleaving");
+}
+
+#[test]
+fn both_orders_of_a_race_are_observed() {
+    // Accumulate observations across runs via state captured outside the
+    // model closure: the racing store lands before or after the main load.
+    let seen: Arc<std::sync::Mutex<HashSet<usize>>> =
+        Arc::new(std::sync::Mutex::new(HashSet::new()));
+    let seen2 = seen.clone();
+    loomlite::explore(move || {
+        let flag = Arc::new(AtomicUsize::new(0));
+        let f2 = flag.clone();
+        let h = thread::spawn(move || {
+            f2.store(1, Ordering::SeqCst);
+        });
+        let observed = flag.load(Ordering::SeqCst);
+        h.join().expect("model threads do not panic");
+        seen2.lock().expect("harness mutex").insert(observed);
+    });
+    let seen = seen.lock().expect("harness mutex");
+    assert!(
+        seen.contains(&0) && seen.contains(&1),
+        "exploration must cover both orders, saw {seen:?}"
+    );
+}
+
+#[test]
+fn scoped_threads_join_in_model() {
+    loomlite::explore(|| {
+        let done = StdAtomicUsize::new(0);
+        thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    // Raw std atomic: not a scheduling point, just a probe
+                    // that the scope really joined its children.
+                    done.fetch_add(1, StdOrdering::SeqCst);
+                    thread::yield_now();
+                });
+            }
+        });
+        if done.load(StdOrdering::SeqCst) != 2 {
+            loomlite::fail("scope exited before its children finished");
+        }
+    });
+}
+
+#[test]
+fn off_model_primitives_behave_like_std() {
+    // Outside explore() the same types delegate to std and really run
+    // concurrently.
+    let c = Arc::new(Mutex::new(0u32));
+    let l = Arc::new(RwLock::new(0u32));
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let c = c.clone();
+        let l = l.clone();
+        handles.push(thread::spawn(move || {
+            *c.lock().expect("unpoisoned") += 1;
+            *l.write().expect("unpoisoned") += 1;
+        }));
+    }
+    for h in handles {
+        h.join().expect("no panics");
+    }
+    assert_eq!(*c.lock().expect("unpoisoned"), 4);
+    assert_eq!(*l.read().expect("unpoisoned"), 4);
+}
+
+#[test]
+fn off_model_poisoning_matches_std() {
+    let m = Arc::new(Mutex::new(7u32));
+    let m2 = m.clone();
+    let h = thread::spawn(move || {
+        let _g = m2.lock().expect("unpoisoned");
+        panic!("poison it");
+    });
+    assert!(h.join().is_err());
+    // Poisoned off-model: Err carrying the guard, recoverable via
+    // into_inner — exactly the std contract the hub relies on.
+    let v = *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    assert_eq!(v, 7);
+}
